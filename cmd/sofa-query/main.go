@@ -1,0 +1,113 @@
+// Command sofa-query builds a SOFA (or MESSI) index over a binary dataset
+// file and answers exact k-NN queries from a query file, printing per-query
+// results and timing.
+//
+// Usage:
+//
+//	sofa-query -data LenDB.sofads -queries LenDB.queries.sofads -k 10
+//	sofa-query -data LenDB.sofads -queries LenDB.queries.sofads -method messi
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		dataPath  = flag.String("data", "", "dataset file (required)")
+		queryPath = flag.String("queries", "", "query file (required)")
+		k         = flag.Int("k", 1, "nearest neighbors per query")
+		method    = flag.String("method", "sofa", "index method: sofa or messi")
+		leaf      = flag.Int("leaf", 1024, "tree leaf capacity")
+		workers   = flag.Int("workers", 0, "parallelism (default GOMAXPROCS)")
+		verbose   = flag.Bool("v", false, "print every result")
+		savePath  = flag.String("save", "", "write the built index to this file")
+		loadPath  = flag.String("load", "", "load a previously saved index instead of building")
+	)
+	flag.Parse()
+	if (*dataPath == "" && *loadPath == "") || *queryPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var m core.Method
+	switch *method {
+	case "sofa":
+		m = core.SOFA
+	case "messi":
+		m = core.MESSI
+	default:
+		fatal(fmt.Errorf("unknown method %q (want sofa or messi)", *method))
+	}
+
+	queries, err := dataset.Load(*queryPath)
+	if err != nil {
+		fatal(err)
+	}
+	var ix *core.Index
+	if *loadPath != "" {
+		start := time.Now()
+		ix, err = core.LoadFile(*loadPath)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s index loaded from %s in %.2fs (%d series x %d)\n",
+			ix.Method(), *loadPath, time.Since(start).Seconds(), ix.Len(), ix.SeriesLen())
+	} else {
+		data, err := dataset.Load(*dataPath)
+		if err != nil {
+			fatal(err)
+		}
+		data.ZNormalizeAll()
+		fmt.Printf("loaded %d series x %d, %d queries\n", data.Len(), data.Stride, queries.Len())
+		start := time.Now()
+		ix, err = core.Build(data, core.Config{Method: m, LeafCapacity: *leaf, Workers: *workers})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s index built in %.2fs (learn %.2fs, transform %.2fs, tree %.2fs)\n",
+			ix.Method(), time.Since(start).Seconds(),
+			ix.LearnSeconds, ix.TransformSeconds, ix.TreeSeconds)
+	}
+	if *savePath != "" {
+		if err := core.SaveFile(ix, *savePath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("index saved to %s\n", *savePath)
+	}
+	st := ix.Stats()
+	fmt.Printf("tree: %d subtrees, %d leaves, avg depth %.1f, avg leaf size %.0f\n",
+		st.Subtrees, st.Leaves, st.AvgDepth, st.AvgLeafSize)
+
+	s := ix.NewSearcher()
+	times := make([]float64, queries.Len())
+	for qi := 0; qi < queries.Len(); qi++ {
+		qStart := time.Now()
+		res, err := s.Search(queries.Row(qi), *k)
+		if err != nil {
+			fatal(err)
+		}
+		times[qi] = time.Since(qStart).Seconds()
+		if *verbose {
+			fmt.Printf("query %3d (%.2fms):", qi, times[qi]*1000)
+			for _, r := range res {
+				fmt.Printf(" #%d@%.4f", r.ID, math.Sqrt(r.Dist))
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Printf("%d-NN over %d queries: mean %.2fms, median %.2fms\n",
+		*k, queries.Len(), stats.Mean(times)*1000, stats.Median(times)*1000)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "sofa-query: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// RunApprox is an extension experiment beyond the paper's evaluation: the
+// paper's conclusion names approximate SFA search as future work
+// (Section VI). This experiment measures the quality/time trade-off of the
+// two approximate modes implemented here against exact search:
+//
+//   - "approx" — probe only the best-matching leaf (iSAX-family heuristic);
+//   - ε-search — exact machinery, pruning against bound/(1+ε)², with the
+//     guarantee dist ≤ (1+ε)·exact.
+//
+// Reported per mode: mean query time, recall@1 (how often the true 1-NN is
+// returned) and mean distance error vs exact.
+func RunApprox(cfg SuiteConfig, w io.Writer) error {
+	c := cfg.withDefaults()
+	cores := c.CoreCounts[len(c.CoreCounts)-1]
+	type mode struct {
+		name string
+		run  func(s *core.Searcher, q []float64) (float64, error)
+	}
+	modes := []mode{
+		{"exact", func(s *core.Searcher, q []float64) (float64, error) {
+			r, err := s.Search(q, 1)
+			if err != nil {
+				return 0, err
+			}
+			return r[0].Dist, nil
+		}},
+		{"eps=0.1", epsMode(0.1)},
+		{"eps=0.5", epsMode(0.5)},
+		{"eps=1.0", epsMode(1.0)},
+		{"approx-leaf", func(s *core.Searcher, q []float64) (float64, error) {
+			r, err := s.SearchApproximate(q, 1)
+			if err != nil {
+				return 0, err
+			}
+			return r[0].Dist, nil
+		}},
+	}
+	tw := newTable(w)
+	fmt.Fprintln(tw, "mode\tmean ms\trecall@1\tmean dist error")
+	results := make(map[string][]float64) // mode -> per-query times
+	distsByMode := make(map[string][]float64)
+	var exactDists []float64
+	for _, spec := range c.Datasets {
+		b, err := c.loadBundle(spec)
+		if err != nil {
+			return err
+		}
+		ix, err := c.buildTree(b, core.SOFA, cores)
+		if err != nil {
+			return err
+		}
+		s := ix.NewSearcher()
+		for qi := 0; qi < b.Queries.Len(); qi++ {
+			q := b.Queries.Row(qi)
+			for _, m := range modes {
+				start := time.Now()
+				d, err := m.run(s, q)
+				if err != nil {
+					return err
+				}
+				results[m.name] = append(results[m.name], time.Since(start).Seconds())
+				distsByMode[m.name] = append(distsByMode[m.name], d)
+				if m.name == "exact" {
+					exactDists = append(exactDists, d)
+				}
+			}
+		}
+	}
+	for _, m := range modes {
+		times := results[m.name]
+		dists := distsByMode[m.name]
+		var hits int
+		var errSum float64
+		for i := range dists {
+			exact := exactDists[i]
+			if math.Abs(dists[i]-exact) <= 1e-9*(exact+1) {
+				hits++
+			}
+			if exact > 0 {
+				errSum += math.Sqrt(dists[i])/math.Sqrt(exact) - 1
+			}
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%.2f\t%.3f\n",
+			m.name, ms(stats.Mean(times)),
+			float64(hits)/float64(len(dists)), errSum/float64(len(dists)))
+	}
+	return tw.Flush()
+}
+
+func epsMode(eps float64) func(s *core.Searcher, q []float64) (float64, error) {
+	return func(s *core.Searcher, q []float64) (float64, error) {
+		r, err := s.SearchEpsilon(q, 1, eps)
+		if err != nil {
+			return 0, err
+		}
+		return r[0].Dist, nil
+	}
+}

@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/flat"
+	"repro/internal/stats"
+)
+
+// RunFig7 reproduces Fig. 7: mean index-creation time for FAISS, MESSI and
+// SOFA across the core sweep, with SOFA's phase breakdown (bin learning /
+// transformation / tree construction).
+func RunFig7(cfg SuiteConfig, w io.Writer) error {
+	c := cfg.withDefaults()
+	tw := newTable(w)
+	fmt.Fprintln(tw, "cores\tmethod\tmean total s\tlearn s\ttransform s\ttree s")
+	for _, cores := range c.CoreCounts {
+		var faiss, messiTotal, sofaTotal []float64
+		var sofaLearn, sofaTransform, sofaTree []float64
+		var messiTransform, messiTree []float64
+		for _, spec := range c.Datasets {
+			b, err := c.loadBundle(spec)
+			if err != nil {
+				return err
+			}
+			start := time.Now()
+			if _, err := flat.Build(b.Data, cores); err != nil {
+				return err
+			}
+			faiss = append(faiss, time.Since(start).Seconds())
+
+			mi, err := c.buildTree(b, core.MESSI, cores)
+			if err != nil {
+				return err
+			}
+			messiTotal = append(messiTotal, mi.BuildSeconds())
+			messiTransform = append(messiTransform, mi.TransformSeconds)
+			messiTree = append(messiTree, mi.TreeSeconds)
+
+			si, err := c.buildTree(b, core.SOFA, cores)
+			if err != nil {
+				return err
+			}
+			sofaTotal = append(sofaTotal, si.BuildSeconds())
+			sofaLearn = append(sofaLearn, si.LearnSeconds)
+			sofaTransform = append(sofaTransform, si.TransformSeconds)
+			sofaTree = append(sofaTree, si.TreeSeconds)
+		}
+		fmt.Fprintf(tw, "%d\tFAISS\t%.3f\t-\t-\t-\n", cores, stats.Mean(faiss))
+		fmt.Fprintf(tw, "%d\tMESSI\t%.3f\t-\t%.3f\t%.3f\n",
+			cores, stats.Mean(messiTotal), stats.Mean(messiTransform), stats.Mean(messiTree))
+		fmt.Fprintf(tw, "%d\tSOFA\t%.3f\t%.3f\t%.3f\t%.3f\n",
+			cores, stats.Mean(sofaTotal), stats.Mean(sofaLearn), stats.Mean(sofaTransform), stats.Mean(sofaTree))
+	}
+	return tw.Flush()
+}
+
+// RunFig8 reproduces Fig. 8: average tree depth, average leaf size, and
+// number of root subtrees for MESSI vs SOFA across the core sweep.
+func RunFig8(cfg SuiteConfig, w io.Writer) error {
+	c := cfg.withDefaults()
+	tw := newTable(w)
+	fmt.Fprintln(tw, "cores\tmethod\tavg depth\tavg leaf size\tsubtrees\tleaves")
+	for _, cores := range c.CoreCounts {
+		for _, method := range []core.Method{core.MESSI, core.SOFA} {
+			var depth, leafSize, subtrees, leaves []float64
+			for _, spec := range c.Datasets {
+				b, err := c.loadBundle(spec)
+				if err != nil {
+					return err
+				}
+				ix, err := c.buildTree(b, method, cores)
+				if err != nil {
+					return err
+				}
+				st := ix.Stats()
+				depth = append(depth, st.AvgDepth)
+				leafSize = append(leafSize, st.AvgLeafSize)
+				subtrees = append(subtrees, float64(st.Subtrees))
+				leaves = append(leaves, float64(st.Leaves))
+			}
+			fmt.Fprintf(tw, "%d\t%s\t%.2f\t%.0f\t%.0f\t%.0f\n",
+				cores, method, stats.Mean(depth), stats.Mean(leafSize),
+				stats.Mean(subtrees), stats.Mean(leaves))
+		}
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// TestDiagnoseSALD is a diagnostic harness (run with -run Diagnose -v) that
+// prints per-method pruning counters on a smooth dataset; it always passes.
+func TestDiagnoseSALD(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic only")
+	}
+	spec, _ := dataset.ByName("SALD")
+	data, err := dataset.Generate(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, err := dataset.GenerateQueries(spec, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, method := range []core.Method{core.MESSI, core.SOFA} {
+		ix, err := core.Build(data, core.Config{Method: method, LeafCapacity: 256, Workers: 12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := ix.Stats()
+		s := ix.NewSearcher()
+		var ts []float64
+		var lbd, ed int64
+		for qi := 0; qi < queries.Len(); qi++ {
+			start := time.Now()
+			if _, err := s.Search(queries.Row(qi), 1); err != nil {
+				t.Fatal(err)
+			}
+			ts = append(ts, time.Since(start).Seconds())
+			st := s.LastStats()
+			lbd += st.SeriesLBD
+			ed += st.SeriesED
+		}
+		t.Logf("%s: subtrees=%d leaves=%d depth=%.1f | query mean %.3fms median %.3fms | LBD/query %d, ED/query %d",
+			method, st.Subtrees, st.Leaves, st.AvgDepth, stats.Mean(ts)*1000, stats.Median(ts)*1000,
+			lbd/int64(queries.Len()), ed/int64(queries.Len()))
+	}
+}

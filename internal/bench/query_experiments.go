@@ -1,0 +1,362 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/flat"
+	"repro/internal/scan"
+	"repro/internal/sfa"
+	"repro/internal/stats"
+)
+
+// mixedWorkload runs 1-NN queries for the four methods over every dataset
+// at the given core count and returns the pooled per-query times in seconds
+// ("mixed workload" in the paper's terminology).
+func mixedWorkload(c SuiteConfig, cores, k int) (map[string][]float64, error) {
+	out := map[string][]float64{}
+	for _, spec := range c.Datasets {
+		b, err := c.loadBundle(spec)
+		if err != nil {
+			return nil, err
+		}
+		// UCR Suite-P.
+		sc, err := scan.New(b.Data, cores)
+		if err != nil {
+			return nil, err
+		}
+		ts, err := timeScanQueries(sc, b.Queries, k)
+		if err != nil {
+			return nil, err
+		}
+		out["UCR SUITE-P"] = append(out["UCR SUITE-P"], ts...)
+		// FAISS-like flat (mini-batch protocol).
+		fl, err := flat.Build(b.Data, cores)
+		if err != nil {
+			return nil, err
+		}
+		ts, err = timeFlatQueries(fl, b.Queries, k)
+		if err != nil {
+			return nil, err
+		}
+		out["FAISS IndexFlatL2"] = append(out["FAISS IndexFlatL2"], ts...)
+		// MESSI and SOFA.
+		for _, method := range []core.Method{core.MESSI, core.SOFA} {
+			ix, err := c.buildTree(b, method, cores)
+			if err != nil {
+				return nil, err
+			}
+			ts, err := timeTreeQueries(ix, b.Queries, k)
+			if err != nil {
+				return nil, err
+			}
+			out[method.String()] = append(out[method.String()], ts...)
+		}
+	}
+	return out, nil
+}
+
+var table2Methods = []string{"FAISS IndexFlatL2", "MESSI", "SOFA", "UCR SUITE-P"}
+
+// RunTable2 reproduces Table II: mean and median 1-NN query times (ms) for
+// the mixed workload, per method and core count.
+func RunTable2(cfg SuiteConfig, w io.Writer) error {
+	c := cfg.withDefaults()
+	tw := newTable(w)
+	fmt.Fprintln(tw, "method\tcores\tmedian ms\tmean ms")
+	for _, method := range table2Methods {
+		for _, cores := range c.CoreCounts {
+			times, err := mixedWorkloadCached(c, cores, 1)
+			if err != nil {
+				return err
+			}
+			mean, median := meanMedian(times[method])
+			fmt.Fprintf(tw, "%s\t%d\t%s\t%s\n", method, cores, ms(median), ms(mean))
+		}
+	}
+	return tw.Flush()
+}
+
+// mixedWorkloadCached memoizes mixedWorkload per (config fingerprint, cores,
+// k) so Table II and Fig. 10 don't pay twice within one process.
+var workloadCache = map[string]map[string][]float64{}
+
+func mixedWorkloadCached(c SuiteConfig, cores, k int) (map[string][]float64, error) {
+	key := fmt.Sprintf("%d|%d|%d|%v|%d|%d", len(c.Datasets), c.Queries, cores, c.Scale, k, c.Seed)
+	if got, ok := workloadCache[key]; ok {
+		return got, nil
+	}
+	got, err := mixedWorkload(c, cores, k)
+	if err != nil {
+		return nil, err
+	}
+	workloadCache[key] = got
+	return got, nil
+}
+
+// RunTable3 reproduces Table III / Fig. 9: median k-NN query times at the
+// maximum core count for k in {1,3,5,10,20,50}. The UCR suite is reported
+// for k=1 only, as in the paper.
+func RunTable3(cfg SuiteConfig, w io.Writer) error {
+	c := cfg.withDefaults()
+	cores := c.CoreCounts[len(c.CoreCounts)-1]
+	ks := []int{1, 3, 5, 10, 20, 50}
+	medians := map[string]map[int]float64{}
+	for _, k := range ks {
+		times, err := mixedWorkloadCached(c, cores, k)
+		if err != nil {
+			return err
+		}
+		for method, ts := range times {
+			if method == "UCR SUITE-P" && k > 1 {
+				continue
+			}
+			if medians[method] == nil {
+				medians[method] = map[int]float64{}
+			}
+			medians[method][k] = stats.Median(ts)
+		}
+	}
+	tw := newTable(w)
+	fmt.Fprint(tw, "method")
+	for _, k := range ks {
+		fmt.Fprintf(tw, "\t%d-NN ms", k)
+	}
+	fmt.Fprintln(tw)
+	for _, method := range []string{"UCR SUITE-P", "FAISS IndexFlatL2", "MESSI", "SOFA"} {
+		fmt.Fprint(tw, method)
+		for _, k := range ks {
+			if v, ok := medians[method][k]; ok {
+				fmt.Fprintf(tw, "\t%s", ms(v))
+			} else {
+				fmt.Fprint(tw, "\t-")
+			}
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// RunFig10 reproduces Fig. 10: the distribution (five-number summary) of
+// 1-NN query times per method and core count.
+func RunFig10(cfg SuiteConfig, w io.Writer) error {
+	c := cfg.withDefaults()
+	tw := newTable(w)
+	fmt.Fprintln(tw, "method\tcores\tmin ms\tq25 ms\tmedian ms\tq75 ms\tmax ms")
+	for _, method := range table2Methods {
+		for _, cores := range c.CoreCounts {
+			times, err := mixedWorkloadCached(c, cores, 1)
+			if err != nil {
+				return err
+			}
+			s := stats.Summarize(times[method])
+			fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%s\t%s\t%s\n",
+				method, cores, ms(s.Min), ms(s.Q25), ms(s.Median), ms(s.Q75), ms(s.Max))
+		}
+	}
+	return tw.Flush()
+}
+
+// RunFig11 reproduces Fig. 11: median 1-NN query time as the leaf size
+// grows, for MESSI, SOFA with equi-depth binning, and SOFA with equi-width
+// binning. Leaf sizes are scaled to the reduced datasets (the paper sweeps
+// up to 20000 on 100M-series collections).
+func RunFig11(cfg SuiteConfig, w io.Writer) error {
+	c := cfg.withDefaults()
+	cores := c.CoreCounts[len(c.CoreCounts)-1]
+	leafSizes := []int{32, 64, 128, 256, 512, 1024, 2048}
+	type variant struct {
+		name string
+		cfg  core.Config
+	}
+	variants := []variant{
+		{"MESSI", core.Config{Method: core.MESSI}},
+		{"SOFA + ED", core.Config{Method: core.SOFA, Binning: sfa.EquiDepth, SampleRate: 0.01}},
+		{"SOFA + EW", core.Config{Method: core.SOFA, SampleRate: 0.01}},
+	}
+	tw := newTable(w)
+	fmt.Fprintln(tw, "leaf size\tmethod\tmedian ms\tmean ms")
+	for _, leaf := range leafSizes {
+		for _, v := range variants {
+			var all []float64
+			for _, spec := range c.Datasets {
+				b, err := c.loadBundle(spec)
+				if err != nil {
+					return err
+				}
+				vc := v.cfg
+				vc.LeafCapacity = leaf
+				vc.Workers = cores
+				vc.Seed = c.Seed
+				ix, err := core.Build(b.Data, vc)
+				if err != nil {
+					return err
+				}
+				ts, err := timeTreeQueries(ix, b.Queries, 1)
+				if err != nil {
+					return err
+				}
+				all = append(all, ts...)
+			}
+			mean, median := meanMedian(all)
+			fmt.Fprintf(tw, "%d\t%s\t%s\t%s\n", leaf, v.name, ms(median), ms(mean))
+		}
+	}
+	return tw.Flush()
+}
+
+// datasetRatio holds one dataset's SOFA-vs-MESSI comparison.
+type datasetRatio struct {
+	Name          string
+	Relative      float64 // SOFA mean time / MESSI mean time
+	MeanCoeffIdx  float64 // mean selected complex coefficient index
+	SpeedupFactor float64 // MESSI / SOFA
+}
+
+// sofaVsMESSI measures per-dataset mean 1-NN query times for both methods.
+func sofaVsMESSI(c SuiteConfig, cores int) ([]datasetRatio, error) {
+	var out []datasetRatio
+	for _, spec := range c.Datasets {
+		b, err := c.loadBundle(spec)
+		if err != nil {
+			return nil, err
+		}
+		mi, err := c.buildTree(b, core.MESSI, cores)
+		if err != nil {
+			return nil, err
+		}
+		mt, err := timeTreeQueries(mi, b.Queries, 1)
+		if err != nil {
+			return nil, err
+		}
+		si, err := c.buildTree(b, core.SOFA, cores)
+		if err != nil {
+			return nil, err
+		}
+		st, err := timeTreeQueries(si, b.Queries, 1)
+		if err != nil {
+			return nil, err
+		}
+		messiMean := stats.Mean(mt)
+		sofaMean := stats.Mean(st)
+		r := datasetRatio{Name: spec.Name, MeanCoeffIdx: si.SFAQuantizer().MeanCoefficientIndex()}
+		if messiMean > 0 {
+			r.Relative = sofaMean / messiMean
+		}
+		if sofaMean > 0 {
+			r.SpeedupFactor = messiMean / sofaMean
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+var ratioCache = map[string][]datasetRatio{}
+
+func sofaVsMESSICached(c SuiteConfig, cores int) ([]datasetRatio, error) {
+	key := fmt.Sprintf("%d|%d|%d|%v|%d", len(c.Datasets), c.Queries, cores, c.Scale, c.Seed)
+	if got, ok := ratioCache[key]; ok {
+		return got, nil
+	}
+	got, err := sofaVsMESSI(c, cores)
+	if err != nil {
+		return nil, err
+	}
+	ratioCache[key] = got
+	return got, nil
+}
+
+// RunFig12 reproduces Fig. 12: the per-dataset query time of SOFA relative
+// to MESSI (=100%), sorted ascending, at the middle core count.
+func RunFig12(cfg SuiteConfig, w io.Writer) error {
+	c := cfg.withDefaults()
+	cores := c.CoreCounts[len(c.CoreCounts)/2]
+	ratios, err := sofaVsMESSICached(c, cores)
+	if err != nil {
+		return err
+	}
+	sorted := append([]datasetRatio(nil), ratios...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a].Relative < sorted[b].Relative })
+	tw := newTable(w)
+	fmt.Fprintln(tw, "dataset\tSOFA relative time (MESSI=100%)\tspeedup")
+	for _, r := range sorted {
+		fmt.Fprintf(tw, "%s\t%.2f%%\t%.1fx\n", r.Name, r.Relative*100, r.SpeedupFactor)
+	}
+	return tw.Flush()
+}
+
+// RunTable4 reproduces Table IV: mean and median 1-NN query times of SOFA
+// as the MCB sampling rate varies.
+func RunTable4(cfg SuiteConfig, w io.Writer) error {
+	c := cfg.withDefaults()
+	cores := c.CoreCounts[len(c.CoreCounts)-1]
+	rates := []float64{0.001, 0.005, 0.01, 0.05, 0.10, 0.15, 0.20}
+	tw := newTable(w)
+	fmt.Fprintln(tw, "sampling\tmean ms\tmedian ms")
+	for _, rate := range rates {
+		var all []float64
+		for _, spec := range c.Datasets {
+			b, err := c.loadBundle(spec)
+			if err != nil {
+				return err
+			}
+			ix, err := core.Build(b.Data, core.Config{
+				Method:       core.SOFA,
+				LeafCapacity: c.LeafCapacity,
+				Workers:      cores,
+				SampleRate:   rate,
+				Seed:         c.Seed,
+			})
+			if err != nil {
+				return err
+			}
+			ts, err := timeTreeQueries(ix, b.Queries, 1)
+			if err != nil {
+				return err
+			}
+			all = append(all, ts...)
+		}
+		mean, median := meanMedian(all)
+		fmt.Fprintf(tw, "%.1f%%\t%s\t%s\n", rate*100, ms(mean), ms(median))
+	}
+	return tw.Flush()
+}
+
+// RunFig13 reproduces Fig. 13: per dataset, the mean index of the Fourier
+// coefficients SOFA selected versus its speedup over MESSI, with the
+// Pearson correlation (the paper reports 0.51).
+func RunFig13(cfg SuiteConfig, w io.Writer) error {
+	c := cfg.withDefaults()
+	cores := c.CoreCounts[len(c.CoreCounts)/2]
+	ratios, err := sofaVsMESSICached(c, cores)
+	if err != nil {
+		return err
+	}
+	tw := newTable(w)
+	fmt.Fprintln(tw, "dataset\tmean DFT coeff selected\tspeedup over MESSI")
+	xs := make([]float64, 0, len(ratios))
+	ys := make([]float64, 0, len(ratios))
+	for _, r := range ratios {
+		fmt.Fprintf(tw, "%s\t%.2f\t%.2fx\n", r.Name, r.MeanCoeffIdx, r.SpeedupFactor)
+		xs = append(xs, r.MeanCoeffIdx)
+		ys = append(ys, r.SpeedupFactor)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	rho, err := stats.Pearson(xs, ys)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Pearson correlation (coeff index vs speedup): %.2f (paper: 0.51)\n", rho)
+	return nil
+}
+
+// ResetCaches clears the memoized workload results; benchmarks call it so
+// every iteration measures a cold run.
+func ResetCaches() {
+	workloadCache = map[string]map[string][]float64{}
+	ratioCache = map[string][]datasetRatio{}
+}

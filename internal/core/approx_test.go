@@ -1,0 +1,185 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/distance"
+)
+
+func approxFixture(t testing.TB, count int) (*Index, *distance.Matrix, *distance.Matrix) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(51))
+	data := mixedMatrix(rng, count, 96)
+	queries := mixedMatrix(rng, 20, 96)
+	ix, err := Build(data, Config{Method: SOFA, LeafCapacity: 32, SampleRate: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix, data, queries
+}
+
+func TestSearchApproximateUpperBoundsExact(t *testing.T) {
+	ix, data, queries := approxFixture(t, 600)
+	s := ix.NewSearcher()
+	rng := rand.New(rand.NewSource(99))
+	var approxSum, randomSum float64
+	for qi := 0; qi < queries.Len(); qi++ {
+		q := queries.Row(qi)
+		approx, err := s.SearchApproximate(q, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(approx) != 1 {
+			t.Fatalf("query %d: %d approximate results", qi, len(approx))
+		}
+		exact := bruteKNN(data, q, 1)[0]
+		if approx[0].Dist < exact-1e-9 {
+			t.Fatalf("query %d: approximate distance %v below exact %v (impossible)",
+				qi, approx[0].Dist, exact)
+		}
+		approxSum += math.Sqrt(approx[0].Dist) / math.Sqrt(exact)
+		randomSum += math.Sqrt(distance.SquaredED(distance.ZNormalized(q), data.Row(rng.Intn(data.Len())))) /
+			math.Sqrt(exact)
+	}
+	// The approximate leaf is the tree's best guess; it must be distinctly
+	// better than picking a random series from the collection.
+	approxMean := approxSum / float64(queries.Len())
+	randomMean := randomSum / float64(queries.Len())
+	if approxMean > 0.8*randomMean {
+		t.Errorf("approximate ratio %.2f not clearly better than random candidate %.2f",
+			approxMean, randomMean)
+	}
+}
+
+func TestSearchApproximateValidation(t *testing.T) {
+	ix, _, _ := approxFixture(t, 100)
+	s := ix.NewSearcher()
+	if _, err := s.SearchApproximate(make([]float64, 10), 1); err == nil {
+		t.Error("expected query length error")
+	}
+	if _, err := s.SearchApproximate(make([]float64, 96), 0); err == nil {
+		t.Error("expected k error")
+	}
+}
+
+func TestSearchEpsilonZeroIsExact(t *testing.T) {
+	ix, data, queries := approxFixture(t, 500)
+	s := ix.NewSearcher()
+	for qi := 0; qi < queries.Len(); qi++ {
+		q := queries.Row(qi)
+		res, err := s.SearchEpsilon(q, 3, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteKNN(data, q, 3)
+		for i := range want {
+			if math.Abs(res[i].Dist-want[i]) > 1e-7*(want[i]+1) {
+				t.Fatalf("epsilon=0 inexact: rank %d got %v want %v", i, res[i].Dist, want[i])
+			}
+		}
+	}
+}
+
+func TestSearchEpsilonValidation(t *testing.T) {
+	ix, _, _ := approxFixture(t, 100)
+	s := ix.NewSearcher()
+	if _, err := s.SearchEpsilon(make([]float64, 96), 1, -0.5); err == nil {
+		t.Error("expected negative-epsilon error")
+	}
+}
+
+// The ε guarantee: every returned squared distance is within (1+ε)² of the
+// corresponding exact squared k-NN distance, for random ε and workloads.
+func TestSearchEpsilonGuaranteeProperty(t *testing.T) {
+	ix, data, _ := approxFixture(t, 400)
+	s := ix.NewSearcher()
+	f := func(seed int64, epsRaw float64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		eps := math.Mod(math.Abs(epsRaw), 2) // ε in [0, 2)
+		if math.IsNaN(eps) {
+			eps = 0.5
+		}
+		q := make([]float64, 96)
+		for j := range q {
+			q[j] = rng.NormFloat64()
+		}
+		k := 1 + rng.Intn(5)
+		res, err := s.SearchEpsilon(q, k, eps)
+		if err != nil {
+			return false
+		}
+		exact := bruteKNN(data, q, k)
+		factor := (1 + eps) * (1 + eps)
+		for i := range res {
+			if res[i].Dist > exact[i]*factor+1e-9 {
+				return false
+			}
+			// Results can never beat the exact optimum at the same rank.
+			if res[i].Dist < exact[i]-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Larger ε must not do more refinement work than exact search.
+func TestSearchEpsilonPrunesMore(t *testing.T) {
+	ix, _, queries := approxFixture(t, 2000)
+	s := ix.NewSearcher()
+	var workExact, workLoose int64
+	for qi := 0; qi < queries.Len(); qi++ {
+		if _, err := s.SearchEpsilon(queries.Row(qi), 1, 0); err != nil {
+			t.Fatal(err)
+		}
+		workExact += s.LastStats().SeriesLBD
+		if _, err := s.SearchEpsilon(queries.Row(qi), 1, 1.0); err != nil {
+			t.Fatal(err)
+		}
+		workLoose += s.LastStats().SeriesLBD
+	}
+	if workLoose > workExact {
+		t.Errorf("ε=1 did more LBD work (%d) than exact (%d)", workLoose, workExact)
+	}
+}
+
+func TestSearchBatch(t *testing.T) {
+	ix, data, queries := approxFixture(t, 400)
+	batch, err := ix.SearchBatch(queries, 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != queries.Len() {
+		t.Fatalf("batch size %d", len(batch))
+	}
+	for qi := range batch {
+		want := bruteKNN(data, queries.Row(qi), 5)
+		if len(batch[qi]) != 5 {
+			t.Fatalf("query %d: %d results", qi, len(batch[qi]))
+		}
+		for i := range want {
+			if math.Abs(batch[qi][i].Dist-want[i]) > 1e-7*(want[i]+1) {
+				t.Fatalf("query %d rank %d: got %v want %v", qi, i, batch[qi][i].Dist, want[i])
+			}
+		}
+	}
+}
+
+func TestSearchBatchValidation(t *testing.T) {
+	ix, _, _ := approxFixture(t, 100)
+	if _, err := ix.SearchBatch(nil, 1, 0); err == nil {
+		t.Error("expected empty batch error")
+	}
+	if _, err := ix.SearchBatch(distance.NewMatrix(2, 10), 1, 0); err == nil {
+		t.Error("expected stride error")
+	}
+	if _, err := ix.SearchBatch(distance.NewMatrix(2, 96), 0, 0); err == nil {
+		t.Error("expected k error")
+	}
+}

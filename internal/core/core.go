@@ -1,0 +1,287 @@
+// Package core is the public face of the reproduction: the SOFA index
+// (SymbOlic Fourier Approximation — the paper's contribution) and its
+// baseline twin MESSI. Both are the same MESSI-style parallel tree
+// (internal/index); they differ only in the summarization plugged in:
+//
+//   - SOFA uses SFA — DFT values selected by variance with learned
+//     (equi-width) per-value quantization (internal/sfa);
+//   - MESSI uses iSAX — PAA means under fixed Normal-distribution
+//     quantization (internal/sax).
+//
+// Typical usage:
+//
+//	data, _ := distance.FromRows(rows) // N series of equal length
+//	data.ZNormalizeAll()
+//	ix, _ := core.Build(data, core.Config{Method: core.SOFA})
+//	res, _ := ix.NewSearcher().Search(query, 10)
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/distance"
+	"repro/internal/index"
+	"repro/internal/sax"
+	"repro/internal/sfa"
+)
+
+// Method selects the summarization behind the index.
+type Method int
+
+const (
+	// SOFA is the paper's index: SFA summarization over the MESSI tree.
+	SOFA Method = iota
+	// MESSI is the state-of-the-art baseline: iSAX summarization over the
+	// same tree.
+	MESSI
+)
+
+func (m Method) String() string {
+	switch m {
+	case SOFA:
+		return "SOFA"
+	case MESSI:
+		return "MESSI"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Config configures Build. Zero values select the paper's defaults
+// (word length 16, alphabet 256, SFA with equi-width binning and variance
+// selection learned from a 1% sample).
+type Config struct {
+	Method       Method
+	WordLength   int // symbols per word (default 16)
+	Bits         int // bits per symbol (default 8; alphabet 256)
+	LeafCapacity int // tree leaf size (default 1024)
+	Workers      int // build/query parallelism (default GOMAXPROCS)
+	Queues       int // query priority queues (default Workers)
+
+	// SFA-only knobs (ignored for MESSI).
+	Binning    sfa.Binning   // default EquiWidth
+	Selection  sfa.Selection // default HighestVariance
+	SampleRate float64       // MCB sample ratio (default 0.01)
+	MaxCoeffs  int           // candidate complex coefficients (default 16)
+	Seed       int64         // sampling seed (default 1)
+}
+
+// Index is a built SOFA or MESSI index. It is immutable and safe for
+// concurrent searches (one Searcher per goroutine).
+type Index struct {
+	tree      *index.Tree
+	method    Method
+	cfg       Config           // effective (defaulted) configuration
+	data      *distance.Matrix // the indexed series
+	insertEnc index.Encoder    // lazily created encoder for Insert
+
+	// Phase timings for the Fig. 7 breakdown, in seconds.
+	LearnSeconds     float64 // SFA bin learning (0 for MESSI)
+	TransformSeconds float64 // summarization of all series
+	TreeSeconds      float64 // tree construction
+
+	sfaQ *sfa.Quantizer // nil for MESSI
+}
+
+// saxSummarization and sfaSummarization adapt the two quantizers to the
+// index.Summarization interface.
+type saxSummarization struct{ *sax.Quantizer }
+
+func (s saxSummarization) NewIndexEncoder() index.Encoder { return s.Quantizer.NewEncoder() }
+
+type sfaSummarization struct{ *sfa.Quantizer }
+
+func (s sfaSummarization) NewIndexEncoder() index.Encoder { return s.Quantizer.NewTransformer() }
+
+// Build constructs an index over data, which must contain z-normalized
+// series (use Matrix.ZNormalizeAll; Build returns the paper's z-normalized
+// Euclidean distances only under that contract).
+func Build(data *distance.Matrix, cfg Config) (*Index, error) {
+	if data == nil || data.Len() == 0 {
+		return nil, fmt.Errorf("core: cannot build over empty data")
+	}
+	if cfg.WordLength == 0 {
+		cfg.WordLength = 16
+	}
+	if cfg.Bits == 0 {
+		cfg.Bits = 8
+	}
+	if cfg.LeafCapacity == 0 {
+		cfg.LeafCapacity = 1024
+	}
+	ix := &Index{method: cfg.Method, cfg: cfg, data: data}
+	var sum index.Summarization
+	switch cfg.Method {
+	case MESSI:
+		q, err := sax.NewQuantizer(data.Stride, cfg.WordLength, cfg.Bits)
+		if err != nil {
+			return nil, err
+		}
+		sum = saxSummarization{q}
+	case SOFA:
+		start := time.Now()
+		q, err := sfa.Learn(data, sfa.Options{
+			WordLength: cfg.WordLength,
+			Bits:       cfg.Bits,
+			Binning:    cfg.Binning,
+			Selection:  cfg.Selection,
+			SampleRate: cfg.SampleRate,
+			MaxCoeffs:  cfg.MaxCoeffs,
+			Seed:       cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ix.LearnSeconds = time.Since(start).Seconds()
+		ix.sfaQ = q
+		sum = sfaSummarization{q}
+	default:
+		return nil, fmt.Errorf("core: unknown method %v", cfg.Method)
+	}
+	tree, err := index.Build(data, sum, index.Options{
+		LeafCapacity: cfg.LeafCapacity,
+		Workers:      cfg.Workers,
+		Queues:       cfg.Queues,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ix.tree = tree
+	ix.TransformSeconds = tree.TransformSeconds
+	ix.TreeSeconds = tree.TreeSeconds
+	return ix, nil
+}
+
+// Method reports whether this is a SOFA or MESSI index.
+func (ix *Index) Method() Method { return ix.method }
+
+// Len returns the number of indexed series.
+func (ix *Index) Len() int { return ix.tree.Len() }
+
+// SeriesLen returns the length of the indexed series.
+func (ix *Index) SeriesLen() int { return ix.tree.SeriesLen() }
+
+// Stats returns the tree-structure statistics (Fig. 8).
+func (ix *Index) Stats() index.Stats { return ix.tree.Stats() }
+
+// BuildSeconds returns the total build time across all phases.
+func (ix *Index) BuildSeconds() float64 {
+	return ix.LearnSeconds + ix.TransformSeconds + ix.TreeSeconds
+}
+
+// SFAQuantizer returns the learned SFA summarization (nil for MESSI);
+// exposed for the ablation experiments (Fig. 13 reads the selected
+// coefficient indices).
+func (ix *Index) SFAQuantizer() *sfa.Quantizer { return ix.sfaQ }
+
+// Searcher answers exact similarity queries against the index. Create one
+// per querying goroutine; a single Search parallelizes internally.
+type Searcher struct{ s *index.Searcher }
+
+// NewSearcher creates a searcher.
+func (ix *Index) NewSearcher() *Searcher {
+	return &Searcher{s: ix.tree.NewSearcher()}
+}
+
+// Search returns the exact k nearest neighbors of query (any scale; it is
+// z-normalized internally) under squared z-normalized Euclidean distance,
+// in ascending order.
+func (s *Searcher) Search(query []float64, k int) ([]index.Result, error) {
+	return s.s.Search(query, k)
+}
+
+// Search1 returns the exact nearest neighbor.
+func (s *Searcher) Search1(query []float64) (index.Result, error) {
+	return s.s.Search1(query)
+}
+
+// LastStats returns the pruning counters of the most recent Search call.
+func (s *Searcher) LastStats() index.SearchStats { return s.s.LastStats() }
+
+// SearchApproximate returns up to k approximate nearest neighbors by
+// probing only the query's best-matching leaf — the classical iSAX-family
+// approximate search, and stage 1 of the exact algorithm. It is the
+// approximate mode the paper lists as future work (Section VI). The
+// returned distances upper-bound the true k-NN distances.
+func (s *Searcher) SearchApproximate(query []float64, k int) ([]index.Result, error) {
+	return s.s.SearchApproximate(query, k)
+}
+
+// SearchEpsilon returns k neighbors guaranteed within a (1+epsilon) factor
+// of the exact k-NN distances. epsilon = 0 is exact search; larger values
+// prune more aggressively and run faster.
+func (s *Searcher) SearchEpsilon(query []float64, k int, epsilon float64) ([]index.Result, error) {
+	return s.s.SearchEpsilon(query, k, epsilon)
+}
+
+// SearchBatch answers a batch of queries with inter-query parallelism: up
+// to workers queries run concurrently, each on a single-worker searcher
+// (the FAISS protocol from the paper's Section V). workers <= 0 selects
+// GOMAXPROCS. Results are in query order.
+func (ix *Index) SearchBatch(queries *distance.Matrix, k, workers int) ([][]index.Result, error) {
+	if queries == nil || queries.Len() == 0 {
+		return nil, fmt.Errorf("core: empty query batch")
+	}
+	if queries.Stride != ix.SeriesLen() {
+		return nil, fmt.Errorf("core: query length %d, want %d", queries.Stride, ix.SeriesLen())
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("core: k must be >= 1, got %d", k)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > queries.Len() {
+		workers = queries.Len()
+	}
+	out := make([][]index.Result, queries.Len())
+	errs := make([]error, workers)
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := ix.NewSearcher()
+			for {
+				i := int(cursor.Add(1) - 1)
+				if i >= queries.Len() {
+					return
+				}
+				res, err := s.Search(queries.Row(i), k)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				out[i] = res
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Insert adds one series to the index (z-normalized internally) and returns
+// its id. Not safe to run concurrently with searches or other inserts —
+// synchronize externally for mixed workloads. Inserted series are
+// summarized with the index's existing learned quantization (SFA bins are
+// not re-learned, matching MESSI's incremental behaviour).
+func (ix *Index) Insert(series []float64) (int32, error) {
+	if ix.insertEnc == nil {
+		ix.insertEnc = ix.tree.Encoder()
+	}
+	return ix.tree.Insert(distance.ZNormalized(series), ix.insertEnc)
+}
+
+// CheckInvariants verifies the tree's structural invariants (mainly useful
+// after Insert-heavy workloads and in tests).
+func (ix *Index) CheckInvariants() error { return ix.tree.CheckInvariants() }

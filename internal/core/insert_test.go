@@ -1,0 +1,168 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/distance"
+)
+
+func TestInsertThenSearchExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for _, method := range []Method{SOFA, MESSI} {
+		// Fresh matrices per method: Insert appends to the matrix the index
+		// was built over.
+		base := mixedMatrix(rng, 300, 64)
+		extra := mixedMatrix(rng, 150, 64)
+		ix, err := Build(base, Config{Method: method, LeafCapacity: 24, SampleRate: 0.3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < extra.Len(); i++ {
+			if _, err := ix.Insert(extra.Row(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if ix.Len() != 450 {
+			t.Fatalf("%v: Len=%d after inserts", method, ix.Len())
+		}
+		if err := ix.CheckInvariants(); err != nil {
+			t.Fatalf("%v: invariants violated after inserts: %v", method, err)
+		}
+		// Search must be exact over the combined collection. Insert appends
+		// to the matrix the index was built over, so after the loop `base`
+		// IS the combined collection.
+		all := base
+		s := ix.NewSearcher()
+		for qi := 0; qi < 10; qi++ {
+			query := make([]float64, 64)
+			for j := range query {
+				query[j] = rng.NormFloat64()
+			}
+			res, err := s.Search(query, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := bruteKNN(all, query, 3)
+			for i := range want {
+				if math.Abs(res[i].Dist-want[i]) > 1e-7*(want[i]+1) {
+					t.Fatalf("%v query %d rank %d: got %v want %v", method, qi, i, res[i].Dist, want[i])
+				}
+			}
+		}
+		// Inserted series are findable by identity.
+		r, err := s.Search1(extra.Row(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Dist > 1e-9 {
+			t.Errorf("%v: inserted series not found exactly: %v", method, r.Dist)
+		}
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	ix, err := Build(mixedMatrix(rng, 100, 32), Config{Method: MESSI, LeafCapacity: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.Insert(make([]float64, 16)); err == nil {
+		t.Error("expected length error")
+	}
+}
+
+// Property: building over the full set and building over a prefix plus
+// inserting the remainder answer queries identically (distances equal; the
+// tree shapes may differ).
+func TestInsertEquivalenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 64
+		total := 150 + rng.Intn(150)
+		cut := 50 + rng.Intn(total-100)
+		all := mixedMatrix(rng, total, n)
+
+		full, err := Build(all, Config{Method: MESSI, LeafCapacity: 1 + rng.Intn(32)})
+		if err != nil {
+			return false
+		}
+		prefix := distance.NewMatrix(cut, n)
+		copy(prefix.Data, all.Data[:cut*n])
+		incr, err := Build(prefix, Config{Method: MESSI, LeafCapacity: 1 + rng.Intn(32)})
+		if err != nil {
+			return false
+		}
+		for i := cut; i < total; i++ {
+			if _, err := incr.Insert(all.Row(i)); err != nil {
+				return false
+			}
+		}
+		if err := incr.CheckInvariants(); err != nil {
+			return false
+		}
+		fs, is := full.NewSearcher(), incr.NewSearcher()
+		for qi := 0; qi < 3; qi++ {
+			query := make([]float64, n)
+			for j := range query {
+				query[j] = rng.NormFloat64()
+			}
+			k := 1 + rng.Intn(4)
+			a, err := fs.Search(query, k)
+			if err != nil {
+				return false
+			}
+			b, err := is.Search(query, k)
+			if err != nil {
+				return false
+			}
+			for i := range a {
+				if math.Abs(a[i].Dist-b[i].Dist) > 1e-7*(a[i].Dist+1) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Inserts into a duplicate-heavy collection must not loop forever on
+// unsplittable leaves.
+func TestInsertDuplicates(t *testing.T) {
+	n := 32
+	row := make([]float64, n)
+	for j := range row {
+		row[j] = math.Sin(float64(j))
+	}
+	base := distance.NewMatrix(20, n)
+	for i := 0; i < 20; i++ {
+		copy(base.Row(i), row)
+	}
+	base.ZNormalizeAll()
+	ix, err := Build(base, Config{Method: MESSI, LeafCapacity: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := ix.Insert(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ix.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ix.NewSearcher().Search(row, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if r.Dist > 1e-9 {
+			t.Errorf("duplicate search distance %v", r.Dist)
+		}
+	}
+}

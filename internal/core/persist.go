@@ -1,0 +1,153 @@
+package core
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/distance"
+	"repro/internal/index"
+	"repro/internal/sax"
+	"repro/internal/sfa"
+)
+
+// savedIndex is the gob-serialized form of an Index. Data values are stored
+// as float32 (the paper's on-disk precision) and re-z-normalized on load,
+// so the exactness guarantee is preserved against the loaded data.
+type savedIndex struct {
+	Version      int
+	Method       Method
+	WordLength   int
+	Bits         int
+	LeafCapacity int
+	SeriesLen    int
+	Count        int
+	Data         []float32
+	Words        []byte
+	SFA          *sfa.State // nil for MESSI
+}
+
+const savedIndexVersion = 1
+
+// Save serializes the index (summarization tables, words and data) to w.
+// The tree structure itself is not stored: it is rebuilt deterministically
+// from the words on Load, which is cheap relative to the transform.
+func Save(ix *Index, w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	s := savedIndex{
+		Version:      savedIndexVersion,
+		Method:       ix.method,
+		WordLength:   ix.cfg.WordLength,
+		Bits:         ix.cfg.Bits,
+		LeafCapacity: ix.cfg.LeafCapacity,
+		SeriesLen:    ix.SeriesLen(),
+		Count:        ix.Len(),
+		Words:        ix.tree.Words(),
+	}
+	data := ix.data
+	s.Data = make([]float32, len(data.Data))
+	for i, v := range data.Data {
+		s.Data[i] = float32(v)
+	}
+	if ix.sfaQ != nil {
+		st := ix.sfaQ.State()
+		s.SFA = &st
+	}
+	if err := gob.NewEncoder(bw).Encode(&s); err != nil {
+		return fmt.Errorf("core: encoding index: %w", err)
+	}
+	return bw.Flush()
+}
+
+// SaveFile writes the index to a file.
+func SaveFile(ix *Index, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Save(ix, f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load deserializes an index previously written by Save. The returned
+// index answers queries identically to the one saved (up to float32
+// round-trip of the underlying data, against which results remain exact).
+func Load(r io.Reader) (*Index, error) {
+	var s savedIndex
+	if err := gob.NewDecoder(bufio.NewReaderSize(r, 1<<20)).Decode(&s); err != nil {
+		return nil, fmt.Errorf("core: decoding index: %w", err)
+	}
+	if s.Version != savedIndexVersion {
+		return nil, fmt.Errorf("core: unsupported index version %d", s.Version)
+	}
+	if s.Count < 1 || s.SeriesLen < 1 {
+		return nil, fmt.Errorf("core: corrupt index header (%d series x %d)", s.Count, s.SeriesLen)
+	}
+	if len(s.Data) != s.Count*s.SeriesLen {
+		return nil, fmt.Errorf("core: data length %d, want %d", len(s.Data), s.Count*s.SeriesLen)
+	}
+	if len(s.Words) != s.Count*s.WordLength {
+		return nil, fmt.Errorf("core: words length %d, want %d", len(s.Words), s.Count*s.WordLength)
+	}
+	for _, w := range s.Words {
+		if s.Bits < 8 && int(w) >= 1<<s.Bits {
+			return nil, fmt.Errorf("core: word symbol %d exceeds alphabet %d", w, 1<<s.Bits)
+		}
+	}
+	data := distance.NewMatrix(s.Count, s.SeriesLen)
+	for i, v := range s.Data {
+		if f := float64(v); math.IsNaN(f) || math.IsInf(f, 0) {
+			return nil, fmt.Errorf("core: non-finite data value at offset %d", i)
+		}
+		data.Data[i] = float64(v)
+	}
+	data.ZNormalizeAll() // restore exact z-normalization after f32 rounding
+
+	ix := &Index{method: s.Method, data: data, cfg: Config{
+		Method: s.Method, WordLength: s.WordLength, Bits: s.Bits, LeafCapacity: s.LeafCapacity,
+	}}
+	var sum index.Summarization
+	switch s.Method {
+	case MESSI:
+		q, err := sax.NewQuantizer(s.SeriesLen, s.WordLength, s.Bits)
+		if err != nil {
+			return nil, err
+		}
+		sum = saxSummarization{q}
+	case SOFA:
+		if s.SFA == nil {
+			return nil, fmt.Errorf("core: SOFA index missing SFA state")
+		}
+		q, err := sfa.FromState(*s.SFA)
+		if err != nil {
+			return nil, err
+		}
+		ix.sfaQ = q
+		sum = sfaSummarization{q}
+	default:
+		return nil, fmt.Errorf("core: unknown method %v in saved index", s.Method)
+	}
+	tree, err := index.BuildFromWords(data, sum, index.Options{LeafCapacity: s.LeafCapacity}, s.Words)
+	if err != nil {
+		return nil, err
+	}
+	ix.tree = tree
+	ix.TreeSeconds = tree.TreeSeconds
+	return ix, nil
+}
+
+// LoadFile reads an index from a file.
+func LoadFile(path string) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

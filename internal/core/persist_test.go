@@ -1,0 +1,110 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	data := mixedMatrix(rng, 500, 96)
+	queries := mixedMatrix(rng, 15, 96)
+	for _, method := range []Method{SOFA, MESSI} {
+		orig, err := Build(data, Config{Method: method, LeafCapacity: 32, SampleRate: 0.2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := Save(orig, &buf); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := Load(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if loaded.Method() != method || loaded.Len() != 500 || loaded.SeriesLen() != 96 {
+			t.Fatalf("%v: loaded header mismatch", method)
+		}
+		// Tree structure is rebuilt deterministically.
+		so, sl := orig.Stats(), loaded.Stats()
+		if so.Subtrees != sl.Subtrees || so.Leaves != sl.Leaves {
+			t.Errorf("%v: structure changed: %+v vs %+v", method, so, sl)
+		}
+		// Queries agree (tolerance: data round-trips through float32).
+		os, ls := orig.NewSearcher(), loaded.NewSearcher()
+		for qi := 0; qi < queries.Len(); qi++ {
+			a, err := os.Search(queries.Row(qi), 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := ls.Search(queries.Row(qi), 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range a {
+				if a[i].ID != b[i].ID && math.Abs(a[i].Dist-b[i].Dist) > 1e-4*(a[i].Dist+1) {
+					t.Fatalf("%v query %d rank %d: %+v vs %+v", method, qi, i, a[i], b[i])
+				}
+			}
+		}
+		// Loaded index remains exact against its own (f32-rounded) data.
+		r, err := ls.Search1(loaded.data.Row(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Dist > 1e-9 {
+			t.Errorf("%v: self query on loaded index: %v", method, r.Dist)
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	data := mixedMatrix(rng, 200, 64)
+	ix, err := Build(data, Config{Method: SOFA, LeafCapacity: 32, SampleRate: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "index.sofa")
+	if err := SaveFile(ix, path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 200 {
+		t.Errorf("loaded %d series", loaded.Len())
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("expected error for missing file")
+	}
+}
+
+func TestLoadRejectsCorruptStreams(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a gob stream"))); err == nil {
+		t.Error("expected decode error")
+	}
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Error("expected EOF error")
+	}
+	// A structurally valid gob with inconsistent lengths must be rejected.
+	rng := rand.New(rand.NewSource(63))
+	data := mixedMatrix(rng, 50, 32)
+	ix, err := Build(data, Config{Method: MESSI, LeafCapacity: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(ix, &buf); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate: gob decode fails cleanly.
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := Load(bytes.NewReader(trunc)); err == nil {
+		t.Error("expected truncation error")
+	}
+}

@@ -1,0 +1,343 @@
+package dataset
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/distance"
+	"repro/internal/fft"
+)
+
+func TestCatalogShape(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 17 {
+		t.Fatalf("catalog has %d datasets, want 17", len(cat))
+	}
+	seen := map[string]bool{}
+	for _, s := range cat {
+		if seen[s.Name] {
+			t.Errorf("duplicate dataset %q", s.Name)
+		}
+		seen[s.Name] = true
+		if s.Count < 2000 || s.Count > 20000 {
+			t.Errorf("%s: scaled count %d out of range", s.Name, s.Count)
+		}
+		if s.Length < 96 || s.Length > 256 {
+			t.Errorf("%s: length %d unexpected", s.Name, s.Length)
+		}
+		if s.HFShare < 0 || s.HFShare > 1 {
+			t.Errorf("%s: HFShare %v", s.Name, s.HFShare)
+		}
+		if s.PaperCount <= 0 {
+			t.Errorf("%s: missing paper count", s.Name)
+		}
+	}
+	// Paper total: 1,017,586,504 series across Table I.
+	var total int64
+	for _, s := range cat {
+		total += s.PaperCount
+	}
+	if total != 1_017_586_504 {
+		t.Errorf("paper counts sum to %d, want 1,017,586,504", total)
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, err := ByName("LenDB")
+	if err != nil || s.Name != "LenDB" {
+		t.Errorf("ByName(LenDB): %+v, %v", s, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("expected error for unknown dataset")
+	}
+}
+
+func TestGenerateDeterministicAndNormalized(t *testing.T) {
+	spec, _ := ByName("Iquique")
+	spec.Count = 50
+	a, err := Generate(spec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(spec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a.Len(); i++ {
+		ra, rb := a.Row(i), b.Row(i)
+		for j := range ra {
+			if ra[j] != rb[j] {
+				t.Fatal("generation not deterministic")
+			}
+		}
+	}
+	// Rows are z-normalized.
+	for i := 0; i < a.Len(); i++ {
+		var sum, sumSq float64
+		for _, v := range a.Row(i) {
+			sum += v
+			sumSq += v * v
+		}
+		n := float64(spec.Length)
+		if math.Abs(sum/n) > 1e-9 || math.Abs(sumSq/n-1) > 1e-9 {
+			t.Fatalf("row %d not z-normalized", i)
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	spec, _ := ByName("Astro")
+	spec.Count = 0
+	if _, err := Generate(spec, 1); err == nil {
+		t.Error("expected count error")
+	}
+	spec.Count = 10
+	spec.Length = 4
+	if _, err := Generate(spec, 1); err == nil {
+		t.Error("expected length error")
+	}
+	spec.Length = 64
+	spec.HFShare = 2
+	if _, err := Generate(spec, 1); err == nil {
+		t.Error("expected HFShare error")
+	}
+}
+
+func TestQueriesDifferFromData(t *testing.T) {
+	spec, _ := ByName("SCEDC")
+	spec.Count = 30
+	data, _ := Generate(spec, 1)
+	queries, err := GenerateQueries(spec, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if queries.Len() != 10 || queries.Stride != spec.Length {
+		t.Fatalf("queries shape %dx%d", queries.Len(), queries.Stride)
+	}
+	// No query should be byte-identical to a data row.
+	for qi := 0; qi < queries.Len(); qi++ {
+		for di := 0; di < data.Len(); di++ {
+			if distance.SquaredED(queries.Row(qi), data.Row(di)) < 1e-12 {
+				t.Fatalf("query %d duplicates data row %d", qi, di)
+			}
+		}
+	}
+}
+
+// highFreqEnergyShare computes the fraction of spectral energy above
+// coefficient 8 — PAA's resolution limit for 16-segment words, which is the
+// property the HFShare knob must control.
+func highFreqEnergyShare(t *testing.T, m *distance.Matrix) float64 {
+	t.Helper()
+	plan := fft.MustPlan(m.Stride)
+	var hi, total float64
+	cut := 8
+	for i := 0; i < m.Len(); i++ {
+		spec, err := plan.FullSpectrumReal(m.Row(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 1; k < m.Stride/2+1; k++ {
+			mag2 := spec[2*k]*spec[2*k] + spec[2*k+1]*spec[2*k+1]
+			total += mag2
+			if k > cut {
+				hi += mag2
+			}
+		}
+	}
+	return hi / total
+}
+
+// The central substitution claim: high-HFShare datasets really concentrate
+// spectral energy in high coefficients, low-HFShare datasets do not.
+func TestSpectralProfileOrdering(t *testing.T) {
+	high, _ := ByName("LenDB") // HFShare 0.95
+	low, _ := ByName("SALD")   // HFShare 0.18
+	high.Count, low.Count = 100, 100
+	// Use the same length for a fair spectral comparison.
+	high.Length, low.Length = 128, 128
+	mh, err := Generate(high, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ml, err := Generate(low, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := highFreqEnergyShare(t, mh)
+	sl := highFreqEnergyShare(t, ml)
+	if sh <= 2*sl {
+		t.Errorf("LenDB-like high-freq share %v should far exceed SALD-like %v", sh, sl)
+	}
+	if sh < 0.5 {
+		t.Errorf("LenDB-like dataset should be high-frequency dominated, got %v", sh)
+	}
+}
+
+func TestAllCatalogGeneratorsRun(t *testing.T) {
+	for _, spec := range Catalog() {
+		spec.Count = 20
+		m, err := Generate(spec, 11)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if m.Len() != 20 || m.Stride != spec.Length {
+			t.Fatalf("%s: wrong shape", spec.Name)
+		}
+		for i := 0; i < m.Len(); i++ {
+			for _, v := range m.Row(i) {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("%s: non-finite value", spec.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestUCRCatalog(t *testing.T) {
+	cat := UCRCatalog()
+	if len(cat) != 24 {
+		t.Fatalf("UCR catalog has %d datasets, want 24", len(cat))
+	}
+	seen := map[string]bool{}
+	for _, s := range cat {
+		if seen[s.Name] {
+			t.Errorf("duplicate %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+}
+
+func TestGenerateUCR(t *testing.T) {
+	for _, spec := range UCRCatalog()[:6] {
+		train, test, err := GenerateUCR(spec, 5)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if train.Len() != spec.TrainSize || test.Len() != spec.TestSize {
+			t.Fatalf("%s: split sizes %d/%d", spec.Name, train.Len(), test.Len())
+		}
+		if train.Stride != spec.Length {
+			t.Fatalf("%s: length %d", spec.Name, train.Stride)
+		}
+	}
+	bad := UCRSpec{TrainSize: 0, TestSize: 1, Length: 64}
+	if _, _, err := GenerateUCR(bad, 1); err == nil {
+		t.Error("expected size error")
+	}
+	bad = UCRSpec{TrainSize: 1, TestSize: 1, Length: 4}
+	if _, _, err := GenerateUCR(bad, 1); err == nil {
+		t.Error("expected length error")
+	}
+}
+
+func TestUCRShapeStrings(t *testing.T) {
+	for _, s := range []UCRShape{ShapeSine, ShapeWalk, ShapeECG, ShapeStep, ShapeChirp, ShapeNoiseBurst, UCRShape(42)} {
+		if s.String() == "" {
+			t.Errorf("empty string for shape %d", s)
+		}
+	}
+	for _, f := range []Family{Seismic, VectorANN, DeepDescriptor, RedNoise, PhaseCurve, Family(42)} {
+		if f.String() == "" {
+			t.Errorf("empty string for family %d", f)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	spec, _ := ByName("OBS")
+	spec.Count = 25
+	m, err := Generate(spec, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "obs.sofads")
+	if err := Save(path, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != m.Len() || got.Stride != m.Stride {
+		t.Fatalf("shape %dx%d", got.Len(), got.Stride)
+	}
+	for i := 0; i < m.Len(); i++ {
+		a, b := m.Row(i), got.Row(i)
+		for j := range a {
+			// Round trip through float32 loses precision but must be close.
+			if math.Abs(a[j]-b[j]) > 1e-6 {
+				t.Fatalf("row %d col %d: %v vs %v", i, j, a[j], b[j])
+			}
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk")
+	if err := Save(path, mustMatrix(t)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("expected error for missing file")
+	}
+}
+
+func mustMatrix(t *testing.T) *distance.Matrix {
+	t.Helper()
+	m := distance.NewMatrix(2, 8)
+	for i := range m.Data {
+		m.Data[i] = float64(i)
+	}
+	return m
+}
+
+func TestLoadRejectsBadMagicAndTruncation(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad")
+	if err := osWriteFile(bad, []byte("NOTMAGIC plus some trailing bytes")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad); err == nil {
+		t.Error("expected bad-magic error")
+	}
+	// Valid magic but truncated header.
+	short := filepath.Join(dir, "short")
+	if err := osWriteFile(short, []byte("SOFADS1\n\x01\x00")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(short); err == nil {
+		t.Error("expected truncated-header error")
+	}
+	// Valid header claiming more rows than present.
+	m := distance.NewMatrix(4, 8)
+	full := filepath.Join(dir, "full")
+	if err := Save(full, m); err != nil {
+		t.Fatal(err)
+	}
+	data, err := osReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc := filepath.Join(dir, "trunc")
+	if err := osWriteFile(trunc, data[:len(data)-10]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(trunc); err == nil {
+		t.Error("expected truncated-data error")
+	}
+	// Zero-count header.
+	zero := filepath.Join(dir, "zero")
+	hdr := append([]byte("SOFADS1\n"), make([]byte, 16)...)
+	if err := osWriteFile(zero, hdr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(zero); err == nil {
+		t.Error("expected empty-dataset error")
+	}
+}
+
+func osWriteFile(path string, data []byte) error { return os.WriteFile(path, data, 0o644) }
+func osReadFile(path string) ([]byte, error)     { return os.ReadFile(path) }

@@ -1,0 +1,108 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/distance"
+)
+
+// Binary dataset format (little-endian):
+//
+//	magic   [8]byte  "SOFADS1\n"
+//	count   uint64
+//	length  uint64
+//	data    count*length float32 values, row-major
+//
+// float32 on disk matches the paper's datasets (stored as 4-byte floats;
+// "1 billion series, 1 TB").
+var magic = [8]byte{'S', 'O', 'F', 'A', 'D', 'S', '1', '\n'}
+
+// Save writes the matrix to path in the binary dataset format.
+func Save(path string, m *distance.Matrix) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriterSize(f, 1<<20)
+	if err := writeTo(w, m); err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func writeTo(w io.Writer, m *distance.Matrix) error {
+	if _, err := w.Write(magic[:]); err != nil {
+		return err
+	}
+	hdr := make([]byte, 16)
+	binary.LittleEndian.PutUint64(hdr[0:], uint64(m.Len()))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(m.Stride))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	buf := make([]byte, 4*m.Stride)
+	for i := 0; i < m.Len(); i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			binary.LittleEndian.PutUint32(buf[4*j:], math.Float32bits(float32(v)))
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load reads a matrix from a file in the binary dataset format.
+func Load(path string) (*distance.Matrix, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return readFrom(bufio.NewReaderSize(f, 1<<20))
+}
+
+func readFrom(r io.Reader) (*distance.Matrix, error) {
+	var got [8]byte
+	if _, err := io.ReadFull(r, got[:]); err != nil {
+		return nil, fmt.Errorf("dataset: reading magic: %w", err)
+	}
+	if got != magic {
+		return nil, fmt.Errorf("dataset: bad magic %q (not a SOFA dataset file)", got)
+	}
+	hdr := make([]byte, 16)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("dataset: reading header: %w", err)
+	}
+	count := binary.LittleEndian.Uint64(hdr[0:])
+	length := binary.LittleEndian.Uint64(hdr[8:])
+	if count == 0 || length == 0 {
+		return nil, fmt.Errorf("dataset: empty dataset (count=%d, length=%d)", count, length)
+	}
+	const maxElems = 1 << 31 // ~17 GB of f64; refuse obviously corrupt headers
+	if count*length > maxElems {
+		return nil, fmt.Errorf("dataset: implausible size %dx%d", count, length)
+	}
+	m := distance.NewMatrix(int(count), int(length))
+	buf := make([]byte, 4*length)
+	for i := 0; i < int(count); i++ {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, fmt.Errorf("dataset: reading row %d: %w", i, err)
+		}
+		row := m.Row(i)
+		for j := range row {
+			row[j] = float64(math.Float32frombits(binary.LittleEndian.Uint32(buf[4*j:])))
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,161 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/distance"
+)
+
+// UCRSpec describes one synthetic UCR-archive-like dataset used by the TLB
+// ablation (paper Table V / Fig. 14 left, which uses ~120 UCR datasets).
+// Each has a train split (used to learn the SFA representation and as the
+// search collection) and a test split (used as queries).
+type UCRSpec struct {
+	Name      string
+	TrainSize int
+	TestSize  int
+	Length    int
+	Shape     UCRShape
+	NoiseStd  float64
+}
+
+// UCRShape selects the base waveform family of a UCR-like dataset.
+type UCRShape int
+
+const (
+	// ShapeSine: class-dependent sinusoids with phase jitter.
+	ShapeSine UCRShape = iota
+	// ShapeWalk: random walks.
+	ShapeWalk
+	// ShapeECG: quasi-periodic spike trains.
+	ShapeECG
+	// ShapeStep: piecewise-constant level shifts.
+	ShapeStep
+	// ShapeChirp: frequency sweeps (energy spread over many coefficients).
+	ShapeChirp
+	// ShapeNoiseBurst: white noise with localized bursts.
+	ShapeNoiseBurst
+)
+
+func (s UCRShape) String() string {
+	switch s {
+	case ShapeSine:
+		return "sine"
+	case ShapeWalk:
+		return "walk"
+	case ShapeECG:
+		return "ecg"
+	case ShapeStep:
+		return "step"
+	case ShapeChirp:
+		return "chirp"
+	case ShapeNoiseBurst:
+		return "burst"
+	default:
+		return fmt.Sprintf("UCRShape(%d)", int(s))
+	}
+}
+
+// UCRCatalog returns 24 synthetic UCR-like datasets covering the shape
+// families above at several lengths and noise levels.
+func UCRCatalog() []UCRSpec {
+	shapes := []UCRShape{ShapeSine, ShapeWalk, ShapeECG, ShapeStep, ShapeChirp, ShapeNoiseBurst}
+	lengths := []int{64, 128, 256, 500}
+	var out []UCRSpec
+	for si, sh := range shapes {
+		for li, n := range lengths {
+			noise := 0.05 + 0.15*float64((si+li)%3)
+			out = append(out, UCRSpec{
+				Name:      fmt.Sprintf("ucr-%s-%d", sh, n),
+				TrainSize: 300,
+				TestSize:  60,
+				Length:    n,
+				Shape:     sh,
+				NoiseStd:  noise,
+			})
+		}
+	}
+	return out
+}
+
+// GenerateUCR produces the train and test matrices of a UCR-like dataset.
+func GenerateUCR(spec UCRSpec, seed int64) (train, test *distance.Matrix, err error) {
+	if spec.TrainSize < 1 || spec.TestSize < 1 {
+		return nil, nil, fmt.Errorf("dataset: UCR sizes must be >= 1")
+	}
+	if spec.Length < 16 {
+		return nil, nil, fmt.Errorf("dataset: UCR length must be >= 16, got %d", spec.Length)
+	}
+	train = ucrMatrix(spec, spec.TrainSize, seed)
+	test = ucrMatrix(spec, spec.TestSize, seed^0x7E57)
+	return train, test, nil
+}
+
+func ucrMatrix(spec UCRSpec, count int, seed int64) *distance.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := distance.NewMatrix(count, spec.Length)
+	for i := 0; i < count; i++ {
+		row := m.Row(i)
+		class := i % 4 // four latent classes per dataset
+		switch spec.Shape {
+		case ShapeSine:
+			f := float64(2+class*2) * (0.95 + rng.Float64()*0.1)
+			ph := rng.Float64() * 0.5
+			for j := range row {
+				row[j] = math.Sin(2*math.Pi*f*float64(j)/float64(spec.Length) + ph)
+			}
+		case ShapeWalk:
+			v := 0.0
+			for j := range row {
+				v += rng.NormFloat64()
+				row[j] = v
+			}
+		case ShapeECG:
+			period := spec.Length / (4 + class)
+			for j := range row {
+				p := j % period
+				switch {
+				case p == period/2:
+					row[j] = 3
+				case p == period/2+1:
+					row[j] = -1.5
+				default:
+					row[j] = 0.1 * math.Sin(2*math.Pi*float64(p)/float64(period))
+				}
+			}
+		case ShapeStep:
+			level := rng.NormFloat64()
+			steps := 2 + class
+			for j := range row {
+				if j%(spec.Length/steps+1) == 0 {
+					level = rng.NormFloat64() * 2
+				}
+				row[j] = level
+			}
+		case ShapeChirp:
+			f0 := 1 + float64(class)
+			f1 := f0 * (6 + rng.Float64()*4)
+			for j := range row {
+				x := float64(j) / float64(spec.Length)
+				// Linear chirp: instantaneous frequency sweeps f0 -> f1
+				// cycles over the series.
+				row[j] = math.Sin(2 * math.Pi * (f0*x + (f1-f0)*x*x/2))
+			}
+		case ShapeNoiseBurst:
+			for j := range row {
+				row[j] = 0.2 * rng.NormFloat64()
+			}
+			onset := rng.Intn(spec.Length - spec.Length/8)
+			for j := onset; j < onset+spec.Length/8; j++ {
+				row[j] += rng.NormFloat64() * float64(2+class)
+			}
+		}
+		for j := range row {
+			row[j] += spec.NoiseStd * rng.NormFloat64()
+		}
+	}
+	m.ZNormalizeAll()
+	return m
+}

@@ -1,0 +1,275 @@
+package distance
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestZNormalize(t *testing.T) {
+	x := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	ZNormalize(x)
+	var sum, sumSq float64
+	for _, v := range x {
+		sum += v
+		sumSq += v * v
+	}
+	n := float64(len(x))
+	if math.Abs(sum/n) > 1e-12 {
+		t.Errorf("mean not 0: %v", sum/n)
+	}
+	if math.Abs(sumSq/n-1) > 1e-12 {
+		t.Errorf("variance not 1: %v", sumSq/n)
+	}
+}
+
+func TestZNormalizeConstantSeries(t *testing.T) {
+	x := []float64{5, 5, 5, 5}
+	ZNormalize(x)
+	for _, v := range x {
+		if v != 0 {
+			t.Errorf("constant series should become zeros, got %v", x)
+		}
+	}
+}
+
+func TestZNormalizeEmpty(t *testing.T) {
+	ZNormalize(nil) // must not panic
+}
+
+func TestZNormalizedCopies(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := ZNormalized(x)
+	if x[0] != 1 || x[1] != 2 || x[2] != 3 {
+		t.Error("ZNormalized mutated its input")
+	}
+	if y[0] == x[0] {
+		t.Error("output not normalized")
+	}
+}
+
+func TestSquaredED(t *testing.T) {
+	a := []float64{0, 0, 0}
+	b := []float64{1, 2, 2}
+	if got := SquaredED(a, b); got != 9 {
+		t.Errorf("got %v, want 9", got)
+	}
+	if got := SquaredED(a, a); got != 0 {
+		t.Errorf("self distance: %v", got)
+	}
+	if got := ED(a, b); got != 3 {
+		t.Errorf("ED: got %v, want 3", got)
+	}
+}
+
+func TestSquaredEDPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	SquaredED([]float64{1}, []float64{1, 2})
+}
+
+func TestEarlyAbandonExactWhenUnderBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 7, 8, 9, 16, 100, 256} {
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		want := SquaredED(a, b)
+		got := SquaredEDEarlyAbandon(a, b, math.Inf(1))
+		if math.Abs(got-want) > 1e-9*(want+1) {
+			t.Errorf("n=%d: got %v want %v", n, got, want)
+		}
+	}
+}
+
+func TestEarlyAbandonCertificate(t *testing.T) {
+	// With a tiny bound, the returned value must still exceed the bound,
+	// certifying that the true distance does.
+	a := make([]float64, 64)
+	b := make([]float64, 64)
+	for i := range a {
+		a[i] = float64(i)
+		b[i] = float64(i) + 2
+	}
+	got := SquaredEDEarlyAbandon(a, b, 1.0)
+	if got <= 1.0 {
+		t.Errorf("expected certificate > bound, got %v", got)
+	}
+	want := SquaredED(a, b)
+	if got > want {
+		t.Errorf("certificate %v exceeds true distance %v", got, want)
+	}
+}
+
+// Property: early abandoning with any bound never *underestimates* below the
+// bound: result <= bound implies result == exact distance.
+func TestEarlyAbandonProperty(t *testing.T) {
+	f := func(seed int64, boundRaw float64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(120)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		bound := math.Abs(boundRaw)
+		if math.IsNaN(bound) || math.IsInf(bound, 0) {
+			bound = 1
+		}
+		exact := SquaredED(a, b)
+		got := SquaredEDEarlyAbandon(a, b, bound)
+		if got <= bound {
+			return math.Abs(got-exact) <= 1e-9*(exact+1)
+		}
+		return exact > bound || math.Abs(got-exact) <= 1e-9*(exact+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatrix(t *testing.T) {
+	m := NewMatrix(3, 4)
+	if m.Len() != 3 {
+		t.Errorf("Len: %d", m.Len())
+	}
+	copy(m.Row(1), []float64{1, 2, 3, 4})
+	if m.Data[4] != 1 || m.Data[7] != 4 {
+		t.Error("Row is not aliasing the right region")
+	}
+	r := m.Row(1)
+	if len(r) != 4 {
+		t.Errorf("row length %d", len(r))
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 3 || m.Stride != 2 || m.Row(2)[1] != 6 {
+		t.Errorf("bad matrix: %+v", m)
+	}
+	if _, err := FromRows(nil); err == nil {
+		t.Error("expected error on empty input")
+	}
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("expected error on ragged rows")
+	}
+	if _, err := FromRows([][]float64{{}}); err == nil {
+		t.Error("expected error on zero-length series")
+	}
+}
+
+func TestZNormalizeAll(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2, 3, 4}, {10, 20, 30, 40}})
+	m.ZNormalizeAll()
+	for i := 0; i < m.Len(); i++ {
+		var sum float64
+		for _, v := range m.Row(i) {
+			sum += v
+		}
+		if math.Abs(sum) > 1e-9 {
+			t.Errorf("row %d not centered", i)
+		}
+	}
+}
+
+func TestSquaredNorms(t *testing.T) {
+	m, _ := FromRows([][]float64{{3, 4}, {0, 0}, {1, 1}})
+	norms := m.SquaredNorms()
+	want := []float64{25, 0, 2}
+	for i := range want {
+		if norms[i] != want[i] {
+			t.Errorf("norm[%d] = %v, want %v", i, norms[i], want[i])
+		}
+	}
+}
+
+func TestDot(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	b := []float64{9, 8, 7, 6, 5, 4, 3, 2, 1}
+	var want float64
+	for i := range a {
+		want += a[i] * b[i]
+	}
+	if got := Dot(a, b); math.Abs(got-want) > 1e-12 {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+// Property: the dot-product decomposition ‖a−b‖² = ‖a‖² − 2a·b + ‖b‖²
+// used by the flat baseline agrees with the direct kernel.
+func TestDotDecompositionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		var na, nb float64
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+			na += a[i] * a[i]
+			nb += b[i] * b[i]
+		}
+		direct := SquaredED(a, b)
+		decomp := na - 2*Dot(a, b) + nb
+		return math.Abs(direct-decomp) <= 1e-8*(direct+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSquaredED256(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	x := make([]float64, 256)
+	y := make([]float64, 256)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		SquaredED(x, y)
+	}
+}
+
+func BenchmarkSquaredEDEarlyAbandonTightBound(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	x := make([]float64, 256)
+	y := make([]float64, 256)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		SquaredEDEarlyAbandon(x, y, 1.0)
+	}
+}
+
+func TestMatrixAppend(t *testing.T) {
+	m := NewMatrix(2, 3)
+	copy(m.Row(0), []float64{1, 2, 3})
+	idx := m.Append([]float64{4, 5, 6})
+	if idx != 2 || m.Len() != 3 || m.Row(2)[0] != 4 {
+		t.Errorf("append: idx=%d len=%d", idx, m.Len())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on stride mismatch")
+		}
+	}()
+	m.Append([]float64{1})
+}

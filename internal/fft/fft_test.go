@@ -1,0 +1,267 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approxEqual(a, b complex128, tol float64) bool {
+	return cmplx.Abs(a-b) <= tol
+}
+
+func TestNewPlanRejectsBadLength(t *testing.T) {
+	for _, n := range []int{0, -1, -100} {
+		if _, err := NewPlan(n); err == nil {
+			t.Errorf("NewPlan(%d): expected error", n)
+		}
+	}
+}
+
+func TestForwardMatchesNaivePow2(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 4, 8, 16, 64, 256} {
+		p := MustPlan(n)
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		want := NaiveDFT(x)
+		got := append([]complex128(nil), x...)
+		if err := p.Forward(got); err != nil {
+			t.Fatal(err)
+		}
+		for k := range want {
+			if !approxEqual(got[k], want[k], 1e-8*float64(n)) {
+				t.Fatalf("n=%d k=%d: got %v want %v", n, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+func TestForwardMatchesNaiveArbitraryN(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{3, 5, 6, 7, 9, 12, 17, 31, 96, 100, 250} {
+		p := MustPlan(n)
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		want := NaiveDFT(x)
+		got := append([]complex128(nil), x...)
+		if err := p.Forward(got); err != nil {
+			t.Fatal(err)
+		}
+		for k := range want {
+			if !approxEqual(got[k], want[k], 1e-7*float64(n)) {
+				t.Fatalf("n=%d k=%d: got %v want %v", n, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 2, 8, 13, 96, 128, 100, 256} {
+		p := MustPlan(n)
+		orig := make([]complex128, n)
+		for i := range orig {
+			orig[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		x := append([]complex128(nil), orig...)
+		if err := p.Forward(x); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.InverseNormalized(x); err != nil {
+			t.Fatal(err)
+		}
+		for i := range orig {
+			if !approxEqual(x[i], orig[i], 1e-8*float64(n)) {
+				t.Fatalf("n=%d i=%d: round trip %v != %v", n, i, x[i], orig[i])
+			}
+		}
+	}
+}
+
+// Property: round-trip recovers the input for random power-of-two sizes.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64, sizeSel uint8) bool {
+		sizes := []int{2, 4, 8, 16, 32, 64, 96, 100, 128}
+		n := sizes[int(sizeSel)%len(sizes)]
+		rng := rand.New(rand.NewSource(seed))
+		p := MustPlan(n)
+		orig := make([]complex128, n)
+		for i := range orig {
+			orig[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		x := append([]complex128(nil), orig...)
+		p.forwardInPlace(x)
+		if err := p.InverseNormalized(x); err != nil {
+			return false
+		}
+		for i := range orig {
+			if !approxEqual(x[i], orig[i], 1e-7*float64(n)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Parseval's identity holds for the scaled real transform:
+// sum x_t^2 == sum |X_k|^2 over the full spectrum (with 1/sqrt(n) scaling,
+// accounting for conjugate symmetry).
+func TestParsevalScaledRealTransform(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{8, 16, 96, 100, 128, 256} {
+		p := MustPlan(n)
+		x := make([]float64, n)
+		var energyTime float64
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			energyTime += x[i] * x[i]
+		}
+		spec, err := p.FullSpectrumReal(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nc := n/2 + 1
+		var energyFreq float64
+		for k := 0; k < nc; k++ {
+			re, im := spec[2*k], spec[2*k+1]
+			mag2 := re*re + im*im
+			// DC and (for even n) Nyquist appear once; all others twice.
+			if k == 0 || (n%2 == 0 && k == n/2) {
+				energyFreq += mag2
+			} else {
+				energyFreq += 2 * mag2
+			}
+		}
+		if math.Abs(energyTime-energyFreq) > 1e-8*energyTime {
+			t.Fatalf("n=%d: Parseval violated: time %v freq %v", n, energyTime, energyFreq)
+		}
+	}
+}
+
+func TestForwardRealValidation(t *testing.T) {
+	p := MustPlan(16)
+	x := make([]float64, 16)
+	dst := make([]float64, 64)
+	if _, err := p.ForwardReal(x[:8], 4, dst); err == nil {
+		t.Error("expected length mismatch error")
+	}
+	if _, err := p.ForwardReal(x, 0, dst); err == nil {
+		t.Error("expected nCoeffs range error")
+	}
+	if _, err := p.ForwardReal(x, 10, dst); err == nil {
+		t.Error("expected nCoeffs too large error")
+	}
+	if _, err := p.ForwardReal(x, 4, dst[:3]); err == nil {
+		t.Error("expected dst too small error")
+	}
+}
+
+func TestForwardRealDCComponent(t *testing.T) {
+	// A constant series has all energy in coefficient 0.
+	n := 64
+	p := MustPlan(n)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 3.0
+	}
+	spec, err := p.FullSpectrumReal(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDC := 3.0 * float64(n) / math.Sqrt(float64(n))
+	if math.Abs(spec[0]-wantDC) > 1e-9 {
+		t.Errorf("DC: got %v want %v", spec[0], wantDC)
+	}
+	for k := 1; k < n/2+1; k++ {
+		if math.Abs(spec[2*k]) > 1e-9 || math.Abs(spec[2*k+1]) > 1e-9 {
+			t.Errorf("coefficient %d should be ~0, got (%v,%v)", k, spec[2*k], spec[2*k+1])
+		}
+	}
+}
+
+func TestForwardRealPureSinusoid(t *testing.T) {
+	// cos(2π f t / n) concentrates energy at coefficient f.
+	n := 128
+	f := 5
+	p := MustPlan(n)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Cos(2 * math.Pi * float64(f) * float64(i) / float64(n))
+	}
+	spec, err := p.FullSpectrumReal(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < n/2+1; k++ {
+		re, im := spec[2*k], spec[2*k+1]
+		mag := math.Hypot(re, im)
+		if k == f {
+			want := float64(n) / 2 / math.Sqrt(float64(n))
+			if math.Abs(mag-want) > 1e-8 {
+				t.Errorf("bin %d: got magnitude %v want %v", k, mag, want)
+			}
+		} else if mag > 1e-8 {
+			t.Errorf("bin %d: expected ~0 magnitude, got %v", k, mag)
+		}
+	}
+}
+
+func TestInverseLengthValidation(t *testing.T) {
+	p := MustPlan(8)
+	if err := p.Inverse(make([]complex128, 4)); err == nil {
+		t.Error("expected error for wrong length")
+	}
+	if err := p.Forward(make([]complex128, 4)); err == nil {
+		t.Error("expected error for wrong length")
+	}
+}
+
+func TestLen(t *testing.T) {
+	if got := MustPlan(96).Len(); got != 96 {
+		t.Errorf("Len() = %d, want 96", got)
+	}
+}
+
+func BenchmarkForwardReal256(b *testing.B) {
+	p := MustPlan(256)
+	x := make([]float64, 256)
+	rng := rand.New(rand.NewSource(5))
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	dst := make([]float64, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.ForwardReal(x, 16, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkForwardReal100Bluestein(b *testing.B) {
+	p := MustPlan(100)
+	x := make([]float64, 100)
+	rng := rand.New(rand.NewSource(6))
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	dst := make([]float64, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.ForwardReal(x, 16, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package flat
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/distance"
+)
+
+func testMatrix(rng *rand.Rand, count, n int) *distance.Matrix {
+	m := distance.NewMatrix(count, n)
+	for i := 0; i < count; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+	}
+	m.ZNormalizeAll()
+	return m
+}
+
+func bruteDists(m *distance.Matrix, query []float64) []float64 {
+	q := distance.ZNormalized(query)
+	out := make([]float64, m.Len())
+	for i := range out {
+		out[i] = distance.SquaredED(m.Row(i), q)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(nil, 4); err == nil {
+		t.Error("expected error on nil data")
+	}
+	if _, err := Build(distance.NewMatrix(0, 8), 4); err == nil {
+		t.Error("expected error on empty data")
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := testMatrix(rng, 30, 32)
+	ix, err := Build(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 30 {
+		t.Errorf("Len: %d", ix.Len())
+	}
+	if _, err := ix.Search(make([]float64, 16), 1); err == nil {
+		t.Error("expected query length error")
+	}
+	if _, err := ix.Search(make([]float64, 32), 0); err == nil {
+		t.Error("expected k error")
+	}
+	if _, err := ix.SearchBatch(nil, 1); err == nil {
+		t.Error("expected empty batch error")
+	}
+	if _, err := ix.SearchBatch(distance.NewMatrix(2, 16), 1); err == nil {
+		t.Error("expected batch stride error")
+	}
+	if _, err := ix.SearchBatch(distance.NewMatrix(2, 32), 0); err == nil {
+		t.Error("expected batch k error")
+	}
+}
+
+func TestExactnessSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := testMatrix(rng, 400, 64)
+	ix, err := Build(m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{1, 3, 50} {
+		query := make([]float64, 64)
+		for j := range query {
+			query[j] = rng.NormFloat64()
+		}
+		res, err := ix.Search(query, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteDists(m, query)[:k]
+		for i := range want {
+			if math.Abs(res[i].Dist-want[i]) > 1e-6*(want[i]+1) {
+				t.Fatalf("k=%d rank %d: got %v want %v", k, i, res[i].Dist, want[i])
+			}
+		}
+	}
+}
+
+func TestSelfQueryZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := testMatrix(rng, 100, 48)
+	ix, _ := Build(m, 2)
+	res, err := ix.Search(m.Row(7), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].ID != 7 || res[0].Dist > 1e-6 {
+		t.Errorf("self query: %+v", res[0])
+	}
+}
+
+func TestSearchBatchMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := testMatrix(rng, 300, 32)
+	ix, _ := Build(m, 8)
+	queries := testMatrix(rng, 25, 32)
+	batch, err := ix.SearchBatch(queries, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 25 {
+		t.Fatalf("batch size %d", len(batch))
+	}
+	for qi := 0; qi < queries.Len(); qi++ {
+		single, err := ix.Search(queries.Row(qi), 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range single {
+			if batch[qi][i].ID != single[i].ID || batch[qi][i].Dist != single[i].Dist {
+				t.Fatalf("query %d rank %d: batch %+v vs single %+v", qi, i, batch[qi][i], single[i])
+			}
+		}
+	}
+}
+
+// Property: flat search agrees with the direct-distance brute force within
+// floating-point tolerance of the norm decomposition.
+func TestExactnessProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := 10 + rng.Intn(200)
+		n := 8 + rng.Intn(100)
+		m := testMatrix(rng, count, n)
+		ix, err := Build(m, 1+rng.Intn(4))
+		if err != nil {
+			return false
+		}
+		query := make([]float64, n)
+		for j := range query {
+			query[j] = rng.NormFloat64()
+		}
+		k := 1 + rng.Intn(5)
+		if k > count {
+			k = count
+		}
+		res, err := ix.Search(query, k)
+		if err != nil {
+			return false
+		}
+		want := bruteDists(m, query)
+		for i := 0; i < k; i++ {
+			if math.Abs(res[i].Dist-want[i]) > 1e-6*(want[i]+1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkFlatSearch20k(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	m := testMatrix(rng, 20000, 128)
+	ix, _ := Build(m, 0)
+	query := make([]float64, 128)
+	for j := range query {
+		query[j] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.Search(query, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

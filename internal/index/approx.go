@@ -1,0 +1,180 @@
+package index
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/distance"
+	"repro/internal/queue"
+)
+
+// This file implements the approximate-search modes the paper lists as
+// future work (Section VI), following the semantics established for the
+// iSAX family (Echihabi et al., "Return of the Lernaean Hydra"):
+//
+//   - SearchApproximate: the classical iSAX approximate search — visit only
+//     the single most promising leaf and return its best candidates. No
+//     guarantee, but empirically high recall at a tiny fraction of the
+//     exact cost (it is stage 1 of the exact algorithm).
+//   - SearchEpsilon: ε-bounded search — exact machinery, but nodes and
+//     series are pruned against bound/(1+ε)². Every returned distance is
+//     guaranteed within a factor (1+ε) of the true k-NN distance, and
+//     ε = 0 degenerates to exact search.
+
+// SearchApproximate returns up to k approximate nearest neighbors from the
+// query's best-matching leaf only, in ascending distance order. The answer
+// is a valid upper bound on the true k-NN distances.
+func (s *Searcher) SearchApproximate(query []float64, k int) ([]Result, error) {
+	t := s.t
+	if len(query) != t.data.Stride {
+		return nil, fmt.Errorf("index: query length %d, want %d", len(query), t.data.Stride)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("index: k must be >= 1, got %d", k)
+	}
+	q := distance.ZNormalized(query)
+	if _, err := s.enc.QueryRepr(q, s.qr); err != nil {
+		return nil, err
+	}
+	if _, err := s.enc.Word(q, s.qword); err != nil {
+		return nil, err
+	}
+	kn := NewKNNCollector(k)
+	if leaf := s.approximateLeaf(); leaf != nil {
+		s.processLeafReal(leaf, q, kn)
+	}
+	return kn.Results(), nil
+}
+
+// SearchEpsilon returns k neighbors whose distances are each within a
+// (1+epsilon) factor of the corresponding exact k-NN distance (in the
+// squared domain the guarantee is (1+epsilon)²). epsilon = 0 is exact
+// search. Larger epsilon prunes more aggressively and runs faster.
+func (s *Searcher) SearchEpsilon(query []float64, k int, epsilon float64) ([]Result, error) {
+	if epsilon < 0 {
+		return nil, fmt.Errorf("index: epsilon must be >= 0, got %v", epsilon)
+	}
+	return s.search(query, k, 1/((1+epsilon)*(1+epsilon)))
+}
+
+// search is the shared engine: pruneScale multiplies the BSF before every
+// pruning comparison (1.0 = exact). A node or series is skipped when its
+// lower bound is >= bound*pruneScale; any skipped candidate therefore has
+// true distance >= bound*pruneScale, i.e. the reported answers are within
+// 1/pruneScale of optimal in the squared domain.
+func (s *Searcher) search(query []float64, k int, pruneScale float64) ([]Result, error) {
+	t := s.t
+	if len(query) != t.data.Stride {
+		return nil, fmt.Errorf("index: query length %d, want %d", len(query), t.data.Stride)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("index: k must be >= 1, got %d", k)
+	}
+	q := distance.ZNormalized(query)
+	if _, err := s.enc.QueryRepr(q, s.qr); err != nil {
+		return nil, err
+	}
+	if _, err := s.enc.Word(q, s.qword); err != nil {
+		return nil, err
+	}
+	s.kern.qr = s.qr
+	s.nodesVisited.Store(0)
+	s.leavesRefined.Store(0)
+	s.seriesLBD.Store(0)
+	s.seriesED.Store(0)
+
+	kn := NewKNNCollector(k)
+	approx := s.approximateLeaf()
+	if approx != nil {
+		s.processLeafReal(approx, q, kn)
+	}
+
+	workers := t.opts.Workers
+	set := queue.NewSet(t.opts.Queues)
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1) - 1)
+				if i >= len(t.rootKeys) {
+					return
+				}
+				s.traverseScaled(t.root[t.rootKeys[i]], set, kn, approx, pruneScale)
+			}
+		}()
+	}
+	wg.Wait()
+
+	var wg2 sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg2.Add(1)
+		go func(start int) {
+			defer wg2.Done()
+			s.drainScaled(start, set, q, kn, pruneScale)
+		}(w % set.Size())
+	}
+	wg2.Wait()
+	return kn.Results(), nil
+}
+
+func (s *Searcher) traverseScaled(n *node, set *queue.Set, kn *KNNCollector, skip *node, scale float64) {
+	if n.count == 0 || n == skip {
+		return
+	}
+	s.nodesVisited.Add(1)
+	d := nodeMinDist(s.t.sum, s.qr, n.word, n.cards)
+	if d >= kn.Bound()*scale {
+		return
+	}
+	if n.isLeaf() {
+		set.PushRoundRobin(n, d)
+		return
+	}
+	s.traverseScaled(n.children[0], set, kn, skip, scale)
+	s.traverseScaled(n.children[1], set, kn, skip, scale)
+}
+
+func (s *Searcher) drainScaled(start int, set *queue.Set, q []float64, kn *KNNCollector, scale float64) {
+	t := s.t
+	for qi := 0; qi < set.Size(); qi++ {
+		pq := set.Queue((start + qi) % set.Size())
+		for {
+			it, ok := pq.PopIfBelow(scaledBound(kn, scale))
+			if !ok {
+				break
+			}
+			leaf := it.Payload.(*node)
+			s.leavesRefined.Add(1)
+			var nLBD, nED int64
+			for _, id := range leaf.ids {
+				bound := kn.Bound()
+				pruneAt := bound * scale
+				word := t.words[int(id)*t.l : (int(id)+1)*t.l]
+				nLBD++
+				if lb := s.kern.minDistEA(word, pruneAt); lb >= pruneAt {
+					continue
+				}
+				nED++
+				d := distance.SquaredEDEarlyAbandon(t.data.Row(int(id)), q, bound)
+				if d < bound {
+					kn.Offer(id, d)
+				}
+			}
+			s.seriesLBD.Add(nLBD)
+			s.seriesED.Add(nED)
+		}
+	}
+}
+
+func scaledBound(kn *KNNCollector, scale float64) float64 {
+	b := kn.Bound()
+	if math.IsInf(b, 1) {
+		return b
+	}
+	return b * scale
+}

@@ -1,0 +1,194 @@
+package index
+
+import (
+	"math"
+
+	"repro/internal/simd"
+)
+
+// gatherTables holds, for every word position and every full-cardinality
+// symbol, the lower and upper interval bounds — the precomputed form of the
+// paper's Gather_bound step (Algorithm 3, line 5). They depend only on the
+// summarization, so the tree builds them once.
+type gatherTables struct {
+	lower [][]float64 // [l][alphabet]
+	upper [][]float64 // [l][alphabet]
+}
+
+func newGatherTables(s Summarizer) *gatherTables {
+	l := s.Segments()
+	alpha := 1 << s.MaxBits()
+	g := &gatherTables{
+		lower: make([][]float64, l),
+		upper: make([][]float64, l),
+	}
+	for j := 0; j < l; j++ {
+		bps := s.Breakpoints(j)
+		lo := make([]float64, alpha)
+		hi := make([]float64, alpha)
+		for sym := 0; sym < alpha; sym++ {
+			if sym == 0 {
+				lo[sym] = math.Inf(-1)
+			} else {
+				lo[sym] = bps[sym-1]
+			}
+			if sym == alpha-1 {
+				hi[sym] = math.Inf(1)
+			} else {
+				hi[sym] = bps[sym]
+			}
+		}
+		g.lower[j] = lo
+		g.upper[j] = hi
+	}
+	return g
+}
+
+// kernel is the per-query SIMD lower-bound distance state: the query
+// representation plus the shared gather tables and weights. It implements
+// Algorithm 3 — chunked, branchless (mask+blend) LBD computation with early
+// abandoning after every simd.Width-lane block.
+type kernel struct {
+	qr      []float64 // query representation, length l
+	weights []float64
+	g       *gatherTables
+	l       int
+}
+
+// minDistEA computes the squared lower-bound distance between the query and
+// a full-cardinality word, abandoning as soon as the partial sum exceeds
+// bsf. A returned value > bsf is only a certificate; values <= bsf are
+// exact.
+func (k *kernel) minDistEA(word []byte, bsf float64) float64 {
+	var sum float64
+	l := k.l
+	for c := 0; c < l; c += simd.Width {
+		var vq, vlo, vhi, vw simd.Vec
+		lanes := l - c
+		if lanes > simd.Width {
+			lanes = simd.Width
+		}
+		for i := 0; i < lanes; i++ {
+			j := c + i
+			sym := word[j]
+			vq[i] = k.qr[j]
+			vlo[i] = k.g.lower[j][sym]
+			vhi[i] = k.g.upper[j][sym]
+			vw[i] = k.weights[j]
+		}
+		for i := lanes; i < simd.Width; i++ {
+			vlo[i] = math.Inf(-1) // padding lanes fall inside their interval
+			vhi[i] = math.Inf(1)
+		}
+		// Three-way branchless select (paper Fig. 6): UPPER, LOWER, ZERO.
+		below := simd.CmpLT(vq, vlo)
+		above := simd.CmpGT(vq, vhi)
+		dLo := simd.Sub(vlo, vq)
+		dHi := simd.Sub(vq, vhi)
+		d := simd.Blend(below, dLo, simd.Blend(above, dHi, simd.Vec{}))
+		sum += simd.Sum(simd.Mul(vw, simd.Mul(d, d)))
+		if sum > bsf {
+			return sum
+		}
+	}
+	return sum
+}
+
+// minDistScalar is the reference scalar implementation of the same bound;
+// tests assert exact agreement with minDistEA.
+func (k *kernel) minDistScalar(word []byte) float64 {
+	var sum float64
+	for j := 0; j < k.l; j++ {
+		sym := word[j]
+		lo, hi := k.g.lower[j][sym], k.g.upper[j][sym]
+		var d float64
+		switch {
+		case k.qr[j] < lo:
+			d = lo - k.qr[j]
+		case k.qr[j] > hi:
+			d = k.qr[j] - hi
+		}
+		sum += k.weights[j] * d * d
+	}
+	return sum
+}
+
+// nodeMinDist computes the squared lower-bound distance between the query
+// representation and a variable-cardinality node word (cards[j] bits of
+// prefix per position; cards[j] == 0 means the position is unconstrained).
+func nodeMinDist(s Summarizer, qr []float64, word []byte, cards []uint8) float64 {
+	l := s.Segments()
+	maxBits := s.MaxBits()
+	weights := s.Weights()
+	var sum float64
+	for j := 0; j < l; j++ {
+		bits := int(cards[j])
+		if bits == 0 {
+			continue // interval is (-inf, +inf): contributes nothing
+		}
+		bps := s.Breakpoints(j)
+		shift := uint(maxBits - bits)
+		loIdx := int(word[j]) << shift
+		hiIdx := (int(word[j]) + 1) << shift
+		v := qr[j]
+		var d float64
+		if loIdx > 0 && v < bps[loIdx-1] {
+			d = bps[loIdx-1] - v
+		} else if hiIdx <= len(bps) && v > bps[hiIdx-1] {
+			d = v - bps[hiIdx-1]
+		}
+		sum += weights[j] * d * d
+	}
+	return sum
+}
+
+// distTable is the ablation alternative to the mask/blend kernel: for one
+// query, precompute the weighted squared distance contribution of every
+// (position, symbol) pair, reducing the per-series LBD to l table lookups
+// plus adds. It trades one l x alphabet build per query for branch-free
+// lookups per series; the benchmarks compare it against Algorithm 3.
+type distTable struct {
+	table [][]float64 // [l][alphabet] weighted squared distances
+	l     int
+}
+
+func newDistTable(k *kernel, alphabet int) *distTable {
+	t := &distTable{table: make([][]float64, k.l), l: k.l}
+	for j := 0; j < k.l; j++ {
+		row := make([]float64, alphabet)
+		v := k.qr[j]
+		w := k.weights[j]
+		for sym := 0; sym < alphabet; sym++ {
+			lo, hi := k.g.lower[j][sym], k.g.upper[j][sym]
+			var d float64
+			switch {
+			case v < lo:
+				d = lo - v
+			case v > hi:
+				d = v - hi
+			}
+			row[sym] = w * d * d
+		}
+		t.table[j] = row
+	}
+	return t
+}
+
+// minDistEA computes the same early-abandoning squared lower bound as the
+// kernel, via table lookups in chunks of simd.Width positions.
+func (t *distTable) minDistEA(word []byte, bsf float64) float64 {
+	var sum float64
+	for c := 0; c < t.l; c += simd.Width {
+		end := c + simd.Width
+		if end > t.l {
+			end = t.l
+		}
+		for j := c; j < end; j++ {
+			sum += t.table[j][word[j]]
+		}
+		if sum > bsf {
+			return sum
+		}
+	}
+	return sum
+}

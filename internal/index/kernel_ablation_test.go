@@ -1,0 +1,115 @@
+package index
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/distance"
+	"repro/internal/sfa"
+)
+
+func ablationFixture(tb testing.TB) (sfaSum, *gatherTables, Encoder, *distance.Matrix) {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(21))
+	m := mixedMatrix(rng, 400, 128)
+	q, err := sfa.Learn(m, sfa.Options{SampleRate: 0.5})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	sum := sfaSum{q}
+	return sum, newGatherTables(sum), sum.NewIndexEncoder(), m
+}
+
+// The lookup-table LBD must agree exactly with both the mask/blend kernel
+// and the scalar reference for every word and bound.
+func TestDistTableMatchesKernelProperty(t *testing.T) {
+	sum, g, enc, m := ablationFixture(t)
+	f := func(seed int64, bsfRaw float64) bool {
+		r := rand.New(rand.NewSource(seed))
+		query := make([]float64, 128)
+		for j := range query {
+			query[j] = r.NormFloat64()
+		}
+		distance.ZNormalize(query)
+		qr := make([]float64, 16)
+		if _, err := enc.QueryRepr(query, qr); err != nil {
+			return false
+		}
+		k := kernel{qr: qr, weights: sum.Weights(), g: g, l: 16}
+		dt := newDistTable(&k, 1<<sum.MaxBits())
+		word := make([]byte, 16)
+		if _, err := enc.Word(m.Row(r.Intn(m.Len())), word); err != nil {
+			return false
+		}
+		exact := k.minDistScalar(word)
+		full := dt.minDistEA(word, math.Inf(1))
+		if math.Abs(full-exact) > 1e-9*(exact+1) {
+			return false
+		}
+		bsf := math.Mod(math.Abs(bsfRaw), 500)
+		ea := dt.minDistEA(word, bsf)
+		if ea <= bsf {
+			return math.Abs(ea-exact) <= 1e-9*(exact+1)
+		}
+		return exact > bsf || math.Abs(ea-exact) <= 1e-9*(exact+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Ablation benches: Algorithm 3 (mask/blend) vs per-query lookup table vs
+// scalar reference, per-series cost.
+func benchKernel(b *testing.B, run func(k *kernel, dt *distTable, words [][]byte)) {
+	sum, g, enc, m := ablationFixture(b)
+	rng := rand.New(rand.NewSource(22))
+	query := make([]float64, 128)
+	for j := range query {
+		query[j] = rng.NormFloat64()
+	}
+	distance.ZNormalize(query)
+	qr := make([]float64, 16)
+	if _, err := enc.QueryRepr(query, qr); err != nil {
+		b.Fatal(err)
+	}
+	k := kernel{qr: qr, weights: sum.Weights(), g: g, l: 16}
+	dt := newDistTable(&k, 1<<sum.MaxBits())
+	words := make([][]byte, m.Len())
+	for i := range words {
+		words[i] = make([]byte, 16)
+		if _, err := enc.Word(m.Row(i), words[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run(&k, dt, words)
+	}
+}
+
+func BenchmarkLBDKernelMaskBlend(b *testing.B) {
+	benchKernel(b, func(k *kernel, _ *distTable, words [][]byte) {
+		for _, w := range words {
+			k.minDistEA(w, math.Inf(1))
+		}
+	})
+}
+
+func BenchmarkLBDKernelLookupTable(b *testing.B) {
+	benchKernel(b, func(k *kernel, dt *distTable, words [][]byte) {
+		for _, w := range words {
+			dt.minDistEA(w, math.Inf(1))
+		}
+	})
+}
+
+func BenchmarkLBDKernelScalar(b *testing.B) {
+	benchKernel(b, func(k *kernel, _ *distTable, words [][]byte) {
+		for _, w := range words {
+			k.minDistScalar(w)
+		}
+	})
+}

@@ -1,0 +1,211 @@
+package index
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/distance"
+)
+
+// Result is one answer of a similarity query. Dist is the squared
+// z-normalized Euclidean distance (the library works in squared space
+// throughout; take the square root at presentation time).
+type Result struct {
+	ID   int32
+	Dist float64
+}
+
+// KNNCollector is the shared k-nearest container: a mutex-protected bounded
+// max-heap plus an atomically readable bound (the current k-th best squared
+// distance, +Inf while fewer than k results are known). The bound only ever
+// decreases, which is what makes concurrent pruning safe.
+type KNNCollector struct {
+	mu    sync.Mutex
+	k     int
+	heap  resultMaxHeap
+	bound atomic.Uint64
+}
+
+type resultMaxHeap []Result
+
+func (h resultMaxHeap) Len() int           { return len(h) }
+func (h resultMaxHeap) Less(i, j int) bool { return h[i].Dist > h[j].Dist }
+func (h resultMaxHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *resultMaxHeap) Push(x any)        { *h = append(*h, x.(Result)) }
+func (h *resultMaxHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// NewKNNCollector creates a collector for the k nearest results.
+func NewKNNCollector(k int) *KNNCollector {
+	s := &KNNCollector{k: k}
+	s.bound.Store(math.Float64bits(math.Inf(1)))
+	return s
+}
+
+// Bound returns the current best-so-far pruning bound.
+func (s *KNNCollector) Bound() float64 {
+	return math.Float64frombits(s.bound.Load())
+}
+
+// Offer inserts a candidate if it improves the k-NN set.
+func (s *KNNCollector) Offer(id int32, d float64) {
+	if d >= s.Bound() {
+		return
+	}
+	s.mu.Lock()
+	if len(s.heap) < s.k {
+		heap.Push(&s.heap, Result{ID: id, Dist: d})
+		if len(s.heap) == s.k {
+			s.bound.Store(math.Float64bits(s.heap[0].Dist))
+		}
+	} else if d < s.heap[0].Dist {
+		s.heap[0] = Result{ID: id, Dist: d}
+		heap.Fix(&s.heap, 0)
+		s.bound.Store(math.Float64bits(s.heap[0].Dist))
+	}
+	s.mu.Unlock()
+}
+
+// Results returns the collected answers sorted by ascending distance.
+func (s *KNNCollector) Results() []Result {
+	s.mu.Lock()
+	out := append([]Result(nil), s.heap...)
+	s.mu.Unlock()
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Dist != out[b].Dist {
+			return out[a].Dist < out[b].Dist
+		}
+		return out[a].ID < out[b].ID
+	})
+	return out
+}
+
+// Searcher answers queries against a Tree. It owns per-query scratch (the
+// encoder, query representation and word), so it is NOT safe for concurrent
+// use; create one per querying goroutine. A single Search call internally
+// uses the tree's configured worker parallelism, matching the paper's
+// one-query-at-a-time protocol.
+type Searcher struct {
+	t     *Tree
+	enc   Encoder
+	qr    []float64
+	qword []byte
+	kern  kernel
+
+	// stats for the last Search call (atomic: workers update concurrently).
+	nodesVisited  atomic.Int64
+	leavesRefined atomic.Int64
+	seriesLBD     atomic.Int64
+	seriesED      atomic.Int64
+}
+
+// SearchStats reports how much work the last Search call did — the paper's
+// pruning-power discussion (Section V-E) in concrete counter form.
+type SearchStats struct {
+	NodesVisited  int64 // tree nodes whose lower bound was evaluated
+	LeavesRefined int64 // leaves popped from the priority queues
+	SeriesLBD     int64 // per-series word lower bounds computed
+	SeriesED      int64 // real (early-abandoning) distances computed
+}
+
+// LastStats returns the work counters of the most recent Search call.
+func (s *Searcher) LastStats() SearchStats {
+	return SearchStats{
+		NodesVisited:  s.nodesVisited.Load(),
+		LeavesRefined: s.leavesRefined.Load(),
+		SeriesLBD:     s.seriesLBD.Load(),
+		SeriesED:      s.seriesED.Load(),
+	}
+}
+
+// NewSearcher creates a searcher over the tree.
+func (t *Tree) NewSearcher() *Searcher {
+	return &Searcher{
+		t:     t,
+		enc:   t.sum.NewIndexEncoder(),
+		qr:    make([]float64, t.l),
+		qword: make([]byte, t.l),
+		kern:  kernel{weights: t.sum.Weights(), g: t.gather, l: t.l},
+	}
+}
+
+// Search returns the exact k nearest neighbors of query under squared
+// z-normalized Euclidean distance, ascending. The query is z-normalized
+// internally (a copy; the argument is not modified).
+//
+// The pipeline is the paper's Section IV-C: (1) an approximate descent to
+// the best-matching leaf seeds the BSF with real distances; (2) workers
+// traverse the root subtrees in parallel, pruning against the BSF and
+// pushing surviving leaves into priority queues ordered by lower bound;
+// (3) workers drain the queues — abandoning a queue once its head exceeds
+// the BSF — refining each leaf series word-first (Algorithm 3) and with a
+// real early-abandoning distance only when the bound survives.
+func (s *Searcher) Search(query []float64, k int) ([]Result, error) {
+	return s.search(query, k, 1)
+}
+
+// Search1 is a convenience wrapper returning the single nearest neighbor.
+func (s *Searcher) Search1(query []float64) (Result, error) {
+	res, err := s.Search(query, 1)
+	if err != nil {
+		return Result{}, err
+	}
+	return res[0], nil
+}
+
+// approximateLeaf descends the tree following the query's own word bits,
+// preferring the matching child when it is non-empty, to locate the leaf
+// most likely to contain near neighbors.
+func (s *Searcher) approximateLeaf() *node {
+	t := s.t
+	if len(t.rootKeys) == 0 {
+		return nil
+	}
+	key := t.rootKey(s.qword)
+	n, ok := t.root[key]
+	if !ok {
+		// No subtree under the query's key: pick the root child with the
+		// smallest node lower bound.
+		best := math.Inf(1)
+		for _, rk := range t.rootKeys {
+			c := t.root[rk]
+			if d := nodeMinDist(t.sum, s.qr, c.word, c.cards); d < best {
+				best = d
+				n = c
+			}
+		}
+	}
+	for !n.isLeaf() {
+		j := n.split
+		childBits := int(n.children[0].cards[j])
+		shift := uint(t.maxBits - childBits)
+		b := (s.qword[j] >> shift) & 1
+		child := n.children[b]
+		if child.count == 0 {
+			child = n.children[1-b]
+		}
+		n = child
+	}
+	return n
+}
+
+// processLeafReal computes real (early-abandoning) distances for every
+// series in the leaf — used by the approximate stage to establish the BSF.
+func (s *Searcher) processLeafReal(leaf *node, q []float64, kn *KNNCollector) {
+	t := s.t
+	for _, id := range leaf.ids {
+		bound := kn.Bound()
+		d := distance.SquaredEDEarlyAbandon(t.data.Row(int(id)), q, bound)
+		if d < bound {
+			kn.Offer(id, d)
+		}
+	}
+}

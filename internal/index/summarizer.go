@@ -1,0 +1,47 @@
+// Package index implements the MESSI-style parallel tree index the paper
+// adapts for SOFA (Section IV-A/B/C): a variable-cardinality symbolic prefix
+// tree built in parallel over in-memory data series, answering exact 1-NN
+// and k-NN queries with the GEMINI framework — lower-bound pruning against a
+// shared best-so-far distance, priority-queue ordered leaf refinement, and
+// SIMD-structured early-abandoning distance kernels.
+//
+// The tree is generic over the summarization: MESSI instantiates it with
+// iSAX (sax.Quantizer), SOFA with SFA (sfa.Quantizer). Both provide
+// full-cardinality words per series, a real-valued query-side
+// representation, and per-position breakpoint tables whose prefix structure
+// defines the variable-cardinality node intervals.
+package index
+
+// Summarizer describes a learned or fixed symbolic summarization. The
+// methods must be safe for concurrent use (the tables are immutable after
+// construction).
+type Summarizer interface {
+	// Segments returns the word length l.
+	Segments() int
+	// MaxBits returns the bits per symbol at full cardinality.
+	MaxBits() int
+	// Weights returns the per-position weight w[j] such that the squared
+	// lower-bound distance is sum_j w[j]*d_j^2 (n/l for SAX, the Parseval
+	// multiplicity for SFA).
+	Weights() []float64
+	// Breakpoints returns the sorted full-cardinality interior breakpoint
+	// table for position j (length 2^MaxBits-1).
+	Breakpoints(j int) []float64
+}
+
+// Encoder transforms raw series under a Summarizer. Encoders are
+// per-goroutine (they own scratch buffers and FFT plans).
+type Encoder interface {
+	// Word writes the full-cardinality word of series into dst.
+	Word(series []float64, dst []byte) ([]byte, error)
+	// QueryRepr writes the real-valued query-side representation (PAA of the
+	// query for SAX, selected DFT values for SFA) into dst.
+	QueryRepr(query []float64, dst []float64) ([]float64, error)
+}
+
+// Summarization couples a Summarizer with an Encoder factory. Both
+// sax.Quantizer and the sfa adapter satisfy it.
+type Summarization interface {
+	Summarizer
+	NewIndexEncoder() Encoder
+}

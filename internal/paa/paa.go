@@ -1,0 +1,71 @@
+// Package paa implements the Piecewise Aggregate Approximation (Keogh et
+// al., 2001): a data series is divided into l segments and each segment is
+// represented by its mean. PAA is the real-valued substrate of SAX/iSAX and
+// the query-side representation used by the iSAX lower-bounding distance.
+package paa
+
+import "fmt"
+
+// Transform computes the l-segment PAA of x into dst (which must have
+// length >= l) and returns dst[:l]. Series whose length is not divisible by
+// l are handled with the fractional-weight scheme: each PAA frame averages
+// the exact window [i*n/l, (i+1)*n/l), splitting boundary points
+// proportionally, so the transform is well defined for every (n, l) with
+// l <= n.
+func Transform(x []float64, l int, dst []float64) ([]float64, error) {
+	n := len(x)
+	if l < 1 || l > n {
+		return nil, fmt.Errorf("paa: segments %d out of range [1,%d]", l, n)
+	}
+	if len(dst) < l {
+		return nil, fmt.Errorf("paa: dst length %d < %d", len(dst), l)
+	}
+	if n%l == 0 {
+		w := n / l
+		inv := 1 / float64(w)
+		for i := 0; i < l; i++ {
+			var s float64
+			for _, v := range x[i*w : (i+1)*w] {
+				s += v
+			}
+			dst[i] = s * inv
+		}
+		return dst[:l], nil
+	}
+	// Fractional segment boundaries.
+	fl := float64(l)
+	fn := float64(n)
+	segLen := fn / fl
+	for i := 0; i < l; i++ {
+		start := float64(i) * segLen
+		end := start + segLen
+		var s float64
+		j := int(start)
+		pos := start
+		for pos < end-1e-12 {
+			next := float64(j + 1)
+			if next > end {
+				next = end
+			}
+			s += x[j] * (next - pos)
+			pos = next
+			j++
+		}
+		dst[i] = s / segLen
+	}
+	return dst[:l], nil
+}
+
+// MustTransform is Transform that panics on error; for hot paths with
+// pre-validated parameters.
+func MustTransform(x []float64, l int, dst []float64) []float64 {
+	out, err := Transform(x, l, dst)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// SegmentLength returns the (possibly fractional) number of points each PAA
+// frame covers for a series of length n split into l segments.
+func SegmentLength(n, l int) float64 { return float64(n) / float64(l) }

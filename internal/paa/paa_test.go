@@ -1,0 +1,168 @@
+package paa
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTransformEvenDivision(t *testing.T) {
+	x := []float64{1, 1, 2, 2, 3, 3, 4, 4}
+	dst := make([]float64, 4)
+	got, err := Transform(x, 4, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 3, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("segment %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTransformSingleSegment(t *testing.T) {
+	x := []float64{2, 4, 6}
+	dst := make([]float64, 1)
+	got, err := Transform(x, 1, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 4 {
+		t.Errorf("got %v, want 4", got[0])
+	}
+}
+
+func TestTransformIdentity(t *testing.T) {
+	// l == n: PAA is the identity.
+	x := []float64{3, 1, 4, 1, 5}
+	dst := make([]float64, 5)
+	got, err := Transform(x, 5, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if got[i] != x[i] {
+			t.Errorf("identity violated at %d: %v != %v", i, got[i], x[i])
+		}
+	}
+}
+
+func TestTransformFractional(t *testing.T) {
+	// n=5, l=2: segments cover [0,2.5) and [2.5,5).
+	x := []float64{1, 1, 1, 3, 3}
+	dst := make([]float64, 2)
+	got, err := Transform(x, 2, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Segment 0: 1*1 + 1*1 + 1*0.5 = 2.5 over 2.5 -> 1.
+	// Segment 1: 1*0.5 + 3 + 3 = 6.5 over 2.5 -> 2.6.
+	if math.Abs(got[0]-1) > 1e-12 || math.Abs(got[1]-2.6) > 1e-12 {
+		t.Errorf("got %v, want [1 2.6]", got)
+	}
+}
+
+func TestTransformValidation(t *testing.T) {
+	x := []float64{1, 2, 3}
+	if _, err := Transform(x, 0, make([]float64, 3)); err == nil {
+		t.Error("expected error for l=0")
+	}
+	if _, err := Transform(x, 4, make([]float64, 4)); err == nil {
+		t.Error("expected error for l>n")
+	}
+	if _, err := Transform(x, 2, make([]float64, 1)); err == nil {
+		t.Error("expected error for small dst")
+	}
+}
+
+func TestMustTransformPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	MustTransform([]float64{1}, 2, make([]float64, 2))
+}
+
+// Property: PAA preserves the overall mean (the weighted mean of segment
+// means equals the series mean), for any length and segment count.
+func TestMeanPreservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(300)
+		l := 1 + rng.Intn(n)
+		x := make([]float64, n)
+		var mean float64
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			mean += x[i]
+		}
+		mean /= float64(n)
+		out, err := Transform(x, l, make([]float64, l))
+		if err != nil {
+			return false
+		}
+		var paaMean float64
+		for _, v := range out {
+			paaMean += v
+		}
+		paaMean /= float64(l)
+		return math.Abs(mean-paaMean) <= 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: each PAA value lies within [min(x), max(x)].
+func TestRangeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(100)
+		l := 1 + rng.Intn(n)
+		x := make([]float64, n)
+		min, max := math.Inf(1), math.Inf(-1)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			min = math.Min(min, x[i])
+			max = math.Max(max, x[i])
+		}
+		out, err := Transform(x, l, make([]float64, l))
+		if err != nil {
+			return false
+		}
+		for _, v := range out {
+			if v < min-1e-9 || v > max+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegmentLength(t *testing.T) {
+	if got := SegmentLength(256, 16); got != 16 {
+		t.Errorf("got %v", got)
+	}
+	if got := SegmentLength(100, 16); got != 6.25 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func BenchmarkTransform256x16(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, 256)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	dst := make([]float64, 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MustTransform(x, 16, dst)
+	}
+}

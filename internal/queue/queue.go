@@ -1,0 +1,126 @@
+// Package queue provides the lock-based concurrent min-priority queues that
+// MESSI-style query answering uses to order surviving leaf nodes by their
+// lower-bound distance (paper Section IV-C). Workers push leaves during the
+// tree-traversal phase and pop them in ascending LBD order during the
+// refinement phase, abandoning a queue as soon as its minimum exceeds the
+// best-so-far distance.
+package queue
+
+import (
+	"container/heap"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Item is a queue entry: an opaque payload ordered by Priority (the leaf's
+// lower-bound distance to the query).
+type Item struct {
+	Payload  any
+	Priority float64
+}
+
+type itemHeap []Item
+
+func (h itemHeap) Len() int           { return len(h) }
+func (h itemHeap) Less(i, j int) bool { return h[i].Priority < h[j].Priority }
+func (h itemHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *itemHeap) Push(x any)        { *h = append(*h, x.(Item)) }
+func (h *itemHeap) Pop() any          { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+
+// PQ is a mutex-protected min-heap. The zero value is ready to use.
+type PQ struct {
+	mu sync.Mutex
+	h  itemHeap
+}
+
+// Push inserts an item.
+func (q *PQ) Push(payload any, priority float64) {
+	q.mu.Lock()
+	heap.Push(&q.h, Item{Payload: payload, Priority: priority})
+	q.mu.Unlock()
+}
+
+// Pop removes and returns the minimum-priority item. ok is false when the
+// queue is empty.
+func (q *PQ) Pop() (it Item, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.h) == 0 {
+		return Item{}, false
+	}
+	return heap.Pop(&q.h).(Item), true
+}
+
+// PopIfBelow pops the minimum item only if its priority is strictly below
+// bound. It returns (item, true) on success; (min-priority, false) if the
+// head exceeds the bound or the queue is empty (priority is +Inf then).
+// This is the single-lock "check head and abandon" operation the MESSI
+// refinement loop performs.
+func (q *PQ) PopIfBelow(bound float64) (it Item, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.h) == 0 {
+		return Item{Priority: inf()}, false
+	}
+	if q.h[0].Priority >= bound {
+		return Item{Priority: q.h[0].Priority}, false
+	}
+	return heap.Pop(&q.h).(Item), true
+}
+
+// Drain empties the queue and returns the number of items discarded.
+func (q *PQ) Drain() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := len(q.h)
+	q.h = q.h[:0]
+	return n
+}
+
+// Len returns the current number of items.
+func (q *PQ) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.h)
+}
+
+func inf() float64 { return math.Inf(1) }
+
+// Set is a fixed collection of queues with a round-robin push cursor, as in
+// MESSI: leaves are distributed across queues to reduce lock contention, and
+// each worker drains queues starting from its own.
+type Set struct {
+	queues []PQ
+	cursor atomic.Uint64
+}
+
+// NewSet creates a set of n queues (n >= 1).
+func NewSet(n int) *Set {
+	if n < 1 {
+		n = 1
+	}
+	return &Set{queues: make([]PQ, n)}
+}
+
+// Size returns the number of queues.
+func (s *Set) Size() int { return len(s.queues) }
+
+// Queue returns the i-th queue.
+func (s *Set) Queue(i int) *PQ { return &s.queues[i] }
+
+// PushRoundRobin inserts the payload into the next queue in round-robin
+// order.
+func (s *Set) PushRoundRobin(payload any, priority float64) {
+	i := (s.cursor.Add(1) - 1) % uint64(len(s.queues))
+	s.queues[i].Push(payload, priority)
+}
+
+// TotalLen sums the lengths of all queues.
+func (s *Set) TotalLen() int {
+	var n int
+	for i := range s.queues {
+		n += s.queues[i].Len()
+	}
+	return n
+}

@@ -1,0 +1,146 @@
+package queue
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func TestPQOrdering(t *testing.T) {
+	var q PQ
+	prios := []float64{5, 1, 3, 2, 4}
+	for _, p := range prios {
+		q.Push(int(p), p)
+	}
+	var got []float64
+	for {
+		it, ok := q.Pop()
+		if !ok {
+			break
+		}
+		got = append(got, it.Priority)
+		if it.Payload.(int) != int(it.Priority) {
+			t.Errorf("payload %v does not match priority %v", it.Payload, it.Priority)
+		}
+	}
+	if !sort.Float64sAreSorted(got) {
+		t.Errorf("pop order not ascending: %v", got)
+	}
+	if len(got) != len(prios) {
+		t.Errorf("popped %d items, want %d", len(got), len(prios))
+	}
+}
+
+func TestPopEmpty(t *testing.T) {
+	var q PQ
+	if _, ok := q.Pop(); ok {
+		t.Error("Pop on empty queue should report !ok")
+	}
+}
+
+func TestPopIfBelow(t *testing.T) {
+	var q PQ
+	q.Push("a", 10)
+	q.Push("b", 5)
+	// Head (5) >= bound 5: refuse and report the head priority.
+	it, ok := q.PopIfBelow(5)
+	if ok || it.Priority != 5 {
+		t.Errorf("expected refusal with head priority 5, got %+v ok=%v", it, ok)
+	}
+	it, ok = q.PopIfBelow(6)
+	if !ok || it.Payload.(string) != "b" {
+		t.Errorf("expected pop of b, got %+v ok=%v", it, ok)
+	}
+	// Empty queue reports +Inf head.
+	q.Drain()
+	it, ok = q.PopIfBelow(100)
+	if ok || !math.IsInf(it.Priority, 1) {
+		t.Errorf("empty: got %+v ok=%v", it, ok)
+	}
+}
+
+func TestDrainAndLen(t *testing.T) {
+	var q PQ
+	for i := 0; i < 7; i++ {
+		q.Push(i, float64(i))
+	}
+	if q.Len() != 7 {
+		t.Errorf("Len: %d", q.Len())
+	}
+	if n := q.Drain(); n != 7 {
+		t.Errorf("Drain: %d", n)
+	}
+	if q.Len() != 0 {
+		t.Error("queue not empty after drain")
+	}
+}
+
+func TestConcurrentPushPop(t *testing.T) {
+	var q PQ
+	const workers = 8
+	const perWorker = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perWorker; i++ {
+				q.Push(i, rng.Float64())
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if q.Len() != workers*perWorker {
+		t.Fatalf("lost pushes: %d", q.Len())
+	}
+	var popped int
+	var wg2 sync.WaitGroup
+	var mu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg2.Add(1)
+		go func() {
+			defer wg2.Done()
+			local := 0
+			for {
+				if _, ok := q.Pop(); !ok {
+					break
+				}
+				local++
+			}
+			mu.Lock()
+			popped += local
+			mu.Unlock()
+		}()
+	}
+	wg2.Wait()
+	if popped != workers*perWorker {
+		t.Errorf("popped %d, want %d", popped, workers*perWorker)
+	}
+}
+
+func TestSetRoundRobin(t *testing.T) {
+	s := NewSet(4)
+	if s.Size() != 4 {
+		t.Fatalf("Size: %d", s.Size())
+	}
+	for i := 0; i < 12; i++ {
+		s.PushRoundRobin(i, float64(i))
+	}
+	if s.TotalLen() != 12 {
+		t.Errorf("TotalLen: %d", s.TotalLen())
+	}
+	for i := 0; i < 4; i++ {
+		if got := s.Queue(i).Len(); got != 3 {
+			t.Errorf("queue %d has %d items, want 3", i, got)
+		}
+	}
+}
+
+func TestNewSetMinimumSize(t *testing.T) {
+	if NewSet(0).Size() != 1 || NewSet(-3).Size() != 1 {
+		t.Error("NewSet should clamp to at least one queue")
+	}
+}

@@ -1,0 +1,24 @@
+package sax
+
+// Encoder adapts a Quantizer to the per-goroutine encoder shape shared with
+// sfa.Transformer: it owns the PAA scratch buffer so Word/QueryRepr are
+// allocation-free. Not safe for concurrent use; create one per worker.
+type Encoder struct {
+	q       *Quantizer
+	scratch []float64
+}
+
+// NewEncoder creates an encoder for the quantizer.
+func (q *Quantizer) NewEncoder() *Encoder {
+	return &Encoder{q: q, scratch: make([]float64, q.l)}
+}
+
+// Word computes the full-cardinality SAX word of series into dst.
+func (e *Encoder) Word(series []float64, dst []byte) ([]byte, error) {
+	return e.q.Word(series, dst, e.scratch)
+}
+
+// QueryRepr computes the PAA of the query into dst.
+func (e *Encoder) QueryRepr(query []float64, dst []float64) ([]float64, error) {
+	return e.q.QueryRepr(query, dst)
+}

@@ -1,0 +1,295 @@
+package sax
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/distance"
+)
+
+func TestNewQuantizerValidation(t *testing.T) {
+	cases := []struct{ n, l, bits int }{
+		{0, 1, 8}, {16, 0, 8}, {16, 32, 8}, {16, 4, 0}, {16, 4, 9},
+	}
+	for _, c := range cases {
+		if _, err := NewQuantizer(c.n, c.l, c.bits); err == nil {
+			t.Errorf("NewQuantizer(%d,%d,%d): expected error", c.n, c.l, c.bits)
+		}
+	}
+	if _, err := NewQuantizer(256, 16, 8); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	q, _ := NewQuantizer(256, 16, 8)
+	if q.Segments() != 16 || q.SeriesLen() != 256 || q.MaxBits() != 8 {
+		t.Error("accessor mismatch")
+	}
+	if len(q.Breakpoints(0)) != 255 {
+		t.Errorf("breakpoints: %d", len(q.Breakpoints(0)))
+	}
+	for _, w := range q.Weights() {
+		if w != 16 { // n/l = 256/16
+			t.Errorf("weight %v, want 16", w)
+		}
+	}
+}
+
+func TestBreakpointsSymmetricAndSorted(t *testing.T) {
+	q, _ := NewQuantizer(64, 8, 8)
+	bps := q.Breakpoints(0)
+	for i := 1; i < len(bps); i++ {
+		if bps[i] <= bps[i-1] {
+			t.Fatalf("breakpoints not strictly increasing at %d", i)
+		}
+	}
+	// Gaussian breakpoints are symmetric about zero.
+	for i := 0; i < len(bps)/2; i++ {
+		if math.Abs(bps[i]+bps[len(bps)-1-i]) > 1e-9 {
+			t.Errorf("breakpoints not symmetric: %v vs %v", bps[i], bps[len(bps)-1-i])
+		}
+	}
+	// Median breakpoint is 0 for even alphabet.
+	if math.Abs(bps[127]) > 1e-12 {
+		t.Errorf("middle breakpoint %v, want 0", bps[127])
+	}
+}
+
+func TestWordKnownValues(t *testing.T) {
+	// Alphabet 4 (2 bits): N(0,1) breakpoints ~ {-0.6745, 0, +0.6745}.
+	q, err := NewQuantizer(8, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PAA values: -2, -0.3, 0.3, 2 -> symbols 0, 1, 2, 3.
+	series := []float64{-2, -2, -0.3, -0.3, 0.3, 0.3, 2, 2}
+	word, err := q.Word(series, make([]byte, 4), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{0, 1, 2, 3}
+	for i := range want {
+		if word[i] != want[i] {
+			t.Errorf("symbol %d: got %d want %d (word %v)", i, word[i], want[i], word)
+		}
+	}
+}
+
+func TestWordValidation(t *testing.T) {
+	q, _ := NewQuantizer(16, 4, 8)
+	if _, err := q.Word(make([]float64, 8), make([]byte, 4), nil); err == nil {
+		t.Error("expected series length error")
+	}
+	if _, err := q.Word(make([]float64, 16), make([]byte, 2), nil); err == nil {
+		t.Error("expected dst length error")
+	}
+	if _, err := q.QueryRepr(make([]float64, 8), make([]float64, 4)); err == nil {
+		t.Error("expected query length error")
+	}
+}
+
+func TestSymbolBounds(t *testing.T) {
+	q, _ := NewQuantizer(16, 4, 2) // alphabet 4, bps {-q, 0, q}
+	bps := q.Breakpoints(0)
+	// Full cardinality (2 bits).
+	lo, hi := q.SymbolBounds(0, 2, 0)
+	if !math.IsInf(lo, -1) || hi != bps[0] {
+		t.Errorf("symbol 0: (%v,%v)", lo, hi)
+	}
+	lo, hi = q.SymbolBounds(0, 2, 3)
+	if lo != bps[2] || !math.IsInf(hi, 1) {
+		t.Errorf("symbol 3: (%v,%v)", lo, hi)
+	}
+	// 1-bit prefix 0 covers symbols {0,1}: (-inf, bps[1]=0).
+	lo, hi = q.SymbolBounds(0, 1, 0)
+	if !math.IsInf(lo, -1) || hi != bps[1] {
+		t.Errorf("prefix 0@1bit: (%v,%v)", lo, hi)
+	}
+	lo, hi = q.SymbolBounds(0, 1, 1)
+	if lo != bps[1] || !math.IsInf(hi, 1) {
+		t.Errorf("prefix 1@1bit: (%v,%v)", lo, hi)
+	}
+}
+
+func TestPrefixBoundsNest(t *testing.T) {
+	// The interval of a (bits)-wide prefix must contain the intervals of
+	// both its (bits+1)-wide children, for all levels.
+	q, _ := NewQuantizer(64, 8, 8)
+	for bits := 1; bits < 8; bits++ {
+		for prefix := 0; prefix < 1<<bits; prefix++ {
+			plo, phi := q.SymbolBounds(0, bits, byte(prefix))
+			for child := 0; child < 2; child++ {
+				clo, chi := q.SymbolBounds(0, bits+1, byte(prefix<<1|child))
+				if clo < plo || chi > phi {
+					t.Fatalf("child [%v,%v) escapes parent [%v,%v) at bits=%d prefix=%d",
+						clo, chi, plo, phi, bits, prefix)
+				}
+			}
+		}
+	}
+}
+
+func randomZNorm(rng *rand.Rand, n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	distance.ZNormalize(x)
+	return x
+}
+
+// The GEMINI invariant: mindist(PAA(Q), word(S)) <= ed²(Q, S).
+func TestLowerBoundProperty(t *testing.T) {
+	q, err := NewQuantizer(96, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		qs := randomZNorm(rng, 96)
+		cs := randomZNorm(rng, 96)
+		qr, err := q.QueryRepr(qs, make([]float64, 16))
+		if err != nil {
+			return false
+		}
+		word, err := q.Word(cs, make([]byte, 16), nil)
+		if err != nil {
+			return false
+		}
+		lb := q.MinDist(qr, word)
+		ed2 := distance.SquaredED(qs, cs)
+		return lb <= ed2+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Lower cardinality can only loosen (reduce) the mindist, never raise it.
+func TestCardinalityMonotonicityProperty(t *testing.T) {
+	q, err := NewQuantizer(64, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		qs := randomZNorm(rng, 64)
+		cs := randomZNorm(rng, 64)
+		qr, _ := q.QueryRepr(qs, make([]float64, 8))
+		word, _ := q.Word(cs, make([]byte, 8), nil)
+		prev := math.Inf(1)
+		for bits := 8; bits >= 1; bits-- {
+			w := make([]byte, 8)
+			cards := make([]uint8, 8)
+			for j := range w {
+				w[j] = word[j] >> (8 - bits)
+				cards[j] = uint8(bits)
+			}
+			d := q.MinDistVariable(qr, w, cards)
+			if d > prev+1e-12 {
+				return false
+			}
+			prev = d
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// MinDistVariable at full cardinality equals MinDist.
+func TestMinDistVariableMatchesFull(t *testing.T) {
+	q, _ := NewQuantizer(64, 8, 8)
+	rng := rand.New(rand.NewSource(42))
+	qs := randomZNorm(rng, 64)
+	cs := randomZNorm(rng, 64)
+	qr, _ := q.QueryRepr(qs, make([]float64, 8))
+	word, _ := q.Word(cs, make([]byte, 8), nil)
+	cards := []uint8{8, 8, 8, 8, 8, 8, 8, 8}
+	if d1, d2 := q.MinDist(qr, word), q.MinDistVariable(qr, word, cards); d1 != d2 {
+		t.Errorf("full-cardinality mismatch: %v vs %v", d1, d2)
+	}
+}
+
+func TestMinDistSelfIsZeroish(t *testing.T) {
+	// mindist of a series against its own word must be 0: its PAA values lie
+	// inside their own bins.
+	q, _ := NewQuantizer(128, 16, 8)
+	rng := rand.New(rand.NewSource(7))
+	s := randomZNorm(rng, 128)
+	qr, _ := q.QueryRepr(s, make([]float64, 16))
+	word, _ := q.Word(s, make([]byte, 16), nil)
+	if d := q.MinDist(qr, word); d != 0 {
+		t.Errorf("self mindist %v, want 0", d)
+	}
+}
+
+// The tightness of the bound must not decrease with alphabet size.
+func TestTightnessImprovesWithAlphabet(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	n := 128
+	var prevMean float64 = -1
+	for _, bits := range []int{2, 4, 8} {
+		q, err := NewQuantizer(n, 16, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		const trials = 50
+		for i := 0; i < trials; i++ {
+			a := randomZNorm(rng, n)
+			b := randomZNorm(rng, n)
+			qr, _ := q.QueryRepr(a, make([]float64, 16))
+			w, _ := q.Word(b, make([]byte, 16), nil)
+			sum += q.MinDist(qr, w)
+		}
+		mean := sum / trials
+		if mean < prevMean-1e-9 {
+			t.Errorf("bits=%d: mean LBD %v decreased from %v", bits, mean, prevMean)
+		}
+		prevMean = mean
+	}
+}
+
+func TestBoundsFromTable(t *testing.T) {
+	bps := []float64{1, 2, 3}
+	lo, hi := BoundsFromTable(bps, 2, 2, 0)
+	if !math.IsInf(lo, -1) || hi != 1 {
+		t.Errorf("(%v,%v)", lo, hi)
+	}
+	lo, hi = BoundsFromTable(bps, 2, 1, 1)
+	if lo != 2 || !math.IsInf(hi, 1) {
+		t.Errorf("(%v,%v)", lo, hi)
+	}
+}
+
+func BenchmarkWord256(b *testing.B) {
+	q, _ := NewQuantizer(256, 16, 8)
+	rng := rand.New(rand.NewSource(1))
+	s := randomZNorm(rng, 256)
+	dst := make([]byte, 16)
+	scratch := make([]float64, 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := q.Word(s, dst, scratch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMinDist(b *testing.B) {
+	q, _ := NewQuantizer(256, 16, 8)
+	rng := rand.New(rand.NewSource(2))
+	qs := randomZNorm(rng, 256)
+	cs := randomZNorm(rng, 256)
+	qr, _ := q.QueryRepr(qs, make([]float64, 16))
+	w, _ := q.Word(cs, make([]byte, 16), nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.MinDist(qr, w)
+	}
+}

@@ -1,0 +1,88 @@
+// Package scan implements the UCR Suite-P baseline (paper Section V):
+// a parallel sequential scan where each worker owns a contiguous segment of
+// the in-memory series array, computes SIMD-structured early-abandoning
+// Euclidean distances against a shared best-so-far bound, and synchronizes
+// only through that bound and the final merge.
+package scan
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/distance"
+	"repro/internal/index"
+)
+
+// Scanner performs exact k-NN queries by parallel sequential scan.
+type Scanner struct {
+	data    *distance.Matrix
+	workers int
+}
+
+// New creates a scanner over z-normalized data. workers <= 0 selects
+// GOMAXPROCS.
+func New(data *distance.Matrix, workers int) (*Scanner, error) {
+	if data == nil || data.Len() == 0 {
+		return nil, fmt.Errorf("scan: empty data")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > data.Len() {
+		workers = data.Len()
+	}
+	return &Scanner{data: data, workers: workers}, nil
+}
+
+// Search returns the exact k nearest neighbors of query under squared
+// z-normalized Euclidean distance, ascending. The query is z-normalized
+// internally.
+func (s *Scanner) Search(query []float64, k int) ([]index.Result, error) {
+	if len(query) != s.data.Stride {
+		return nil, fmt.Errorf("scan: query length %d, want %d", len(query), s.data.Stride)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("scan: k must be >= 1, got %d", k)
+	}
+	q := distance.ZNormalized(query)
+	n := s.data.Len()
+
+	// Shared best-so-far set: workers read the bound lock-free and offer
+	// improvements under a mutex, exactly like the index's refinement stage.
+	kn := index.NewKNNCollector(k)
+	chunk := (n + s.workers - 1) / s.workers
+	var wg sync.WaitGroup
+	for w := 0; w < s.workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				bound := kn.Bound()
+				d := distance.SquaredEDEarlyAbandon(s.data.Row(i), q, bound)
+				if d < bound {
+					kn.Offer(int32(i), d)
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return kn.Results(), nil
+}
+
+// Search1 returns the exact nearest neighbor.
+func (s *Scanner) Search1(query []float64) (index.Result, error) {
+	res, err := s.Search(query, 1)
+	if err != nil {
+		return index.Result{}, err
+	}
+	return res[0], nil
+}

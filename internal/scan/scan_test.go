@@ -1,0 +1,153 @@
+package scan
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/distance"
+)
+
+func testMatrix(rng *rand.Rand, count, n int) *distance.Matrix {
+	m := distance.NewMatrix(count, n)
+	for i := 0; i < count; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+	}
+	m.ZNormalizeAll()
+	return m
+}
+
+func bruteDists(m *distance.Matrix, query []float64) []float64 {
+	q := distance.ZNormalized(query)
+	out := make([]float64, m.Len())
+	for i := range out {
+		out[i] = distance.SquaredED(m.Row(i), q)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, 4); err == nil {
+		t.Error("expected error on nil data")
+	}
+	if _, err := New(distance.NewMatrix(0, 8), 4); err == nil {
+		t.Error("expected error on empty data")
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := testMatrix(rng, 20, 32)
+	s, err := New(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Search(make([]float64, 16), 1); err == nil {
+		t.Error("expected query length error")
+	}
+	if _, err := s.Search(make([]float64, 32), 0); err == nil {
+		t.Error("expected k error")
+	}
+}
+
+func TestExactness(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := testMatrix(rng, 500, 64)
+	for _, workers := range []int{1, 4, 16, 1000} {
+		s, err := New(m, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []int{1, 5, 100} {
+			query := make([]float64, 64)
+			for j := range query {
+				query[j] = rng.NormFloat64()
+			}
+			res, err := s.Search(query, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := bruteDists(m, query)[:k]
+			if len(res) != k {
+				t.Fatalf("workers=%d k=%d: %d results", workers, k, len(res))
+			}
+			for i := range want {
+				if math.Abs(res[i].Dist-want[i]) > 1e-7*(want[i]+1) {
+					t.Fatalf("workers=%d k=%d rank %d: got %v want %v", workers, k, i, res[i].Dist, want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSearch1(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := testMatrix(rng, 100, 32)
+	s, _ := New(m, 4)
+	r, err := s.Search1(m.Row(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != 42 || r.Dist > 1e-9 {
+		t.Errorf("self query: %+v", r)
+	}
+}
+
+// Property: the parallel scan agrees with brute force for random shapes.
+func TestExactnessProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := 20 + rng.Intn(200)
+		n := 8 + rng.Intn(120)
+		m := testMatrix(rng, count, n)
+		s, err := New(m, 1+rng.Intn(8))
+		if err != nil {
+			return false
+		}
+		query := make([]float64, n)
+		for j := range query {
+			query[j] = rng.NormFloat64()
+		}
+		k := 1 + rng.Intn(10)
+		res, err := s.Search(query, k)
+		if err != nil {
+			return false
+		}
+		want := bruteDists(m, query)
+		if k > count {
+			k = count
+		}
+		for i := 0; i < k; i++ {
+			if math.Abs(res[i].Dist-want[i]) > 1e-7*(want[i]+1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScan20k(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	m := testMatrix(rng, 20000, 128)
+	s, _ := New(m, 0)
+	query := make([]float64, 128)
+	for j := range query {
+		query[j] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Search1(query); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,481 @@
+// Package sfa implements the Symbolic Fourier Approximation and its learned
+// quantization, Multiple Coefficient Binning (MCB) — the paper's core
+// summarization (Section IV-E):
+//
+//  1. Transformation: series are mapped to the frequency domain with the DFT
+//     (coefficients scaled by 1/sqrt(n) so Parseval yields the Euclidean
+//     lower bound of Eq. 1 directly).
+//  2. Feature selection: of the first MaxCoeffs complex coefficients, the l
+//     real/imaginary values with the highest variance are retained (the
+//     paper's novel selection; the classical first-l strategy is kept for
+//     the ablation study).
+//  3. Learned quantization: each retained value gets its own alphabet-sized
+//     bin table learned from a sample of the data, with equi-width
+//     (the paper's choice) or equi-depth (original SFA) binning.
+//
+// The resulting words admit a lower-bounding distance to the true Euclidean
+// distance (Eq. 2), which the SOFA index uses for GEMINI-style pruning.
+package sfa
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/distance"
+	"repro/internal/fft"
+	"repro/internal/sax"
+	"repro/internal/stats"
+)
+
+// Binning selects the MCB bin-learning strategy.
+type Binning int
+
+const (
+	// EquiWidth bins divide the observed value range evenly — the paper's
+	// default, which maximizes interval width and thus the lower bound.
+	EquiWidth Binning = iota
+	// EquiDepth bins hold equal sample mass — the original SFA strategy,
+	// kept for the Section V-E ablation.
+	EquiDepth
+)
+
+func (b Binning) String() string {
+	switch b {
+	case EquiWidth:
+		return "EW"
+	case EquiDepth:
+		return "ED"
+	default:
+		return fmt.Sprintf("Binning(%d)", int(b))
+	}
+}
+
+// Selection selects the Fourier-value feature-selection strategy.
+type Selection int
+
+const (
+	// HighestVariance keeps the l values with the largest variance over the
+	// sample — the paper's contribution (Section IV-E2).
+	HighestVariance Selection = iota
+	// FirstCoefficients keeps the first l values (low-pass), the classical
+	// SFA strategy, kept for the ablation.
+	FirstCoefficients
+)
+
+func (s Selection) String() string {
+	switch s {
+	case HighestVariance:
+		return "VAR"
+	case FirstCoefficients:
+		return "FIRST"
+	default:
+		return fmt.Sprintf("Selection(%d)", int(s))
+	}
+}
+
+// Options configures MCB learning. The zero value is completed by
+// (*Options).withDefaults to the paper's defaults.
+type Options struct {
+	WordLength int       // l: number of real/imag values kept (default 16)
+	Bits       int       // bits per symbol; alphabet 2^Bits (default 8)
+	Binning    Binning   // default EquiWidth
+	Selection  Selection // default HighestVariance
+	SampleRate float64   // MCB sampling ratio r (default 0.01)
+	MaxCoeffs  int       // candidate pool: first MaxCoeffs complex coefficients (default 16)
+	Seed       int64     // sampling seed (default 1)
+	// MinSamples floors the MCB sample size (default 2048, capped at the
+	// dataset size). The paper's 1% rate targets collections of 10⁶–10⁸
+	// series; on laptop-scale datasets a raw 1% would leave too few samples
+	// to place 256 bins, so the floor keeps the learned quantization stable
+	// without changing behaviour at paper scale. Set to -1 to disable.
+	MinSamples int
+}
+
+func (o Options) withDefaults(n int) Options {
+	if o.WordLength == 0 {
+		o.WordLength = 16
+	}
+	if o.Bits == 0 {
+		o.Bits = 8
+	}
+	if o.SampleRate == 0 {
+		o.SampleRate = 0.01
+	}
+	if o.MaxCoeffs == 0 {
+		o.MaxCoeffs = 16
+	}
+	if max := n / 2; o.MaxCoeffs > max {
+		// Never exceed the available non-DC spectrum.
+		o.MaxCoeffs = max
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.MinSamples == 0 {
+		o.MinSamples = 2048
+	}
+	if o.MinSamples < 0 {
+		o.MinSamples = 1
+	}
+	return o
+}
+
+// Quantizer is a learned SFA summarization: the selected Fourier-value
+// indices and their per-value breakpoint tables. It is immutable after
+// Learn and safe for concurrent use; per-goroutine FFT state lives in
+// Transformer.
+type Quantizer struct {
+	n       int     // series length
+	l       int     // word length (number of values)
+	bits    int     // bits per symbol
+	opts    Options // effective options (after defaults)
+	indices []int   // selected value indices into the interleaved spectrum,
+	// ordered by decreasing variance (early-abandon priority)
+	variances []float64   // variance of each selected value, same order
+	bps       [][]float64 // l tables of (1<<bits)-1 breakpoints
+	weights   []float64   // Parseval weight per value: 2, or 1 for Nyquist
+	nCoeffs   int         // complex coefficients a Transformer must compute
+}
+
+// Learn runs MCB (Algorithm 1) over the dataset: sample, transform, select
+// values, learn bins. The matrix rows are assumed z-normalized (the paper
+// indexes z-normalized series; the DC coefficient is then 0 and is excluded
+// from the candidate pool).
+func Learn(data *distance.Matrix, opts Options) (*Quantizer, error) {
+	if data == nil || data.Len() == 0 {
+		return nil, fmt.Errorf("sfa: cannot learn from empty dataset")
+	}
+	n := data.Stride
+	o := opts.withDefaults(n)
+	if o.Bits < 1 || o.Bits > 8 {
+		return nil, fmt.Errorf("sfa: bits %d out of range [1,8]", o.Bits)
+	}
+	// Candidate values: real and imaginary parts of complex coefficients
+	// 1..MaxCoeffs (DC excluded).
+	candidates := candidateIndices(n, o.MaxCoeffs)
+	if len(candidates) < o.WordLength {
+		return nil, fmt.Errorf("sfa: word length %d exceeds %d candidate values (series length %d, MaxCoeffs %d)",
+			o.WordLength, len(candidates), n, o.MaxCoeffs)
+	}
+
+	sample := sampleRows(data, o.SampleRate, o.MinSamples, o.Seed)
+	plan, err := fft.NewPlan(n)
+	if err != nil {
+		return nil, err
+	}
+	nCoeffs := o.MaxCoeffs + 1 // coefficients 0..MaxCoeffs
+	spec := make([]float64, 2*nCoeffs)
+	// values[c][s]: value of candidate c for sample s.
+	values := make([][]float64, len(candidates))
+	for i := range values {
+		values[i] = make([]float64, len(sample))
+	}
+	for s, row := range sample {
+		if _, err := plan.ForwardReal(data.Row(row), nCoeffs, spec); err != nil {
+			return nil, err
+		}
+		for c, idx := range candidates {
+			values[c][s] = spec[idx]
+		}
+	}
+
+	// Feature selection (Section IV-E2).
+	vars := make([]float64, len(candidates))
+	for c := range candidates {
+		vars[c] = stats.Variance(values[c])
+	}
+	order := make([]int, len(candidates))
+	for i := range order {
+		order[i] = i
+	}
+	switch o.Selection {
+	case HighestVariance:
+		sort.SliceStable(order, func(a, b int) bool { return vars[order[a]] > vars[order[b]] })
+	case FirstCoefficients:
+		// candidates are already in ascending spectral order
+	default:
+		return nil, fmt.Errorf("sfa: unknown selection strategy %v", o.Selection)
+	}
+	chosen := order[:o.WordLength]
+
+	q := &Quantizer{
+		n:         n,
+		l:         o.WordLength,
+		bits:      o.Bits,
+		opts:      o,
+		indices:   make([]int, o.WordLength),
+		variances: make([]float64, o.WordLength),
+		bps:       make([][]float64, o.WordLength),
+		weights:   make([]float64, o.WordLength),
+		nCoeffs:   nCoeffs,
+	}
+	alpha := 1 << o.Bits
+	for j, c := range chosen {
+		idx := candidates[c]
+		q.indices[j] = idx
+		q.variances[j] = vars[c]
+		q.weights[j] = parsevalWeight(n, idx)
+		var bps []float64
+		switch o.Binning {
+		case EquiWidth:
+			bps, err = stats.EquiWidthBreakpoints(values[c], alpha)
+		case EquiDepth:
+			bps, err = stats.EquiDepthBreakpoints(values[c], alpha)
+		default:
+			err = fmt.Errorf("sfa: unknown binning strategy %v", o.Binning)
+		}
+		if err != nil {
+			return nil, err
+		}
+		q.bps[j] = bps
+	}
+	return q, nil
+}
+
+// candidateIndices returns the interleaved-spectrum value indices eligible
+// for selection: real and imaginary parts of coefficients 1..maxCoeffs,
+// excluding the imaginary Nyquist part (identically zero for even n).
+func candidateIndices(n, maxCoeffs int) []int {
+	var out []int
+	for k := 1; k <= maxCoeffs; k++ {
+		out = append(out, 2*k) // real part
+		if !(n%2 == 0 && k == n/2) {
+			out = append(out, 2*k+1) // imag part (skip Nyquist imag)
+		}
+	}
+	return out
+}
+
+// parsevalWeight returns the multiplicity of the value at interleaved index
+// idx in Parseval's identity: 2 for all coefficients except DC and (even n)
+// Nyquist, which appear once.
+func parsevalWeight(n, idx int) float64 {
+	k := idx / 2
+	if k == 0 || (n%2 == 0 && k == n/2) {
+		return 1
+	}
+	return 2
+}
+
+// sampleRows picks max(minSamples, rate*N) distinct row indices uniformly
+// without replacement, deterministically for a given seed.
+func sampleRows(data *distance.Matrix, rate float64, minSamples int, seed int64) []int {
+	n := data.Len()
+	k := int(math.Ceil(rate * float64(n)))
+	if k < minSamples {
+		k = minSamples
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k >= n {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)[:k]
+	sort.Ints(perm)
+	return perm
+}
+
+// Segments returns the word length l.
+func (q *Quantizer) Segments() int { return q.l }
+
+// SeriesLen returns the series length n.
+func (q *Quantizer) SeriesLen() int { return q.n }
+
+// MaxBits returns the bits per symbol at full cardinality.
+func (q *Quantizer) MaxBits() int { return q.bits }
+
+// Weights returns the per-value Parseval weights.
+func (q *Quantizer) Weights() []float64 { return q.weights }
+
+// Breakpoints returns the learned full-cardinality breakpoint table for the
+// j-th word position.
+func (q *Quantizer) Breakpoints(j int) []float64 { return q.bps[j] }
+
+// Indices returns the selected interleaved-spectrum value indices in
+// priority (descending variance) order.
+func (q *Quantizer) Indices() []int { return q.indices }
+
+// Variances returns the sample variance of each selected value.
+func (q *Quantizer) Variances() []float64 { return q.variances }
+
+// MeanCoefficientIndex returns the mean complex-coefficient index of the
+// selected values — the x-axis of the paper's Fig. 13.
+func (q *Quantizer) MeanCoefficientIndex() float64 {
+	if len(q.indices) == 0 {
+		return 0
+	}
+	var s float64
+	for _, idx := range q.indices {
+		s += float64(idx / 2)
+	}
+	return s / float64(len(q.indices))
+}
+
+// SymbolBounds returns the value interval covered by a symbol prefix of
+// width bits at word position j (variable-cardinality semantics shared with
+// iSAX).
+func (q *Quantizer) SymbolBounds(j int, bits int, prefix byte) (lo, hi float64) {
+	return sax.BoundsFromTable(q.bps[j], q.bits, bits, prefix)
+}
+
+// MinDist computes the squared SFA lower-bounding distance (Eq. 2 summed
+// with Parseval weights) between the query's selected DFT values qr and a
+// full-cardinality word. Scalar reference implementation.
+func (q *Quantizer) MinDist(qr []float64, word []byte) float64 {
+	var sum float64
+	for j := 0; j < q.l; j++ {
+		lo, hi := q.SymbolBounds(j, q.bits, word[j])
+		d := breakpointDist(qr[j], lo, hi)
+		sum += q.weights[j] * d * d
+	}
+	return sum
+}
+
+// MinDistVariable computes the squared mindist against a variable-
+// cardinality word (cards[j] bits per position).
+func (q *Quantizer) MinDistVariable(qr []float64, word []byte, cards []uint8) float64 {
+	var sum float64
+	for j := 0; j < q.l; j++ {
+		lo, hi := q.SymbolBounds(j, int(cards[j]), word[j])
+		d := breakpointDist(qr[j], lo, hi)
+		sum += q.weights[j] * d * d
+	}
+	return sum
+}
+
+func breakpointDist(v, lo, hi float64) float64 {
+	switch {
+	case v < lo:
+		return lo - v
+	case v > hi:
+		return v - hi
+	default:
+		return 0
+	}
+}
+
+// Transformer owns the per-goroutine FFT plan and scratch buffers needed to
+// transform series under a learned Quantizer. Not safe for concurrent use;
+// create one per worker.
+type Transformer struct {
+	q    *Quantizer
+	plan *fft.Plan
+	spec []float64
+}
+
+// NewTransformer creates a transformer for the quantizer.
+func (q *Quantizer) NewTransformer() *Transformer {
+	return &Transformer{
+		q:    q,
+		plan: fft.MustPlan(q.n),
+		spec: make([]float64, 2*q.nCoeffs),
+	}
+}
+
+// QueryRepr computes the query-side representation — the selected scaled DFT
+// values in priority order — into dst (length >= l), returning dst[:l].
+func (t *Transformer) QueryRepr(query []float64, dst []float64) ([]float64, error) {
+	if len(query) != t.q.n {
+		return nil, fmt.Errorf("sfa: query length %d, want %d", len(query), t.q.n)
+	}
+	if len(dst) < t.q.l {
+		return nil, fmt.Errorf("sfa: dst length %d < %d", len(dst), t.q.l)
+	}
+	if _, err := t.plan.ForwardReal(query, t.q.nCoeffs, t.spec); err != nil {
+		return nil, err
+	}
+	for j, idx := range t.q.indices {
+		dst[j] = t.spec[idx]
+	}
+	return dst[:t.q.l], nil
+}
+
+// Word computes the full-cardinality SFA word of series (Algorithm 2) into
+// dst (length >= l), returning dst[:l].
+func (t *Transformer) Word(series []float64, dst []byte) ([]byte, error) {
+	if len(series) != t.q.n {
+		return nil, fmt.Errorf("sfa: series length %d, want %d", len(series), t.q.n)
+	}
+	if len(dst) < t.q.l {
+		return nil, fmt.Errorf("sfa: dst length %d < %d", len(dst), t.q.l)
+	}
+	if _, err := t.plan.ForwardReal(series, t.q.nCoeffs, t.spec); err != nil {
+		return nil, err
+	}
+	for j, idx := range t.q.indices {
+		dst[j] = byte(stats.BinIndex(t.q.bps[j], t.spec[idx]))
+	}
+	return dst[:t.q.l], nil
+}
+
+// State is the serializable form of a learned Quantizer, used by index
+// persistence. All slices are deep copies.
+type State struct {
+	N, L, Bits, NCoeffs int
+	Indices             []int
+	Variances           []float64
+	Weights             []float64
+	Breakpoints         [][]float64
+}
+
+// State exports the quantizer's learned tables.
+func (q *Quantizer) State() State {
+	st := State{
+		N: q.n, L: q.l, Bits: q.bits, NCoeffs: q.nCoeffs,
+		Indices:     append([]int(nil), q.indices...),
+		Variances:   append([]float64(nil), q.variances...),
+		Weights:     append([]float64(nil), q.weights...),
+		Breakpoints: make([][]float64, len(q.bps)),
+	}
+	for j, bps := range q.bps {
+		st.Breakpoints[j] = append([]float64(nil), bps...)
+	}
+	return st
+}
+
+// FromState reconstructs a Quantizer from a serialized State, validating
+// structural consistency.
+func FromState(st State) (*Quantizer, error) {
+	if st.N < 1 || st.L < 1 || st.Bits < 1 || st.Bits > 8 {
+		return nil, fmt.Errorf("sfa: invalid state dimensions n=%d l=%d bits=%d", st.N, st.L, st.Bits)
+	}
+	if len(st.Indices) != st.L || len(st.Weights) != st.L || len(st.Breakpoints) != st.L {
+		return nil, fmt.Errorf("sfa: state slice lengths do not match word length %d", st.L)
+	}
+	if st.NCoeffs < 1 || st.NCoeffs > st.N/2+1 {
+		return nil, fmt.Errorf("sfa: invalid coefficient count %d for series length %d", st.NCoeffs, st.N)
+	}
+	wantBPs := (1 << st.Bits) - 1
+	for j, bps := range st.Breakpoints {
+		if len(bps) != wantBPs {
+			return nil, fmt.Errorf("sfa: position %d has %d breakpoints, want %d", j, len(bps), wantBPs)
+		}
+		if !sort.Float64sAreSorted(bps) {
+			return nil, fmt.Errorf("sfa: position %d breakpoints not sorted", j)
+		}
+	}
+	for _, idx := range st.Indices {
+		if idx < 0 || idx >= 2*st.NCoeffs {
+			return nil, fmt.Errorf("sfa: value index %d out of range [0,%d)", idx, 2*st.NCoeffs)
+		}
+	}
+	q := &Quantizer{
+		n: st.N, l: st.L, bits: st.Bits, nCoeffs: st.NCoeffs,
+		indices:   append([]int(nil), st.Indices...),
+		variances: append([]float64(nil), st.Variances...),
+		weights:   append([]float64(nil), st.Weights...),
+		bps:       make([][]float64, st.L),
+	}
+	for j, bps := range st.Breakpoints {
+		q.bps[j] = append([]float64(nil), bps...)
+	}
+	return q, nil
+}

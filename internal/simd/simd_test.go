@@ -1,0 +1,189 @@
+package simd
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLoad(t *testing.T) {
+	v := Load([]float64{1, 2, 3})
+	want := Vec{1, 2, 3, 0, 0, 0, 0, 0}
+	if v != want {
+		t.Errorf("partial load: got %v", v)
+	}
+	long := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	v = Load(long)
+	for i := 0; i < Width; i++ {
+		if v[i] != long[i] {
+			t.Errorf("lane %d: got %v", i, v[i])
+		}
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	v := Broadcast(2.5)
+	for i := range v {
+		if v[i] != 2.5 {
+			t.Errorf("lane %d: got %v", i, v[i])
+		}
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	a := Vec{1, 2, 3, 4, 5, 6, 7, 8}
+	b := Vec{8, 7, 6, 5, 4, 3, 2, 1}
+	if got := Add(a, b); got != Broadcast(9) {
+		t.Errorf("Add: %v", got)
+	}
+	if got := Sub(a, a); got != (Vec{}) {
+		t.Errorf("Sub: %v", got)
+	}
+	if got := Mul(a, Broadcast(2)); got != (Vec{2, 4, 6, 8, 10, 12, 14, 16}) {
+		t.Errorf("Mul: %v", got)
+	}
+	if got := FMA(a, Broadcast(0), b); got != b {
+		t.Errorf("FMA with zero multiplier: %v", got)
+	}
+}
+
+func TestCompareAndBlend(t *testing.T) {
+	a := Vec{1, 5, 3, 7, 2, 8, 4, 6}
+	b := Broadcast(4)
+	lt := CmpLT(a, b)
+	wantLT := Mask{true, false, true, false, true, false, false, false}
+	if lt != wantLT {
+		t.Errorf("CmpLT: %v", lt)
+	}
+	gt := CmpGT(a, b)
+	ge := CmpGE(a, b)
+	if gt[6] || !ge[6] { // a[6]==4: not >, but >=
+		t.Error("CmpGT/CmpGE boundary semantics wrong")
+	}
+	blended := Blend(lt, a, b)
+	for i := range blended {
+		want := b[i]
+		if lt[i] {
+			want = a[i]
+		}
+		if blended[i] != want {
+			t.Errorf("Blend lane %d: got %v want %v", i, blended[i], want)
+		}
+	}
+}
+
+func TestMaskLogic(t *testing.T) {
+	a := Mask{true, true, false, false, true, false, true, false}
+	b := Mask{true, false, true, false, true, true, false, false}
+	and := And(a, b)
+	if and != (Mask{true, false, false, false, true, false, false, false}) {
+		t.Errorf("And: %v", and)
+	}
+	andnot := AndNot(a, b)
+	if andnot != (Mask{false, true, false, false, false, false, true, false}) {
+		t.Errorf("AndNot: %v", andnot)
+	}
+	if Not(a) != (Mask{false, false, true, true, false, true, false, true}) {
+		t.Errorf("Not: %v", Not(a))
+	}
+	if !Any(a) || Any(Mask{}) {
+		t.Error("Any wrong")
+	}
+	if All(a) || !All(Mask{true, true, true, true, true, true, true, true}) {
+		t.Error("All wrong")
+	}
+}
+
+func TestSum(t *testing.T) {
+	if got := Sum(Vec{1, 2, 3, 4, 5, 6, 7, 8}); got != 36 {
+		t.Errorf("Sum: %v", got)
+	}
+	if got := Sum(Vec{}); got != 0 {
+		t.Errorf("Sum zero: %v", got)
+	}
+}
+
+func TestMaskedAccumulate(t *testing.T) {
+	v := Vec{1, 2, 3, 4, 0, 0, 0, 0}
+	m := Mask{true, false, true, false, true, true, true, true}
+	if got := MaskedAccumulate(m, v); got != 1+9 {
+		t.Errorf("MaskedAccumulate: %v", got)
+	}
+}
+
+// Property: for any vectors, the three-way masked blend used by the LBD
+// kernel (UPPER/LOWER/ZERO) selects exactly one branch per lane and the
+// blended result equals a scalar reference implementation.
+func TestThreeWayBlendProperty(t *testing.T) {
+	f := func(q, lo, hi [Width]float64) bool {
+		vq, vlo, vhi := Vec(q), Vec(lo), Vec(hi)
+		// Normalize so lo <= hi per lane.
+		for i := range vlo {
+			if vlo[i] > vhi[i] {
+				vlo[i], vhi[i] = vhi[i], vlo[i]
+			}
+		}
+		below := CmpLT(vq, vlo)
+		above := CmpGT(vq, vhi)
+		distLo := Sub(vlo, vq)
+		distHi := Sub(vq, vhi)
+		d := Blend(below, distLo, Blend(above, distHi, Vec{}))
+		for i := 0; i < Width; i++ {
+			var want float64
+			switch {
+			case vq[i] < vlo[i]:
+				want = vlo[i] - vq[i]
+			case vq[i] > vhi[i]:
+				want = vq[i] - vhi[i]
+			default:
+				want = 0
+			}
+			if d[i] != want {
+				return false
+			}
+			if below[i] && above[i] {
+				return false // branches must be mutually exclusive
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Sum equals the naive lane sum.
+func TestSumProperty(t *testing.T) {
+	f := func(raw [Width]float64) bool {
+		var x [Width]float64
+		for i, v := range raw {
+			// Map arbitrary floats into a well-conditioned range so the
+			// pairwise and sequential sums agree to rounding error.
+			x[i] = math.Remainder(v, 1e6)
+			if math.IsNaN(x[i]) {
+				x[i] = 0
+			}
+		}
+		var want float64
+		for _, v := range x {
+			want += v
+		}
+		got := Sum(Vec(x))
+		diff := got - want
+		if diff < 0 {
+			diff = -diff
+		}
+		mag := 1.0
+		for _, v := range x {
+			if v > mag {
+				mag = v
+			} else if -v > mag {
+				mag = -v
+			}
+		}
+		return diff <= 1e-9*mag*Width
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

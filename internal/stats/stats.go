@@ -1,0 +1,403 @@
+// Package stats provides the statistical primitives used across the SOFA
+// reproduction: moments, quantiles, histogram binning (equi-width and
+// equi-depth, as used by SFA's Multiple Coefficient Binning), correlation,
+// and the rank statistics behind the paper's critical-difference diagrams
+// (Fig. 15).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of x, or 0 for an empty slice.
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s / float64(len(x))
+}
+
+// MeanStd returns the mean and the population standard deviation of x.
+// For len(x) == 0 it returns (0, 0).
+func MeanStd(x []float64) (mean, std float64) {
+	if len(x) == 0 {
+		return 0, 0
+	}
+	mean = Mean(x)
+	var ss float64
+	for _, v := range x {
+		d := v - mean
+		ss += d * d
+	}
+	return mean, math.Sqrt(ss / float64(len(x)))
+}
+
+// Variance returns the population variance of x.
+func Variance(x []float64) float64 {
+	_, std := MeanStd(x)
+	return std * std
+}
+
+// Median returns the median of x without modifying it.
+func Median(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), x...)
+	sort.Float64s(s)
+	m := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[m]
+	}
+	return (s[m-1] + s[m]) / 2
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of x using linear
+// interpolation between order statistics, without modifying x.
+func Quantile(x []float64, q float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), x...)
+	sort.Float64s(s)
+	return quantileSorted(s, q)
+}
+
+func quantileSorted(s []float64, q float64) float64 {
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// MinMax returns the minimum and maximum of x. It panics on empty input.
+func MinMax(x []float64) (min, max float64) {
+	if len(x) == 0 {
+		panic("stats: MinMax of empty slice")
+	}
+	min, max = x[0], x[0]
+	for _, v := range x[1:] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return min, max
+}
+
+// EquiWidthBreakpoints computes the numBins-1 interior breakpoints dividing
+// [min(x), max(x)] into bins of equal width. If all values coincide, the
+// breakpoints collapse onto that value (every symbol maps to the same bin,
+// which keeps the lower bound trivially valid at distance 0).
+func EquiWidthBreakpoints(x []float64, numBins int) ([]float64, error) {
+	if numBins < 2 {
+		return nil, fmt.Errorf("stats: numBins must be >= 2, got %d", numBins)
+	}
+	if len(x) == 0 {
+		return nil, fmt.Errorf("stats: cannot bin empty data")
+	}
+	min, max := MinMax(x)
+	bps := make([]float64, numBins-1)
+	width := (max - min) / float64(numBins)
+	for i := range bps {
+		bps[i] = min + width*float64(i+1)
+	}
+	return bps, nil
+}
+
+// EquiDepthBreakpoints computes the numBins-1 interior breakpoints such that
+// each bin holds (approximately) the same number of samples — the original
+// SFA quantization from Schäfer & Högqvist (EDBT 2012).
+func EquiDepthBreakpoints(x []float64, numBins int) ([]float64, error) {
+	if numBins < 2 {
+		return nil, fmt.Errorf("stats: numBins must be >= 2, got %d", numBins)
+	}
+	if len(x) == 0 {
+		return nil, fmt.Errorf("stats: cannot bin empty data")
+	}
+	s := append([]float64(nil), x...)
+	sort.Float64s(s)
+	bps := make([]float64, numBins-1)
+	for i := range bps {
+		q := float64(i+1) / float64(numBins)
+		bps[i] = quantileSorted(s, q)
+	}
+	return bps, nil
+}
+
+// BinIndex locates v within the bins delimited by the sorted interior
+// breakpoints bps, returning a symbol in [0, len(bps)]. Bin k covers the
+// half-open interval [bps[k-1], bps[k]): values below the first breakpoint
+// map to 0 and values >= the last breakpoint map to len(bps).
+func BinIndex(bps []float64, v float64) int {
+	lo, hi := 0, len(bps)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v >= bps[mid] {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Pearson returns the Pearson correlation coefficient of the paired samples
+// x and y. It returns an error when lengths differ or fewer than two pairs
+// are supplied, and 0 when either side has zero variance.
+func Pearson(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("stats: Pearson length mismatch %d vs %d", len(x), len(y))
+	}
+	if len(x) < 2 {
+		return 0, fmt.Errorf("stats: Pearson needs at least 2 pairs, got %d", len(x))
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, nil
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// NormalQuantile returns the quantile function (inverse CDF) of the standard
+// Normal distribution, used to derive the fixed iSAX breakpoints. It is
+// implemented via the stdlib inverse error function.
+func NormalQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	return math.Sqrt2 * math.Erfinv(2*p-1)
+}
+
+// Ranks assigns fractional ranks (1 = smallest) to x, averaging ties — the
+// convention used for critical-difference diagrams.
+func Ranks(x []float64) []float64 {
+	n := len(x)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return x[idx[a]] < x[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && x[idx[j+1]] == x[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// MeanRanks computes, for a score matrix scores[dataset][method], the mean
+// rank of each method across datasets. lowerIsBetter selects the ranking
+// direction (rank 1 goes to the best method).
+func MeanRanks(scores [][]float64, lowerIsBetter bool) ([]float64, error) {
+	if len(scores) == 0 {
+		return nil, fmt.Errorf("stats: MeanRanks needs at least one dataset row")
+	}
+	m := len(scores[0])
+	sums := make([]float64, m)
+	for _, row := range scores {
+		if len(row) != m {
+			return nil, fmt.Errorf("stats: ragged score matrix")
+		}
+		vals := append([]float64(nil), row...)
+		if !lowerIsBetter {
+			for i := range vals {
+				vals[i] = -vals[i]
+			}
+		}
+		r := Ranks(vals)
+		for i, v := range r {
+			sums[i] += v
+		}
+	}
+	for i := range sums {
+		sums[i] /= float64(len(scores))
+	}
+	return sums, nil
+}
+
+// WilcoxonSignedRank runs the two-sided Wilcoxon signed-rank test on paired
+// samples and returns an approximate p-value using the Normal approximation
+// (adequate for the >=17 datasets used in the paper's Fig. 15). Pairs with
+// zero difference are dropped.
+func WilcoxonSignedRank(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("stats: Wilcoxon length mismatch %d vs %d", len(a), len(b))
+	}
+	var diffs []float64
+	for i := range a {
+		if d := a[i] - b[i]; d != 0 {
+			diffs = append(diffs, d)
+		}
+	}
+	n := len(diffs)
+	if n < 1 {
+		return 1, nil // identical samples: no evidence of difference
+	}
+	abs := make([]float64, n)
+	for i, d := range diffs {
+		abs[i] = math.Abs(d)
+	}
+	ranks := Ranks(abs)
+	var wPlus float64
+	for i, d := range diffs {
+		if d > 0 {
+			wPlus += ranks[i]
+		}
+	}
+	mu := float64(n*(n+1)) / 4
+	sigma := math.Sqrt(float64(n*(n+1)*(2*n+1)) / 24)
+	if sigma == 0 {
+		return 1, nil
+	}
+	z := (wPlus - mu) / sigma
+	p := 2 * (1 - normalCDF(math.Abs(z)))
+	if p > 1 {
+		p = 1
+	}
+	return p, nil
+}
+
+func normalCDF(x float64) float64 {
+	return 0.5 * (1 + math.Erf(x/math.Sqrt2))
+}
+
+// HolmCliques performs Wilcoxon-Holm post-hoc analysis over a score matrix
+// scores[dataset][method] and returns, for every method pair (i<j), whether
+// the null hypothesis "no difference" is retained at level alpha after Holm
+// correction. Retained pairs form the horizontal cliques in a
+// critical-difference diagram.
+func HolmCliques(scores [][]float64, alpha float64) (retained [][2]int, err error) {
+	if len(scores) == 0 {
+		return nil, fmt.Errorf("stats: empty score matrix")
+	}
+	m := len(scores[0])
+	type pairP struct {
+		i, j int
+		p    float64
+	}
+	var pairs []pairP
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			ai := make([]float64, len(scores))
+			bj := make([]float64, len(scores))
+			for d, row := range scores {
+				ai[d] = row[i]
+				bj[d] = row[j]
+			}
+			p, werr := WilcoxonSignedRank(ai, bj)
+			if werr != nil {
+				return nil, werr
+			}
+			pairs = append(pairs, pairP{i, j, p})
+		}
+	}
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].p < pairs[b].p })
+	k := len(pairs)
+	rejected := make(map[[2]int]bool)
+	for idx, pr := range pairs {
+		adj := alpha / float64(k-idx)
+		if pr.p < adj {
+			rejected[[2]int{pr.i, pr.j}] = true
+		} else {
+			break // Holm: once one is retained, all later (larger p) are too
+		}
+	}
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			if !rejected[[2]int{i, j}] {
+				retained = append(retained, [2]int{i, j})
+			}
+		}
+	}
+	return retained, nil
+}
+
+// Describe summarizes x with the five statistics the figure harness prints
+// for box plots (Fig. 10): min, 25th, median, 75th, max.
+type Summary struct {
+	Min, Q25, Median, Q75, Max float64
+	Mean                       float64
+	N                          int
+}
+
+// Summarize computes a five-number summary plus mean.
+func Summarize(x []float64) Summary {
+	if len(x) == 0 {
+		return Summary{}
+	}
+	s := append([]float64(nil), x...)
+	sort.Float64s(s)
+	return Summary{
+		Min:    s[0],
+		Q25:    quantileSorted(s, 0.25),
+		Median: quantileSorted(s, 0.5),
+		Q75:    quantileSorted(s, 0.75),
+		Max:    s[len(s)-1],
+		Mean:   Mean(s),
+		N:      len(s),
+	}
+}
+
+// Skewness returns the sample skewness of x (0 for symmetric data).
+func Skewness(x []float64) float64 {
+	mean, std := MeanStd(x)
+	if std == 0 || len(x) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range x {
+		d := (v - mean) / std
+		s += d * d * d
+	}
+	return s / float64(len(x))
+}
+
+// Kurtosis returns the excess kurtosis of x (0 for a Normal distribution).
+func Kurtosis(x []float64) float64 {
+	mean, std := MeanStd(x)
+	if std == 0 || len(x) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range x {
+		d := (v - mean) / std
+		s += d * d * d * d
+	}
+	return s/float64(len(x)) - 3
+}

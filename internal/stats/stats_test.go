@@ -1,0 +1,421 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3, 4}, 2.5},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.in); got != c.want {
+			t.Errorf("Mean(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	mean, std := MeanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if mean != 5 || std != 2 {
+		t.Errorf("got (%v,%v), want (5,2)", mean, std)
+	}
+	if m, s := MeanStd(nil); m != 0 || s != 0 {
+		t.Errorf("empty: got (%v,%v)", m, s)
+	}
+}
+
+func TestVarianceConstantSeries(t *testing.T) {
+	if v := Variance([]float64{3, 3, 3, 3}); v != 0 {
+		t.Errorf("constant series variance = %v, want 0", v)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("odd: got %v", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Errorf("even: got %v", got)
+	}
+	if got := Median(nil); got != 0 {
+		t.Errorf("empty: got %v", got)
+	}
+	// Median must not reorder the input.
+	x := []float64{9, 1, 5}
+	Median(x)
+	if x[0] != 9 || x[1] != 1 || x[2] != 5 {
+		t.Error("Median mutated its input")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.75, 4}, {-1, 1}, {2, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(x, c.q); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, -2, 7, 0})
+	if min != -2 || max != 7 {
+		t.Errorf("got (%v,%v)", min, max)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on empty input")
+		}
+	}()
+	MinMax(nil)
+}
+
+func TestEquiWidthBreakpoints(t *testing.T) {
+	bps, err := EquiWidthBreakpoints([]float64{0, 10}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2.5, 5, 7.5}
+	for i := range want {
+		if !almostEqual(bps[i], want[i], 1e-12) {
+			t.Errorf("bps[%d] = %v, want %v", i, bps[i], want[i])
+		}
+	}
+	if _, err := EquiWidthBreakpoints(nil, 4); err == nil {
+		t.Error("expected error on empty data")
+	}
+	if _, err := EquiWidthBreakpoints([]float64{1}, 1); err == nil {
+		t.Error("expected error on numBins < 2")
+	}
+}
+
+func TestEquiWidthConstantData(t *testing.T) {
+	bps, err := EquiWidthBreakpoints([]float64{5, 5, 5}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range bps {
+		if b != 5 {
+			t.Errorf("constant data breakpoint %v, want 5", b)
+		}
+	}
+}
+
+func TestEquiDepthBreakpoints(t *testing.T) {
+	// 100 uniform values: quartile breakpoints near 25/50/75.
+	x := make([]float64, 101)
+	for i := range x {
+		x[i] = float64(i)
+	}
+	bps, err := EquiDepthBreakpoints(x, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{25, 50, 75}
+	for i := range want {
+		if !almostEqual(bps[i], want[i], 1e-9) {
+			t.Errorf("bps[%d] = %v, want %v", i, bps[i], want[i])
+		}
+	}
+}
+
+func TestBreakpointsAreSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x := make([]float64, 500)
+	for i := range x {
+		x[i] = rng.NormFloat64() * 10
+	}
+	for _, numBins := range []int{2, 4, 16, 256} {
+		for name, fn := range map[string]func([]float64, int) ([]float64, error){
+			"EW": EquiWidthBreakpoints, "ED": EquiDepthBreakpoints,
+		} {
+			bps, err := fn(x, numBins)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(bps) != numBins-1 {
+				t.Fatalf("%s: got %d breakpoints, want %d", name, len(bps), numBins-1)
+			}
+			if !sort.Float64sAreSorted(bps) {
+				t.Errorf("%s bins=%d: breakpoints not sorted", name, numBins)
+			}
+		}
+	}
+}
+
+func TestBinIndex(t *testing.T) {
+	bps := []float64{1, 2, 3}
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{0.5, 0}, {1, 1}, {1.5, 1}, {2, 2}, {2.9, 2}, {3, 3}, {100, 3},
+		{math.Inf(-1), 0}, {math.Inf(1), 3},
+	}
+	for _, c := range cases {
+		if got := BinIndex(bps, c.v); got != c.want {
+			t.Errorf("BinIndex(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+// Property: BinIndex(bps, v) always returns k such that v lies in
+// [bps[k-1], bps[k]) under the half-open convention.
+func TestBinIndexProperty(t *testing.T) {
+	f := func(vals [8]float64, v float64) bool {
+		bps := append([]float64(nil), vals[:]...)
+		sort.Float64s(bps)
+		k := BinIndex(bps, v)
+		if k < 0 || k > len(bps) {
+			return false
+		}
+		if k > 0 && v < bps[k-1] {
+			return false
+		}
+		if k < len(bps) && v >= bps[k] {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	r, err := Pearson(x, y)
+	if err != nil || !almostEqual(r, 1, 1e-12) {
+		t.Errorf("perfect correlation: got %v err %v", r, err)
+	}
+	yneg := []float64{10, 8, 6, 4, 2}
+	r, _ = Pearson(x, yneg)
+	if !almostEqual(r, -1, 1e-12) {
+		t.Errorf("perfect anti-correlation: got %v", r)
+	}
+	flat := []float64{3, 3, 3, 3, 3}
+	r, err = Pearson(x, flat)
+	if err != nil || r != 0 {
+		t.Errorf("zero variance: got %v err %v", r, err)
+	}
+	if _, err := Pearson(x, y[:3]); err == nil {
+		t.Error("expected length mismatch error")
+	}
+	if _, err := Pearson(x[:1], y[:1]); err == nil {
+		t.Error("expected too-few-pairs error")
+	}
+}
+
+func TestNormalQuantile(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.8413447460685429, 1}, // Phi(1)
+		{0.9772498680518208, 2}, // Phi(2)
+	}
+	for _, c := range cases {
+		if got := NormalQuantile(c.p); !almostEqual(got, c.want, 1e-9) {
+			t.Errorf("NormalQuantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !math.IsInf(NormalQuantile(0), -1) || !math.IsInf(NormalQuantile(1), 1) {
+		t.Error("tails should be infinite")
+	}
+	// Symmetry.
+	if got := NormalQuantile(0.25) + NormalQuantile(0.75); !almostEqual(got, 0, 1e-12) {
+		t.Errorf("symmetry violated: %v", got)
+	}
+}
+
+func TestRanks(t *testing.T) {
+	r := Ranks([]float64{10, 20, 30})
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("Ranks basic: got %v", r)
+		}
+	}
+	// Ties average: {5, 5, 1} -> ranks {2.5, 2.5, 1}.
+	r = Ranks([]float64{5, 5, 1})
+	if r[0] != 2.5 || r[1] != 2.5 || r[2] != 1 {
+		t.Errorf("tie handling: got %v", r)
+	}
+}
+
+func TestMeanRanks(t *testing.T) {
+	// Two datasets, three methods; method 0 always best (lowest).
+	scores := [][]float64{
+		{1, 2, 3},
+		{1, 3, 2},
+	}
+	mr, err := MeanRanks(scores, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mr[0] != 1 || mr[1] != 2.5 || mr[2] != 2.5 {
+		t.Errorf("got %v", mr)
+	}
+	// Higher-is-better flips the ranking.
+	mr, _ = MeanRanks(scores, false)
+	if mr[0] != 3 {
+		t.Errorf("higher-is-better: got %v", mr)
+	}
+	if _, err := MeanRanks(nil, true); err == nil {
+		t.Error("expected empty matrix error")
+	}
+	if _, err := MeanRanks([][]float64{{1, 2}, {1}}, true); err == nil {
+		t.Error("expected ragged matrix error")
+	}
+}
+
+func TestWilcoxonSignedRank(t *testing.T) {
+	// Identical samples: p = 1.
+	a := []float64{1, 2, 3, 4, 5}
+	p, err := WilcoxonSignedRank(a, a)
+	if err != nil || p != 1 {
+		t.Errorf("identical: p=%v err=%v", p, err)
+	}
+	// Strong consistent difference across 20 pairs: small p.
+	x := make([]float64, 20)
+	y := make([]float64, 20)
+	rng := rand.New(rand.NewSource(8))
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = x[i] + 5 + rng.Float64()
+	}
+	p, err = WilcoxonSignedRank(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 0.01 {
+		t.Errorf("strong difference: p=%v, want < 0.01", p)
+	}
+	if _, err := WilcoxonSignedRank(x, y[:5]); err == nil {
+		t.Error("expected length mismatch error")
+	}
+}
+
+func TestHolmCliques(t *testing.T) {
+	// Methods 0 and 1 identical; method 2 much worse. Expect (0,1) retained,
+	// (0,2) and (1,2) rejected.
+	rng := rand.New(rand.NewSource(9))
+	var scores [][]float64
+	for d := 0; d < 25; d++ {
+		base := rng.Float64()
+		scores = append(scores, []float64{base, base + (rng.Float64()-0.5)*1e-9, base + 10 + rng.Float64()})
+	}
+	retained, err := HolmCliques(scores, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	has := func(i, j int) bool {
+		for _, p := range retained {
+			if p[0] == i && p[1] == j {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(0, 1) {
+		t.Error("expected (0,1) retained as indistinguishable")
+	}
+	if has(0, 2) || has(1, 2) {
+		t.Errorf("expected method 2 to differ; retained=%v", retained)
+	}
+	if _, err := HolmCliques(nil, 0.05); err == nil {
+		t.Error("expected empty matrix error")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.Min != 1 || s.Max != 5 || s.Median != 3 || s.Q25 != 2 || s.Q75 != 4 || s.Mean != 3 || s.N != 5 {
+		t.Errorf("got %+v", s)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Errorf("empty: got %+v", z)
+	}
+}
+
+// Property: equi-depth bins on a large sample put roughly equal counts in
+// every bin.
+func TestEquiDepthBalanceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := make([]float64, 4000)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		const bins = 8
+		bps, err := EquiDepthBreakpoints(x, bins)
+		if err != nil {
+			return false
+		}
+		counts := make([]int, bins)
+		for _, v := range x {
+			counts[BinIndex(bps, v)]++
+		}
+		for _, c := range counts {
+			// Each bin should hold 500 +- 25% of the mass.
+			if c < 350 || c > 650 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSkewnessKurtosis(t *testing.T) {
+	// Symmetric data: zero skew.
+	sym := []float64{-2, -1, 0, 1, 2}
+	if s := Skewness(sym); math.Abs(s) > 1e-12 {
+		t.Errorf("symmetric skew %v", s)
+	}
+	// Right-skewed data: positive skew.
+	skewed := []float64{0, 0, 0, 0, 10}
+	if s := Skewness(skewed); s <= 0 {
+		t.Errorf("right-skewed skew %v", s)
+	}
+	// Large Normal sample: excess kurtosis near 0.
+	rng := rand.New(rand.NewSource(42))
+	normal := make([]float64, 200000)
+	for i := range normal {
+		normal[i] = rng.NormFloat64()
+	}
+	if k := Kurtosis(normal); math.Abs(k) > 0.1 {
+		t.Errorf("Normal kurtosis %v, want ~0", k)
+	}
+	// Heavy-tailed (exponential) sample: positive excess kurtosis.
+	exp := make([]float64, 100000)
+	for i := range exp {
+		exp[i] = rng.ExpFloat64()
+	}
+	if k := Kurtosis(exp); k < 1 {
+		t.Errorf("exponential kurtosis %v, want > 1", k)
+	}
+	if Skewness(nil) != 0 || Kurtosis(nil) != 0 {
+		t.Error("empty input should report 0")
+	}
+	if Skewness([]float64{5, 5}) != 0 || Kurtosis([]float64{5, 5}) != 0 {
+		t.Error("constant input should report 0")
+	}
+}
