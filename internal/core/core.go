@@ -19,8 +19,6 @@ package core
 import (
 	"fmt"
 	"runtime"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/distance"
@@ -180,6 +178,10 @@ func (ix *Index) SFAQuantizer() *sfa.Quantizer { return ix.sfaQ }
 
 // Searcher answers exact similarity queries against the index. Create one
 // per querying goroutine; a single Search parallelizes internally.
+//
+// Result slices returned by Search/SearchApproximate/SearchEpsilon are owned
+// by the Searcher and reused by its next call — copy them if they must
+// survive. SearchBatch returns freshly allocated slices.
 type Searcher struct{ s *index.Searcher }
 
 // NewSearcher creates a searcher.
@@ -219,9 +221,9 @@ func (s *Searcher) SearchEpsilon(query []float64, k int, epsilon float64) ([]ind
 }
 
 // SearchBatch answers a batch of queries with inter-query parallelism: up
-// to workers queries run concurrently, each on a single-worker searcher
-// (the FAISS protocol from the paper's Section V). workers <= 0 selects
-// GOMAXPROCS. Results are in query order.
+// to workers queries run concurrently, each on a pooled single-threaded
+// searcher (the FAISS protocol from the paper's Section V). workers <= 0
+// selects GOMAXPROCS. Results are in query order and safe to retain.
 func (ix *Index) SearchBatch(queries *distance.Matrix, k, workers int) ([][]index.Result, error) {
 	if queries == nil || queries.Len() == 0 {
 		return nil, fmt.Errorf("core: empty query batch")
@@ -229,45 +231,14 @@ func (ix *Index) SearchBatch(queries *distance.Matrix, k, workers int) ([][]inde
 	if queries.Stride != ix.SeriesLen() {
 		return nil, fmt.Errorf("core: query length %d, want %d", queries.Stride, ix.SeriesLen())
 	}
-	if k < 1 {
-		return nil, fmt.Errorf("core: k must be >= 1, got %d", k)
-	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > queries.Len() {
-		workers = queries.Len()
+	rows := make([][]float64, queries.Len())
+	for i := range rows {
+		rows[i] = queries.Row(i)
 	}
-	out := make([][]index.Result, queries.Len())
-	errs := make([]error, workers)
-	var cursor atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			s := ix.NewSearcher()
-			for {
-				i := int(cursor.Add(1) - 1)
-				if i >= queries.Len() {
-					return
-				}
-				res, err := s.Search(queries.Row(i), k)
-				if err != nil {
-					errs[w] = err
-					return
-				}
-				out[i] = res
-			}
-		}(w)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
+	return ix.tree.BatchSearchWorkers(rows, k, workers)
 }
 
 // Insert adds one series to the index (z-normalized internally) and returns

@@ -18,18 +18,27 @@ import (
 // ZNormalize z-normalizes x in place (mean 0, standard deviation 1). A
 // constant series (zero variance) becomes all zeros rather than NaN, the
 // convention used by the UCR suite.
+//
+// The variance is computed two-pass (mean first, then squared deviations)
+// rather than as sumSq/n − mean²: the one-pass form cancels catastrophically
+// when the mean dominates the spread (e.g. a sensor series around 1e8 with
+// unit oscillation loses all significant digits of its variance).
 func ZNormalize(x []float64) {
 	if len(x) == 0 {
 		return
 	}
-	var sum, sumSq float64
+	var sum float64
 	for _, v := range x {
 		sum += v
-		sumSq += v * v
 	}
 	n := float64(len(x))
 	mean := sum / n
-	variance := sumSq/n - mean*mean
+	var variance float64
+	for _, v := range x {
+		d := v - mean
+		variance += d * d
+	}
+	variance /= n
 	if variance < 1e-12 {
 		for i := range x {
 			x[i] = 0

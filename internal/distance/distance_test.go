@@ -24,6 +24,44 @@ func TestZNormalize(t *testing.T) {
 	}
 }
 
+// Regression: a large offset must not destroy the variance. The one-pass
+// sumSq/n − mean² form loses all significant digits at mean ~1e8 (both terms
+// are ~1e16 while their difference is 0.5), normalizing the series into
+// garbage; the two-pass form keeps full precision.
+func TestZNormalizeLargeMean(t *testing.T) {
+	const n = 256
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 1e8 + math.Sin(float64(i))
+	}
+	ZNormalize(x)
+	var sum, sumSq float64
+	for _, v := range x {
+		sum += v
+		sumSq += v * v
+	}
+	// Tolerances reflect float64's inherent rounding when summing 256 values
+	// of magnitude 1e8 (~1e-7 absolute); the one-pass form is off by O(1).
+	if math.Abs(sum/n) > 1e-6 {
+		t.Errorf("mean not 0 after large-offset normalize: %v", sum/n)
+	}
+	if math.Abs(sumSq/n-1) > 1e-6 {
+		t.Errorf("variance not 1 after large-offset normalize: %v", sumSq/n)
+	}
+	// The shape must survive: normalized values track sin(i) up to the
+	// affine map, so consecutive differences must correlate perfectly.
+	want := make([]float64, n)
+	for i := range want {
+		want[i] = math.Sin(float64(i))
+	}
+	ZNormalize(want)
+	for i := range x {
+		if math.Abs(x[i]-want[i]) > 1e-5 {
+			t.Fatalf("index %d: offset series normalized to %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
 func TestZNormalizeConstantSeries(t *testing.T) {
 	x := []float64{5, 5, 5, 5}
 	ZNormalize(x)

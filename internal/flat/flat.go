@@ -61,15 +61,16 @@ func (ix *Index) Search(query []float64, k int) ([]index.Result, error) {
 		return nil, fmt.Errorf("flat: k must be >= 1, got %d", k)
 	}
 	q := distance.ZNormalized(query)
-	return ix.searchNormalized(q, k), nil
+	return ix.searchNormalized(q, k, index.NewKNNCollector(k)), nil
 }
 
-func (ix *Index) searchNormalized(q []float64, k int) []index.Result {
+// searchNormalized scans every row against the already-normalized query,
+// collecting into kn (which the caller Resets for reuse across a batch).
+func (ix *Index) searchNormalized(q []float64, k int, kn *index.KNNCollector) []index.Result {
 	var qn float64
 	for _, v := range q {
 		qn += v * v
 	}
-	kn := index.NewKNNCollector(k)
 	n := ix.data.Len()
 	for i := 0; i < n; i++ {
 		d := qn - 2*distance.Dot(q, ix.data.Row(i)) + ix.norms[i]
@@ -106,13 +107,20 @@ func (ix *Index) SearchBatch(queries *distance.Matrix, k int) ([][]index.Result,
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Per-worker scratch: the z-normalized query buffer and the k-NN
+			// collector are reused across the whole batch, so the scan loop
+			// itself performs no per-query allocations.
+			qbuf := make([]float64, ix.data.Stride)
+			kn := index.NewKNNCollector(k)
 			for {
 				i := next()
 				if i >= queries.Len() {
 					return
 				}
-				q := distance.ZNormalized(queries.Row(i))
-				out[i] = ix.searchNormalized(q, k)
+				copy(qbuf, queries.Row(i))
+				distance.ZNormalize(qbuf)
+				kn.Reset(k)
+				out[i] = ix.searchNormalized(qbuf, k, kn)
 			}
 		}()
 	}

@@ -2,17 +2,16 @@ package index
 
 import (
 	"fmt"
-	"math"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/distance"
-	"repro/internal/queue"
 )
 
-// This file implements the approximate-search modes the paper lists as
-// future work (Section VI), following the semantics established for the
-// iSAX family (Echihabi et al., "Return of the Lernaean Hydra"):
+// This file implements the shared query engine plus the approximate-search
+// modes the paper lists as future work (Section VI), following the semantics
+// established for the iSAX family (Echihabi et al., "Return of the Lernaean
+// Hydra"):
 //
 //   - SearchApproximate: the classical iSAX approximate search — visit only
 //     the single most promising leaf and return its best candidates. No
@@ -23,10 +22,9 @@ import (
 //     guaranteed within a factor (1+ε) of the true k-NN distance, and
 //     ε = 0 degenerates to exact search.
 
-// SearchApproximate returns up to k approximate nearest neighbors from the
-// query's best-matching leaf only, in ascending distance order. The answer
-// is a valid upper bound on the true k-NN distances.
-func (s *Searcher) SearchApproximate(query []float64, k int) ([]Result, error) {
+// prepareQuery z-normalizes the query into the searcher's scratch buffer and
+// computes its representation and word. No allocations in steady state.
+func (s *Searcher) prepareQuery(query []float64, k int) ([]float64, error) {
 	t := s.t
 	if len(query) != t.data.Stride {
 		return nil, fmt.Errorf("index: query length %d, want %d", len(query), t.data.Stride)
@@ -34,18 +32,38 @@ func (s *Searcher) SearchApproximate(query []float64, k int) ([]Result, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("index: k must be >= 1, got %d", k)
 	}
-	q := distance.ZNormalized(query)
-	if _, err := s.enc.QueryRepr(q, s.qr); err != nil {
+	copy(s.qbuf, query)
+	distance.ZNormalize(s.qbuf)
+	if _, err := s.enc.QueryRepr(s.qbuf, s.qr); err != nil {
 		return nil, err
 	}
-	if _, err := s.enc.Word(q, s.qword); err != nil {
+	if _, err := s.enc.Word(s.qbuf, s.qword); err != nil {
 		return nil, err
 	}
-	kn := NewKNNCollector(k)
+	return s.qbuf, nil
+}
+
+// finishResults snapshots the collector into the searcher-owned result
+// buffer (sorted ascending) and returns it.
+func (s *Searcher) finishResults() []Result {
+	s.resBuf = s.kn.ResultsAppend(s.resBuf[:0])
+	return s.resBuf
+}
+
+// SearchApproximate returns up to k approximate nearest neighbors from the
+// query's best-matching leaf only, in ascending distance order. The answer
+// is a valid upper bound on the true k-NN distances. Like Search, the
+// returned slice is owned by the Searcher and reused by its next call.
+func (s *Searcher) SearchApproximate(query []float64, k int) ([]Result, error) {
+	q, err := s.prepareQuery(query, k)
+	if err != nil {
+		return nil, err
+	}
+	s.kn.Reset(k)
 	if leaf := s.approximateLeaf(); leaf != nil {
-		s.processLeafReal(leaf, q, kn)
+		s.processLeafReal(leaf, q, &s.kn)
 	}
-	return kn.Results(), nil
+	return s.finishResults(), nil
 }
 
 // SearchEpsilon returns k neighbors whose distances are each within a
@@ -64,35 +82,45 @@ func (s *Searcher) SearchEpsilon(query []float64, k int, epsilon float64) ([]Res
 // lower bound is >= bound*pruneScale; any skipped candidate therefore has
 // true distance >= bound*pruneScale, i.e. the reported answers are within
 // 1/pruneScale of optimal in the squared domain.
+//
+// All per-query state lives in Searcher scratch. With one worker (or a
+// serial searcher, as in BatchSearch) the engine runs inline — no goroutines,
+// no WaitGroups — and performs zero heap allocations in steady state.
 func (s *Searcher) search(query []float64, k int, pruneScale float64) ([]Result, error) {
 	t := s.t
-	if len(query) != t.data.Stride {
-		return nil, fmt.Errorf("index: query length %d, want %d", len(query), t.data.Stride)
-	}
-	if k < 1 {
-		return nil, fmt.Errorf("index: k must be >= 1, got %d", k)
-	}
-	q := distance.ZNormalized(query)
-	if _, err := s.enc.QueryRepr(q, s.qr); err != nil {
-		return nil, err
-	}
-	if _, err := s.enc.Word(q, s.qword); err != nil {
+	q, err := s.prepareQuery(query, k)
+	if err != nil {
 		return nil, err
 	}
 	s.kern.qr = s.qr
+	s.dt.build(&s.kern, t.gather.alphabet)
 	s.nodesVisited.Store(0)
 	s.leavesRefined.Store(0)
 	s.seriesLBD.Store(0)
 	s.seriesED.Store(0)
 
-	kn := NewKNNCollector(k)
+	kn := &s.kn
+	kn.Reset(k)
 	approx := s.approximateLeaf()
 	if approx != nil {
 		s.processLeafReal(approx, q, kn)
 	}
 
 	workers := t.opts.Workers
-	set := queue.NewSet(t.opts.Queues)
+	if s.serial {
+		workers = 1
+	}
+	set := s.set
+	set.Reset()
+
+	if workers == 1 {
+		for _, rk := range t.rootKeys {
+			s.traverseScaled(t.root[rk], kn, approx, pruneScale)
+		}
+		s.drainScaled(0, q, kn, pruneScale)
+		return s.finishResults(), nil
+	}
+
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -104,7 +132,7 @@ func (s *Searcher) search(query []float64, k int, pruneScale float64) ([]Result,
 				if i >= len(t.rootKeys) {
 					return
 				}
-				s.traverseScaled(t.root[t.rootKeys[i]], set, kn, approx, pruneScale)
+				s.traverseScaled(t.root[t.rootKeys[i]], kn, approx, pruneScale)
 			}
 		}()
 	}
@@ -115,14 +143,14 @@ func (s *Searcher) search(query []float64, k int, pruneScale float64) ([]Result,
 		wg2.Add(1)
 		go func(start int) {
 			defer wg2.Done()
-			s.drainScaled(start, set, q, kn, pruneScale)
+			s.drainScaled(start, q, kn, pruneScale)
 		}(w % set.Size())
 	}
 	wg2.Wait()
-	return kn.Results(), nil
+	return s.finishResults(), nil
 }
 
-func (s *Searcher) traverseScaled(n *node, set *queue.Set, kn *KNNCollector, skip *node, scale float64) {
+func (s *Searcher) traverseScaled(n *node, kn *KNNCollector, skip *node, scale float64) {
 	if n.count == 0 || n == skip {
 		return
 	}
@@ -132,49 +160,51 @@ func (s *Searcher) traverseScaled(n *node, set *queue.Set, kn *KNNCollector, ski
 		return
 	}
 	if n.isLeaf() {
-		set.PushRoundRobin(n, d)
+		s.set.PushRoundRobin(n, d)
 		return
 	}
-	s.traverseScaled(n.children[0], set, kn, skip, scale)
-	s.traverseScaled(n.children[1], set, kn, skip, scale)
+	s.traverseScaled(n.children[0], kn, skip, scale)
+	s.traverseScaled(n.children[1], kn, skip, scale)
 }
 
-func (s *Searcher) drainScaled(start int, set *queue.Set, q []float64, kn *KNNCollector, scale float64) {
+// drainScaled pops surviving leaves in ascending lower-bound order and
+// refines them. Refinement streams each leaf's contiguous word block through
+// the flat per-query distance table (the hot loop is sequential loads from
+// two arrays), and reads the shared BSF atomic once per boundRefreshInterval
+// series — re-reading early only when this worker improves the k-NN set.
+func (s *Searcher) drainScaled(start int, q []float64, kn *KNNCollector, scale float64) {
 	t := s.t
+	set := s.set
+	l := t.l
 	for qi := 0; qi < set.Size(); qi++ {
 		pq := set.Queue((start + qi) % set.Size())
 		for {
-			it, ok := pq.PopIfBelow(scaledBound(kn, scale))
+			it, ok := pq.PopIfBelow(kn.Bound() * scale)
 			if !ok {
 				break
 			}
-			leaf := it.Payload.(*node)
+			leaf := it.Payload
 			s.leavesRefined.Add(1)
+			words := leaf.words
 			var nLBD, nED int64
-			for _, id := range leaf.ids {
-				bound := kn.Bound()
+			bound := kn.Bound()
+			for i, id := range leaf.ids {
+				if i%boundRefreshInterval == 0 {
+					bound = kn.Bound()
+				}
 				pruneAt := bound * scale
-				word := t.words[int(id)*t.l : (int(id)+1)*t.l]
 				nLBD++
-				if lb := s.kern.minDistEA(word, pruneAt); lb >= pruneAt {
+				if lb := s.dt.minDistEA(words[i*l:(i+1)*l], pruneAt); lb >= pruneAt {
 					continue
 				}
 				nED++
 				d := distance.SquaredEDEarlyAbandon(t.data.Row(int(id)), q, bound)
-				if d < bound {
-					kn.Offer(id, d)
+				if d < bound && kn.Offer(id, d) {
+					bound = kn.Bound()
 				}
 			}
 			s.seriesLBD.Add(nLBD)
 			s.seriesED.Add(nED)
 		}
 	}
-}
-
-func scaledBound(kn *KNNCollector, scale float64) float64 {
-	b := kn.Bound()
-	if math.IsInf(b, 1) {
-		return b
-	}
-	return b * scale
 }

@@ -1,0 +1,92 @@
+package index
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/queue"
+)
+
+// serialSearchers is a reusable pool of single-threaded searchers used by
+// BatchSearch: each worker checks one out for the duration of the batch, so
+// repeated batches reuse the same scratch (encoders, distance tables,
+// queues, collectors) instead of rebuilding it per call.
+func (t *Tree) serialSearcher() *Searcher {
+	if s, ok := t.searchers.Get().(*Searcher); ok {
+		return s
+	}
+	s := t.NewSearcher()
+	s.serial = true
+	// A single-threaded searcher gains nothing from the multi-queue split
+	// (it exists to spread lock contention between workers) and loses
+	// refinement order across queues; one queue drains leaves in global
+	// ascending-LBD order, tightening the BSF fastest.
+	s.set = queue.NewSet[*node](1)
+	return s
+}
+
+// BatchSearch answers many independent queries with inter-query parallelism:
+// up to the tree's configured worker count run concurrently, each on a
+// pooled single-threaded Searcher (mirroring flat.SearchBatch's mini-batch
+// protocol — throughput from embarrassing parallelism across queries rather
+// than latency from parallelism inside one). Results are returned in query
+// order; unlike Searcher.Search, the returned slices are freshly allocated
+// and safe to retain.
+func (t *Tree) BatchSearch(queries [][]float64, k int) ([][]Result, error) {
+	return t.BatchSearchWorkers(queries, k, t.opts.Workers)
+}
+
+// BatchSearchWorkers is BatchSearch with an explicit concurrency cap
+// (workers <= 0 selects the tree's configured worker count).
+func (t *Tree) BatchSearchWorkers(queries [][]float64, k, workers int) ([][]Result, error) {
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("index: empty query batch")
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("index: k must be >= 1, got %d", k)
+	}
+	for i, q := range queries {
+		if len(q) != t.data.Stride {
+			return nil, fmt.Errorf("index: query %d length %d, want %d", i, len(q), t.data.Stride)
+		}
+	}
+	if workers <= 0 {
+		workers = t.opts.Workers
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	out := make([][]Result, len(queries))
+	errs := make([]error, workers)
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := t.serialSearcher()
+			defer t.searchers.Put(s)
+			for {
+				i := int(cursor.Add(1) - 1)
+				if i >= len(queries) {
+					return
+				}
+				res, err := s.Search(queries[i], k)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				// res aliases the pooled searcher's buffer; copy it out.
+				out[i] = append([]Result(nil), res...)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,124 @@
+package index
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/sfa"
+)
+
+func TestBatchSearchValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	m := randomWalkMatrix(rng, 100, 64)
+	tr, err := Build(m, newSAXSum(t, 64, 8, 8), Options{LeafCapacity: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.BatchSearch(nil, 1); err == nil {
+		t.Error("expected error on empty batch")
+	}
+	if _, err := tr.BatchSearch([][]float64{make([]float64, 64)}, 0); err == nil {
+		t.Error("expected error on k=0")
+	}
+	if _, err := tr.BatchSearch([][]float64{make([]float64, 32)}, 1); err == nil {
+		t.Error("expected error on wrong query length")
+	}
+}
+
+// BatchSearch must return exactly what per-query Search returns, in query
+// order, across worker counts — and the returned slices must be safe to
+// retain (no aliasing of pooled searcher buffers).
+func TestBatchSearchMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	n := 96
+	m := mixedMatrix(rng, 600, n)
+	sum := newSFASum(t, m, sfa.Options{SampleRate: 0.2})
+	tr, err := Build(m, sum, Options{LeafCapacity: 32, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := make([][]float64, 30)
+	for i := range queries {
+		q := make([]float64, n)
+		for j := range q {
+			q[j] = rng.NormFloat64()
+		}
+		queries[i] = q
+	}
+	const k = 5
+	want := make([][]Result, len(queries))
+	s := tr.NewSearcher()
+	for i, q := range queries {
+		res, err := s.Search(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = append([]Result(nil), res...) // Search reuses its buffer
+	}
+	for _, workers := range []int{1, 3, 16} {
+		got, err := tr.BatchSearchWorkers(queries, k, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range queries {
+			if len(got[i]) != len(want[i]) {
+				t.Fatalf("workers=%d query %d: %d results, want %d", workers, i, len(got[i]), len(want[i]))
+			}
+			for r := range want[i] {
+				if got[i][r] != want[i][r] {
+					t.Fatalf("workers=%d query %d rank %d: got %+v want %+v",
+						workers, i, r, got[i][r], want[i][r])
+				}
+			}
+		}
+	}
+	// Second batch on the same tree reuses the pooled searchers and must
+	// not corrupt the first batch's retained results.
+	again, err := tr.BatchSearch(queries, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range queries {
+		for r := range want[i] {
+			if again[i][r] != want[i][r] {
+				t.Fatalf("second batch query %d rank %d diverged", i, r)
+			}
+		}
+	}
+}
+
+// BenchmarkBatchSearchQPS measures end-to-end batched query throughput —
+// the first throughput-oriented (many queries per second) benchmark, as
+// opposed to the latency-oriented BenchmarkSearch1NN.
+func BenchmarkBatchSearchQPS(b *testing.B) {
+	rng := rand.New(rand.NewSource(53))
+	m := mixedMatrix(rng, 20000, 128)
+	q, err := sfa.Learn(m, sfa.Options{SampleRate: 0.05})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := Build(m, sfaSum{q}, Options{LeafCapacity: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := make([][]float64, 4*runtime.GOMAXPROCS(0))
+	for i := range queries {
+		qv := make([]float64, 128)
+		for j := range qv {
+			qv[j] = rng.NormFloat64()
+		}
+		queries[i] = qv
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.BatchSearch(queries, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(b.N*len(queries))/secs, "queries/s")
+	}
+}

@@ -1,0 +1,163 @@
+package index
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/distance"
+	"repro/internal/sfa"
+)
+
+// Steady-state exact search must perform zero heap allocations: all scratch
+// (query copy, representation, word, flat distance table, collector, queues,
+// result buffer) is owned by the Searcher, and the single-worker engine runs
+// inline without goroutine fan-out.
+func TestSearchZeroAllocSteadyState(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	n := 128
+	m := mixedMatrix(rng, 2000, n)
+	for name, sum := range map[string]Summarization{
+		"SFA": newSFASum(t, m, sfa.Options{SampleRate: 0.2}),
+		"SAX": newSAXSum(t, n, 16, 8),
+	} {
+		t.Run(name, func(t *testing.T) {
+			tr, err := Build(m, sum, Options{LeafCapacity: 64, Workers: 1, Queues: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := tr.NewSearcher()
+			query := make([]float64, n)
+			for j := range query {
+				query[j] = rng.NormFloat64()
+			}
+			// Warm up: grow every pooled buffer to its steady-state size.
+			for i := 0; i < 3; i++ {
+				if _, err := s.Search(query, 10); err != nil {
+					t.Fatal(err)
+				}
+			}
+			avg := testing.AllocsPerRun(50, func() {
+				if _, err := s.Search(query, 10); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if avg != 0 {
+				t.Errorf("steady-state Search allocates %v allocs/op, want 0", avg)
+			}
+		})
+	}
+}
+
+// The flat per-query distance table is the default refinement kernel; it
+// must agree bit-for-bit (not just within tolerance) with the scalar
+// reference: both accumulate the identical per-position terms in the same
+// order.
+func TestFlatTableBitForBitScalar(t *testing.T) {
+	sum, g, enc, m := ablationFixture(t)
+	dt := &distTable{}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		query := make([]float64, 128)
+		for j := range query {
+			query[j] = r.NormFloat64()
+		}
+		distance.ZNormalize(query)
+		qr := make([]float64, 16)
+		if _, err := enc.QueryRepr(query, qr); err != nil {
+			return false
+		}
+		k := kernel{qr: qr, weights: sum.Weights(), g: g, l: 16}
+		dt.build(&k, 1<<sum.MaxBits()) // reused across seeds, as in the searcher
+		word := make([]byte, 16)
+		if _, err := enc.Word(m.Row(r.Intn(m.Len())), word); err != nil {
+			return false
+		}
+		return dt.minDistEA(word, math.Inf(1)) == k.minDistScalar(word)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Leaf refinement blocks must mirror the global word buffer after build and
+// stay consistent through post-build inserts (including leaf splits).
+func TestLeafBlocksConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	n := 64
+	m := mixedMatrix(rng, 500, n)
+	tr, err := Build(m, newSAXSum(t, n, 8, 8), Options{LeafCapacity: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("after build: %v", err)
+	}
+	enc := tr.Encoder()
+	for i := 0; i < 200; i++ {
+		series := make([]float64, n)
+		for j := range series {
+			series[j] = rng.NormFloat64()
+		}
+		distance.ZNormalize(series)
+		if _, err := tr.Insert(series, enc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("after inserts: %v", err)
+	}
+	// Search over the mutated tree stays exact.
+	s := tr.NewSearcher()
+	for qi := 0; qi < 10; qi++ {
+		query := make([]float64, n)
+		for j := range query {
+			query[j] = rng.NormFloat64()
+		}
+		res, err := s.Search(query, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteKNN(tr.data, query, 3)
+		for i := range want {
+			if math.Abs(res[i].Dist-want[i]) > 1e-7*(want[i]+1) {
+				t.Fatalf("query %d rank %d: got %v want %v", qi, i, res[i].Dist, want[i])
+			}
+		}
+	}
+}
+
+// The pooled result buffer means consecutive searches on one Searcher reuse
+// the same backing array; the documented contract is that results are valid
+// until the next call. Verify the values are correct immediately after each
+// call even when k varies.
+func TestResultBufferReuseAcrossK(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	n := 64
+	m := mixedMatrix(rng, 300, n)
+	tr, err := Build(m, newSAXSum(t, n, 8, 8), Options{LeafCapacity: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tr.NewSearcher()
+	query := make([]float64, n)
+	for j := range query {
+		query[j] = rng.NormFloat64()
+	}
+	for _, k := range []int{10, 1, 5, 50, 2} {
+		res, err := s.Search(query, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteKNN(m, query, k)
+		if len(res) != len(want) {
+			t.Fatalf("k=%d: %d results, want %d", k, len(res), len(want))
+		}
+		for i := range want {
+			if math.Abs(res[i].Dist-want[i]) > 1e-7*(want[i]+1) {
+				t.Fatalf("k=%d rank %d: got %v want %v", k, i, res[i].Dist, want[i])
+			}
+		}
+	}
+}

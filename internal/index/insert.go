@@ -42,6 +42,7 @@ func (t *Tree) Insert(series []float64, enc Encoder) (int32, error) {
 		n = n.children[b]
 	}
 	n.ids = append(n.ids, id)
+	n.words = append(n.words, word...) // keep the leaf refinement block row-aligned with ids
 	n.count++
 	if len(n.ids) > t.opts.LeafCapacity && !n.noSplit {
 		t.splitToCapacity(n)
@@ -73,6 +74,8 @@ func (t *Tree) insertRootKey(key uint64) {
 //   - every series id appears in exactly one leaf;
 //   - each leaf series' word matches every prefix on its path (the symbol
 //     prefix of the node at the node's cardinality);
+//   - each leaf's contiguous refinement block mirrors the global word
+//     buffer row-for-row;
 //   - inner node counts equal the sum of their children's;
 //   - child prefixes extend their parent's at the split position;
 //   - no splittable leaf exceeds the leaf capacity.
@@ -86,6 +89,18 @@ func (t *Tree) CheckInvariants() error {
 			}
 			if len(n.ids) > t.opts.LeafCapacity && !n.noSplit {
 				return fmt.Errorf("splittable leaf of size %d exceeds capacity %d", len(n.ids), t.opts.LeafCapacity)
+			}
+			if len(n.words) != len(n.ids)*t.l {
+				return fmt.Errorf("leaf block has %d bytes, want %d", len(n.words), len(n.ids)*t.l)
+			}
+			for i, id := range n.ids {
+				blockRow := n.words[i*t.l : (i+1)*t.l]
+				globalRow := t.words[int(id)*t.l : (int(id)+1)*t.l]
+				for j := range blockRow {
+					if blockRow[j] != globalRow[j] {
+						return fmt.Errorf("leaf block row %d diverges from global word of series %d", i, id)
+					}
+				}
 			}
 			for _, id := range n.ids {
 				if id < 0 || int(id) >= t.data.Len() {

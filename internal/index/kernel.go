@@ -10,22 +10,28 @@ import (
 // symbol, the lower and upper interval bounds — the precomputed form of the
 // paper's Gather_bound step (Algorithm 3, line 5). They depend only on the
 // summarization, so the tree builds them once.
+//
+// The tables are stored flat ([l*alphabet], indexed j*alphabet+sym) rather
+// than as ragged [][]float64: one allocation, one base pointer, and no
+// per-position slice-header load in the kernel inner loop.
 type gatherTables struct {
-	lower [][]float64 // [l][alphabet]
-	upper [][]float64 // [l][alphabet]
+	lower    []float64 // [l*alphabet]
+	upper    []float64 // [l*alphabet]
+	alphabet int
 }
 
 func newGatherTables(s Summarizer) *gatherTables {
 	l := s.Segments()
 	alpha := 1 << s.MaxBits()
 	g := &gatherTables{
-		lower: make([][]float64, l),
-		upper: make([][]float64, l),
+		lower:    make([]float64, l*alpha),
+		upper:    make([]float64, l*alpha),
+		alphabet: alpha,
 	}
 	for j := 0; j < l; j++ {
 		bps := s.Breakpoints(j)
-		lo := make([]float64, alpha)
-		hi := make([]float64, alpha)
+		lo := g.lower[j*alpha : (j+1)*alpha]
+		hi := g.upper[j*alpha : (j+1)*alpha]
 		for sym := 0; sym < alpha; sym++ {
 			if sym == 0 {
 				lo[sym] = math.Inf(-1)
@@ -38,8 +44,6 @@ func newGatherTables(s Summarizer) *gatherTables {
 				hi[sym] = bps[sym]
 			}
 		}
-		g.lower[j] = lo
-		g.upper[j] = hi
 	}
 	return g
 }
@@ -47,7 +51,8 @@ func newGatherTables(s Summarizer) *gatherTables {
 // kernel is the per-query SIMD lower-bound distance state: the query
 // representation plus the shared gather tables and weights. It implements
 // Algorithm 3 — chunked, branchless (mask+blend) LBD computation with early
-// abandoning after every simd.Width-lane block.
+// abandoning after every simd.Width-lane block. It remains the reference
+// gather-style kernel; the default refinement path uses distTable below.
 type kernel struct {
 	qr      []float64 // query representation, length l
 	weights []float64
@@ -62,6 +67,7 @@ type kernel struct {
 func (k *kernel) minDistEA(word []byte, bsf float64) float64 {
 	var sum float64
 	l := k.l
+	alpha := k.g.alphabet
 	for c := 0; c < l; c += simd.Width {
 		var vq, vlo, vhi, vw simd.Vec
 		lanes := l - c
@@ -70,10 +76,10 @@ func (k *kernel) minDistEA(word []byte, bsf float64) float64 {
 		}
 		for i := 0; i < lanes; i++ {
 			j := c + i
-			sym := word[j]
+			sym := int(word[j])
 			vq[i] = k.qr[j]
-			vlo[i] = k.g.lower[j][sym]
-			vhi[i] = k.g.upper[j][sym]
+			vlo[i] = k.g.lower[j*alpha+sym]
+			vhi[i] = k.g.upper[j*alpha+sym]
 			vw[i] = k.weights[j]
 		}
 		for i := lanes; i < simd.Width; i++ {
@@ -95,12 +101,13 @@ func (k *kernel) minDistEA(word []byte, bsf float64) float64 {
 }
 
 // minDistScalar is the reference scalar implementation of the same bound;
-// tests assert exact agreement with minDistEA.
+// tests assert exact agreement with minDistEA and distTable.
 func (k *kernel) minDistScalar(word []byte) float64 {
 	var sum float64
+	alpha := k.g.alphabet
 	for j := 0; j < k.l; j++ {
-		sym := word[j]
-		lo, hi := k.g.lower[j][sym], k.g.upper[j][sym]
+		sym := int(word[j])
+		lo, hi := k.g.lower[j*alpha+sym], k.g.upper[j*alpha+sym]
 		var d float64
 		switch {
 		case k.qr[j] < lo:
@@ -142,24 +149,40 @@ func nodeMinDist(s Summarizer, qr []float64, word []byte, cards []uint8) float64
 	return sum
 }
 
-// distTable is the ablation alternative to the mask/blend kernel: for one
-// query, precompute the weighted squared distance contribution of every
+// distTable is the default per-series LBD kernel of the refinement loop: for
+// one query, precompute the weighted squared distance contribution of every
 // (position, symbol) pair, reducing the per-series LBD to l table lookups
 // plus adds. It trades one l x alphabet build per query for branch-free
-// lookups per series; the benchmarks compare it against Algorithm 3.
+// lookups per series — far cheaper than Algorithm 3's four gathers per lane
+// when a query refines thousands of series (the benchmarks quantify it).
+//
+// The table is one flat []float64 of length l*alphabet indexed
+// j*alphabet+sym: with alphabet 256 and l 16 it is 32 KiB, resident in L1/L2
+// for the whole refinement phase. build reuses the backing array, so a
+// pooled searcher pays zero allocations per query.
 type distTable struct {
-	table [][]float64 // [l][alphabet] weighted squared distances
-	l     int
+	flat     []float64 // [l*alphabet] weighted squared distances
+	l        int
+	alphabet int
 }
 
-func newDistTable(k *kernel, alphabet int) *distTable {
-	t := &distTable{table: make([][]float64, k.l), l: k.l}
+// build (re)fills the table for the kernel's current query representation.
+func (t *distTable) build(k *kernel, alphabet int) {
+	need := k.l * alphabet
+	if cap(t.flat) < need {
+		t.flat = make([]float64, need)
+	}
+	t.flat = t.flat[:need]
+	t.l = k.l
+	t.alphabet = alphabet
 	for j := 0; j < k.l; j++ {
-		row := make([]float64, alphabet)
+		row := t.flat[j*alphabet : (j+1)*alphabet]
 		v := k.qr[j]
 		w := k.weights[j]
+		glo := k.g.lower[j*k.g.alphabet:]
+		ghi := k.g.upper[j*k.g.alphabet:]
 		for sym := 0; sym < alphabet; sym++ {
-			lo, hi := k.g.lower[j][sym], k.g.upper[j][sym]
+			lo, hi := glo[sym], ghi[sym]
 			var d float64
 			switch {
 			case v < lo:
@@ -169,22 +192,30 @@ func newDistTable(k *kernel, alphabet int) *distTable {
 			}
 			row[sym] = w * d * d
 		}
-		t.table[j] = row
 	}
+}
+
+// newDistTable builds a fresh table (test/benchmark convenience; the
+// searcher reuses one table via build).
+func newDistTable(k *kernel, alphabet int) *distTable {
+	t := &distTable{}
+	t.build(k, alphabet)
 	return t
 }
 
 // minDistEA computes the same early-abandoning squared lower bound as the
-// kernel, via table lookups in chunks of simd.Width positions.
+// kernel, via flat table lookups in chunks of simd.Width positions.
 func (t *distTable) minDistEA(word []byte, bsf float64) float64 {
 	var sum float64
+	flat := t.flat
+	alpha := t.alphabet
 	for c := 0; c < t.l; c += simd.Width {
 		end := c + simd.Width
 		if end > t.l {
 			end = t.l
 		}
 		for j := c; j < end; j++ {
-			sum += t.table[j][word[j]]
+			sum += flat[j*alpha+int(word[j])]
 		}
 		if sum > bsf {
 			return sum

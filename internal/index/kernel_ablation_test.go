@@ -22,8 +22,8 @@ func ablationFixture(tb testing.TB) (sfaSum, *gatherTables, Encoder, *distance.M
 	return sum, newGatherTables(sum), sum.NewIndexEncoder(), m
 }
 
-// The lookup-table LBD must agree exactly with both the mask/blend kernel
-// and the scalar reference for every word and bound.
+// The flat lookup-table LBD must agree exactly with both the mask/blend
+// kernel and the scalar reference for every word and bound.
 func TestDistTableMatchesKernelProperty(t *testing.T) {
 	sum, g, enc, m := ablationFixture(t)
 	f := func(seed int64, bsfRaw float64) bool {
@@ -60,9 +60,10 @@ func TestDistTableMatchesKernelProperty(t *testing.T) {
 	}
 }
 
-// Ablation benches: Algorithm 3 (mask/blend) vs per-query lookup table vs
-// scalar reference, per-series cost.
-func benchKernel(b *testing.B, run func(k *kernel, dt *distTable, words [][]byte)) {
+// lbdFixture prepares one query's kernel, its flat distance table, the words
+// as a ragged [][]byte (the seed layout: one allocation per series, gathered
+// by pointer) and as one contiguous leaf-style block.
+func lbdFixture(b *testing.B) (*kernel, *distTable, [][]byte, []byte, int) {
 	sum, g, enc, m := ablationFixture(b)
 	rng := rand.New(rand.NewSource(22))
 	query := make([]float64, 128)
@@ -74,42 +75,74 @@ func benchKernel(b *testing.B, run func(k *kernel, dt *distTable, words [][]byte
 	if _, err := enc.QueryRepr(query, qr); err != nil {
 		b.Fatal(err)
 	}
-	k := kernel{qr: qr, weights: sum.Weights(), g: g, l: 16}
-	dt := newDistTable(&k, 1<<sum.MaxBits())
-	words := make([][]byte, m.Len())
-	for i := range words {
-		words[i] = make([]byte, 16)
-		if _, err := enc.Word(m.Row(i), words[i]); err != nil {
+	k := &kernel{qr: qr, weights: sum.Weights(), g: g, l: 16}
+	dt := newDistTable(k, 1<<sum.MaxBits())
+	const l = 16
+	ragged := make([][]byte, m.Len())
+	block := make([]byte, m.Len()*l)
+	for i := range ragged {
+		ragged[i] = make([]byte, l)
+		if _, err := enc.Word(m.Row(i), ragged[i]); err != nil {
 			b.Fatal(err)
 		}
+		copy(block[i*l:(i+1)*l], ragged[i])
 	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		run(&k, dt, words)
-	}
+	return k, dt, ragged, block, l
 }
 
-func BenchmarkLBDKernelMaskBlend(b *testing.B) {
-	benchKernel(b, func(k *kernel, _ *distTable, words [][]byte) {
-		for _, w := range words {
-			k.minDistEA(w, math.Inf(1))
+// BenchmarkLBDKernels compares, per full pass over 400 series, the three LBD
+// kernel designs on the same workload:
+//
+//   - Gather: Algorithm 3's mask/blend kernel gathering lower/upper bounds
+//     per symbol (the seed's refinement kernel);
+//   - Scalar: the branchy scalar reference;
+//   - FlatTable: the per-query flat distance table over the seed's ragged
+//     per-series word slices;
+//   - FlatTableLeafBlock: the flat table streaming one contiguous leaf-style
+//     word block — the layout the refinement loop now uses.
+//
+// CI runs this benchmark as a smoke test; the flat-table + leaf-block path
+// is the default query kernel and must stay well ahead of Gather.
+func BenchmarkLBDKernels(b *testing.B) {
+	b.Run("Gather", func(b *testing.B) {
+		k, _, ragged, _, _ := lbdFixture(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, w := range ragged {
+				k.minDistEA(w, math.Inf(1))
+			}
 		}
 	})
-}
-
-func BenchmarkLBDKernelLookupTable(b *testing.B) {
-	benchKernel(b, func(k *kernel, dt *distTable, words [][]byte) {
-		for _, w := range words {
-			dt.minDistEA(w, math.Inf(1))
+	b.Run("Scalar", func(b *testing.B) {
+		k, _, ragged, _, _ := lbdFixture(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, w := range ragged {
+				k.minDistScalar(w)
+			}
 		}
 	})
-}
-
-func BenchmarkLBDKernelScalar(b *testing.B) {
-	benchKernel(b, func(k *kernel, _ *distTable, words [][]byte) {
-		for _, w := range words {
-			k.minDistScalar(w)
+	b.Run("FlatTable", func(b *testing.B) {
+		_, dt, ragged, _, _ := lbdFixture(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, w := range ragged {
+				dt.minDistEA(w, math.Inf(1))
+			}
+		}
+	})
+	b.Run("FlatTableLeafBlock", func(b *testing.B) {
+		_, dt, _, block, l := lbdFixture(b)
+		rows := len(block) / l
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for r := 0; r < rows; r++ {
+				dt.minDistEA(block[r*l:(r+1)*l], math.Inf(1))
+			}
 		}
 	})
 }

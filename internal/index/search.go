@@ -1,13 +1,13 @@
 package index
 
 import (
-	"container/heap"
 	"math"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/distance"
+	"repro/internal/queue"
 )
 
 // Result is one answer of a similarity query. Dist is the squared
@@ -29,25 +29,54 @@ type KNNCollector struct {
 	bound atomic.Uint64
 }
 
+// resultMaxHeap is a max-heap by distance with hand-rolled sift operations:
+// going through container/heap would box every Result through an interface,
+// allocating on each insert of the query hot path.
 type resultMaxHeap []Result
 
-func (h resultMaxHeap) Len() int           { return len(h) }
-func (h resultMaxHeap) Less(i, j int) bool { return h[i].Dist > h[j].Dist }
-func (h resultMaxHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *resultMaxHeap) Push(x any)        { *h = append(*h, x.(Result)) }
-func (h *resultMaxHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+func (h resultMaxHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[parent].Dist >= h[i].Dist {
+			break
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+}
+
+func (h resultMaxHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		max := left
+		if right := left + 1; right < n && h[right].Dist > h[left].Dist {
+			max = right
+		}
+		if h[i].Dist >= h[max].Dist {
+			return
+		}
+		h[i], h[max] = h[max], h[i]
+		i = max
+	}
 }
 
 // NewKNNCollector creates a collector for the k nearest results.
 func NewKNNCollector(k int) *KNNCollector {
-	s := &KNNCollector{k: k}
-	s.bound.Store(math.Float64bits(math.Inf(1)))
+	s := &KNNCollector{}
+	s.Reset(k)
 	return s
+}
+
+// Reset prepares the collector for a fresh query of k results, retaining the
+// heap's backing array so pooled collectors add no per-query allocations.
+func (s *KNNCollector) Reset(k int) {
+	s.k = k
+	s.heap = s.heap[:0]
+	s.bound.Store(math.Float64bits(math.Inf(1)))
 }
 
 // Bound returns the current best-so-far pruning bound.
@@ -55,50 +84,89 @@ func (s *KNNCollector) Bound() float64 {
 	return math.Float64frombits(s.bound.Load())
 }
 
-// Offer inserts a candidate if it improves the k-NN set.
-func (s *KNNCollector) Offer(id int32, d float64) {
+// Offer inserts a candidate if it improves the k-NN set and reports whether
+// it did — callers caching the bound locally re-read it only on improvement.
+func (s *KNNCollector) Offer(id int32, d float64) bool {
 	if d >= s.Bound() {
-		return
+		return false
 	}
 	s.mu.Lock()
 	if len(s.heap) < s.k {
-		heap.Push(&s.heap, Result{ID: id, Dist: d})
+		s.heap = append(s.heap, Result{ID: id, Dist: d})
+		s.heap.siftUp(len(s.heap) - 1)
 		if len(s.heap) == s.k {
 			s.bound.Store(math.Float64bits(s.heap[0].Dist))
 		}
 	} else if d < s.heap[0].Dist {
 		s.heap[0] = Result{ID: id, Dist: d}
-		heap.Fix(&s.heap, 0)
+		s.heap.siftDown(0)
 		s.bound.Store(math.Float64bits(s.heap[0].Dist))
+	} else {
+		s.mu.Unlock()
+		return false
 	}
 	s.mu.Unlock()
+	return true
 }
 
 // Results returns the collected answers sorted by ascending distance.
 func (s *KNNCollector) Results() []Result {
-	s.mu.Lock()
-	out := append([]Result(nil), s.heap...)
-	s.mu.Unlock()
-	sort.Slice(out, func(a, b int) bool {
-		if out[a].Dist != out[b].Dist {
-			return out[a].Dist < out[b].Dist
-		}
-		return out[a].ID < out[b].ID
-	})
-	return out
+	return s.ResultsAppend(nil)
 }
 
-// Searcher answers queries against a Tree. It owns per-query scratch (the
-// encoder, query representation and word), so it is NOT safe for concurrent
-// use; create one per querying goroutine. A single Search call internally
-// uses the tree's configured worker parallelism, matching the paper's
-// one-query-at-a-time protocol.
+// ResultsAppend appends the collected answers, sorted by ascending distance,
+// to dst and returns the extended slice. Appending into a reused buffer
+// keeps the steady-state query path allocation-free.
+func (s *KNNCollector) ResultsAppend(dst []Result) []Result {
+	s.mu.Lock()
+	base := len(dst)
+	dst = append(dst, s.heap...)
+	s.mu.Unlock()
+	out := dst[base:]
+	slices.SortFunc(out, func(a, b Result) int {
+		switch {
+		case a.Dist != b.Dist:
+			if a.Dist < b.Dist {
+				return -1
+			}
+			return 1
+		case a.ID != b.ID:
+			if a.ID < b.ID {
+				return -1
+			}
+			return 1
+		default:
+			return 0
+		}
+	})
+	return dst
+}
+
+// Searcher answers queries against a Tree. It owns all per-query scratch —
+// the encoder, the z-normalized query copy, the query representation and
+// word, the flat per-query distance table, the k-NN collector, the leaf
+// priority queues and the result buffer — so a steady-state Search performs
+// zero heap allocations. It is NOT safe for concurrent use; create one per
+// querying goroutine (or use Tree.BatchSearch, which pools them). A single
+// Search call internally uses the tree's configured worker parallelism,
+// matching the paper's one-query-at-a-time protocol.
 type Searcher struct {
 	t     *Tree
 	enc   Encoder
+	qbuf  []float64 // z-normalized query copy
 	qr    []float64
 	qword []byte
 	kern  kernel
+	dt    distTable // flat per-query LBD table (default refinement kernel)
+
+	kn     KNNCollector
+	set    *queue.Set[*node]
+	resBuf []Result
+
+	// serial forces single-threaded query answering (no goroutine fan-out);
+	// BatchSearch sets it so inter-query parallelism is not multiplied by
+	// intra-query parallelism.
+	serial bool
 
 	// stats for the last Search call (atomic: workers update concurrently).
 	nodesVisited  atomic.Int64
@@ -131,9 +199,11 @@ func (t *Tree) NewSearcher() *Searcher {
 	return &Searcher{
 		t:     t,
 		enc:   t.sum.NewIndexEncoder(),
+		qbuf:  make([]float64, t.data.Stride),
 		qr:    make([]float64, t.l),
 		qword: make([]byte, t.l),
 		kern:  kernel{weights: t.sum.Weights(), g: t.gather, l: t.l},
+		set:   queue.NewSet[*node](t.opts.Queues),
 	}
 }
 
@@ -141,13 +211,17 @@ func (t *Tree) NewSearcher() *Searcher {
 // z-normalized Euclidean distance, ascending. The query is z-normalized
 // internally (a copy; the argument is not modified).
 //
+// The returned slice is owned by the Searcher and overwritten by its next
+// search call; copy it if the results must outlive the next query.
+//
 // The pipeline is the paper's Section IV-C: (1) an approximate descent to
 // the best-matching leaf seeds the BSF with real distances; (2) workers
 // traverse the root subtrees in parallel, pruning against the BSF and
 // pushing surviving leaves into priority queues ordered by lower bound;
 // (3) workers drain the queues — abandoning a queue once its head exceeds
-// the BSF — refining each leaf series word-first (Algorithm 3) and with a
-// real early-abandoning distance only when the bound survives.
+// the BSF — refining each leaf's contiguous word block with the flat
+// per-query distance table and with a real early-abandoning distance only
+// when the bound survives.
 func (s *Searcher) Search(query []float64, k int) ([]Result, error) {
 	return s.search(query, k, 1)
 }
@@ -160,6 +234,13 @@ func (s *Searcher) Search1(query []float64) (Result, error) {
 	}
 	return res[0], nil
 }
+
+// boundRefreshInterval is how many refined series may share one cached read
+// of the global BSF atomic. Within a block the cached bound is only ever an
+// over-estimate (the true bound monotonically decreases), so pruning with it
+// is conservative and exactness is preserved; the cache is refreshed early
+// whenever this worker itself improves the k-NN set.
+const boundRefreshInterval = 64
 
 // approximateLeaf descends the tree following the query's own word bits,
 // preferring the matching child when it is non-empty, to locate the leaf
@@ -201,11 +282,14 @@ func (s *Searcher) approximateLeaf() *node {
 // series in the leaf — used by the approximate stage to establish the BSF.
 func (s *Searcher) processLeafReal(leaf *node, q []float64, kn *KNNCollector) {
 	t := s.t
-	for _, id := range leaf.ids {
-		bound := kn.Bound()
+	bound := kn.Bound()
+	for i, id := range leaf.ids {
+		if i%boundRefreshInterval == 0 {
+			bound = kn.Bound()
+		}
 		d := distance.SquaredEDEarlyAbandon(t.data.Row(int(id)), q, bound)
-		if d < bound {
-			kn.Offer(id, d)
+		if d < bound && kn.Offer(id, d) {
+			bound = kn.Bound()
 		}
 	}
 }

@@ -10,6 +10,42 @@
 // full-cardinality words per series, a real-valued query-side
 // representation, and per-position breakpoint tables whose prefix structure
 // defines the variable-cardinality node intervals.
+//
+// # Query hot-path layout
+//
+// The refinement loop (Algorithm 3's role in the pipeline) is built around
+// data layout rather than emulated intrinsics:
+//
+//   - Flat LBD tables. The per-summarization gather tables and the
+//     per-query distance table are single flat []float64 slices indexed
+//     j*alphabet+sym, not ragged [][]float64: one base pointer, no
+//     slice-header loads in the inner loop. The per-query table (distTable)
+//     is the default refinement kernel — it folds query position, weights
+//     and breakpoint intervals into one lookup per word position, built
+//     once per query into Searcher-owned scratch (32 KiB at l=16,
+//     alphabet=256; L1/L2-resident for the whole refinement phase). The
+//     mask/blend gather kernel (kernel.minDistEA) is retained as the
+//     Algorithm 3 reference; BenchmarkLBDKernels compares them.
+//
+//   - SoA leaf blocks. Every finalized leaf carries its members' words as
+//     one contiguous block (node.words, row i belonging to node.ids[i]), so
+//     refinement streams sequential memory instead of gathering
+//     t.words[id*l:] per series. The global word buffer remains the source
+//     of truth; blocks are maintained through splits and inserts and
+//     checked by CheckInvariants.
+//
+//   - Zero-allocation searches. All per-query state — the z-normalized
+//     query copy, representation, word, flat table, k-NN collector, leaf
+//     priority queues (generic queue.PQ[*node], no interface boxing) and
+//     the result buffer — lives in Searcher scratch, and the k-NN heap and
+//     queues use hand-rolled sift operations. With one worker the engine
+//     runs inline (no goroutine fan-out) and a steady-state Search performs
+//     zero heap allocations; the shared BSF atomic is read once per
+//     64-series block rather than per series.
+//
+//   - Batched throughput. Tree.BatchSearch fans independent queries across
+//     pooled single-threaded Searchers (the FAISS mini-batch protocol),
+//     trading intra-query latency for aggregate queries/second.
 package index
 
 // Summarizer describes a learned or fixed symbolic summarization. The

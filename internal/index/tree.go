@@ -47,9 +47,16 @@ type node struct {
 	split    int // split position; -1 for leaves
 	children [2]*node
 
-	ids     []int32 // leaf payload
-	count   int32   // series in this subtree
-	noSplit bool    // leaf whose remaining words are all identical
+	ids []int32 // leaf payload
+	// words is the leaf's refinement block: the members' full-cardinality
+	// words copied contiguously (len(ids) x l, row i belongs to ids[i]), so
+	// the refinement loop streams sequential memory instead of gathering
+	// t.words[id*l:] per series. The global t.words buffer remains the
+	// source of truth; blocks are filled when leaves are finalized during
+	// build and maintained through splits and inserts.
+	words   []byte
+	count   int32 // series in this subtree
+	noSplit bool  // leaf whose remaining words are all identical
 }
 
 func (n *node) isLeaf() bool { return n.split < 0 }
@@ -68,6 +75,10 @@ type Tree struct {
 	root     map[uint64]*node
 	rootKeys []uint64
 	gather   *gatherTables
+
+	// searchers pools serial Searchers for BatchSearch so repeated batches
+	// reuse per-worker scratch.
+	searchers sync.Pool
 
 	// BuildBreakdown records the two build phases for Fig. 7.
 	TransformSeconds float64
@@ -235,11 +246,37 @@ func (t *Tree) buildTree() {
 				if i >= len(t.rootKeys) {
 					return
 				}
-				t.splitToCapacity(t.root[t.rootKeys[i]])
+				root := t.root[t.rootKeys[i]]
+				t.splitToCapacity(root)
+				t.fillLeafBlocks(root)
 			}
 		}()
 	}
 	wg.Wait()
+}
+
+// fillLeafBlocks walks a finalized subtree and materializes every leaf's
+// contiguous refinement block from the global word buffer.
+func (t *Tree) fillLeafBlocks(n *node) {
+	if n.isLeaf() {
+		n.words = t.gatherLeafWords(n.ids)
+		return
+	}
+	t.fillLeafBlocks(n.children[0])
+	t.fillLeafBlocks(n.children[1])
+}
+
+// gatherLeafWords copies the full-cardinality words of ids from the global
+// buffer into a fresh contiguous block. Returns nil for an empty leaf.
+func (t *Tree) gatherLeafWords(ids []int32) []byte {
+	if len(ids) == 0 {
+		return nil
+	}
+	dst := make([]byte, len(ids)*t.l)
+	for i, id := range ids {
+		copy(dst[i*t.l:(i+1)*t.l], t.words[int(id)*t.l:(int(id)+1)*t.l])
+	}
+	return dst
 }
 
 // splitToCapacity recursively splits a subtree until every leaf fits its
@@ -308,9 +345,17 @@ func (t *Tree) split(leaf *node) bool {
 	}
 	kids[0].count = int32(len(kids[0].ids))
 	kids[1].count = int32(len(kids[1].ids))
+	if leaf.words != nil {
+		// The leaf was already finalized (post-build insert path): give the
+		// children their own contiguous blocks. During the initial build
+		// blocks are filled once per subtree after splitting settles.
+		kids[0].words = t.gatherLeafWords(kids[0].ids)
+		kids[1].words = t.gatherLeafWords(kids[1].ids)
+	}
 	leaf.split = j
 	leaf.children = [2]*node{kids[0], kids[1]}
 	leaf.ids = nil
+	leaf.words = nil
 	return true
 }
 

@@ -4,52 +4,101 @@
 // tree-traversal phase and pop them in ascending LBD order during the
 // refinement phase, abandoning a queue as soon as its minimum exceeds the
 // best-so-far distance.
+//
+// The queues are generic over the payload type: instantiating PQ with a
+// concrete type (the index uses PQ[*node]) stores entries inline in the heap
+// slice with no interface boxing, so the query hot path performs no
+// per-push allocation once the backing arrays have grown to steady-state
+// size. Reset empties a queue while keeping its capacity, which lets a
+// searcher reuse one Set across queries allocation-free.
 package queue
 
 import (
-	"container/heap"
 	"math"
 	"sync"
 	"sync/atomic"
 )
 
-// Item is a queue entry: an opaque payload ordered by Priority (the leaf's
+// Item is a queue entry: a payload ordered by Priority (the leaf's
 // lower-bound distance to the query).
-type Item struct {
-	Payload  any
+type Item[T any] struct {
+	Payload  T
 	Priority float64
 }
 
-type itemHeap []Item
-
-func (h itemHeap) Len() int           { return len(h) }
-func (h itemHeap) Less(i, j int) bool { return h[i].Priority < h[j].Priority }
-func (h itemHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *itemHeap) Push(x any)        { *h = append(*h, x.(Item)) }
-func (h *itemHeap) Pop() any          { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
-
-// PQ is a mutex-protected min-heap. The zero value is ready to use.
-type PQ struct {
+// PQ is a mutex-protected min-heap. The zero value is ready to use. The heap
+// operations are hand-rolled over the typed slice (rather than delegating to
+// container/heap) so pushes and pops move concrete values without boxing
+// through interfaces.
+type PQ[T any] struct {
 	mu sync.Mutex
-	h  itemHeap
+	h  []Item[T]
+}
+
+// siftUp restores the heap property after appending at index i.
+func (q *PQ[T]) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if q.h[parent].Priority <= q.h[i].Priority {
+			break
+		}
+		q.h[parent], q.h[i] = q.h[i], q.h[parent]
+		i = parent
+	}
+}
+
+// siftDown restores the heap property from the root after a pop.
+func (q *PQ[T]) siftDown(i int) {
+	n := len(q.h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		min := left
+		if right := left + 1; right < n && q.h[right].Priority < q.h[left].Priority {
+			min = right
+		}
+		if q.h[i].Priority <= q.h[min].Priority {
+			return
+		}
+		q.h[i], q.h[min] = q.h[min], q.h[i]
+		i = min
+	}
+}
+
+// popLocked removes and returns the minimum item; callers hold q.mu and
+// guarantee the heap is non-empty.
+func (q *PQ[T]) popLocked() Item[T] {
+	it := q.h[0]
+	n := len(q.h) - 1
+	q.h[0] = q.h[n]
+	var zero Item[T]
+	q.h[n] = zero // release payload references
+	q.h = q.h[:n]
+	if n > 0 {
+		q.siftDown(0)
+	}
+	return it
 }
 
 // Push inserts an item.
-func (q *PQ) Push(payload any, priority float64) {
+func (q *PQ[T]) Push(payload T, priority float64) {
 	q.mu.Lock()
-	heap.Push(&q.h, Item{Payload: payload, Priority: priority})
+	q.h = append(q.h, Item[T]{Payload: payload, Priority: priority})
+	q.siftUp(len(q.h) - 1)
 	q.mu.Unlock()
 }
 
 // Pop removes and returns the minimum-priority item. ok is false when the
 // queue is empty.
-func (q *PQ) Pop() (it Item, ok bool) {
+func (q *PQ[T]) Pop() (it Item[T], ok bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if len(q.h) == 0 {
-		return Item{}, false
+		return it, false
 	}
-	return heap.Pop(&q.h).(Item), true
+	return q.popLocked(), true
 }
 
 // PopIfBelow pops the minimum item only if its priority is strictly below
@@ -57,70 +106,84 @@ func (q *PQ) Pop() (it Item, ok bool) {
 // head exceeds the bound or the queue is empty (priority is +Inf then).
 // This is the single-lock "check head and abandon" operation the MESSI
 // refinement loop performs.
-func (q *PQ) PopIfBelow(bound float64) (it Item, ok bool) {
+func (q *PQ[T]) PopIfBelow(bound float64) (it Item[T], ok bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if len(q.h) == 0 {
-		return Item{Priority: inf()}, false
+		it.Priority = math.Inf(1)
+		return it, false
 	}
 	if q.h[0].Priority >= bound {
-		return Item{Priority: q.h[0].Priority}, false
+		it.Priority = q.h[0].Priority
+		return it, false
 	}
-	return heap.Pop(&q.h).(Item), true
+	return q.popLocked(), true
 }
 
-// Drain empties the queue and returns the number of items discarded.
-func (q *PQ) Drain() int {
+// Drain empties the queue and returns the number of items discarded. The
+// backing array is retained for reuse.
+func (q *PQ[T]) Drain() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	n := len(q.h)
+	var zero Item[T]
+	for i := range q.h {
+		q.h[i] = zero
+	}
 	q.h = q.h[:0]
 	return n
 }
 
 // Len returns the current number of items.
-func (q *PQ) Len() int {
+func (q *PQ[T]) Len() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return len(q.h)
 }
 
-func inf() float64 { return math.Inf(1) }
-
 // Set is a fixed collection of queues with a round-robin push cursor, as in
 // MESSI: leaves are distributed across queues to reduce lock contention, and
 // each worker drains queues starting from its own.
-type Set struct {
-	queues []PQ
+type Set[T any] struct {
+	queues []PQ[T]
 	cursor atomic.Uint64
 }
 
 // NewSet creates a set of n queues (n >= 1).
-func NewSet(n int) *Set {
+func NewSet[T any](n int) *Set[T] {
 	if n < 1 {
 		n = 1
 	}
-	return &Set{queues: make([]PQ, n)}
+	return &Set[T]{queues: make([]PQ[T], n)}
 }
 
 // Size returns the number of queues.
-func (s *Set) Size() int { return len(s.queues) }
+func (s *Set[T]) Size() int { return len(s.queues) }
 
 // Queue returns the i-th queue.
-func (s *Set) Queue(i int) *PQ { return &s.queues[i] }
+func (s *Set[T]) Queue(i int) *PQ[T] { return &s.queues[i] }
 
 // PushRoundRobin inserts the payload into the next queue in round-robin
 // order.
-func (s *Set) PushRoundRobin(payload any, priority float64) {
+func (s *Set[T]) PushRoundRobin(payload T, priority float64) {
 	i := (s.cursor.Add(1) - 1) % uint64(len(s.queues))
 	s.queues[i].Push(payload, priority)
 }
 
 // TotalLen sums the lengths of all queues.
-func (s *Set) TotalLen() int {
+func (s *Set[T]) TotalLen() int {
 	var n int
 	for i := range s.queues {
 		n += s.queues[i].Len()
 	}
 	return n
+}
+
+// Reset empties every queue (retaining their backing arrays) and rewinds the
+// round-robin cursor, preparing the set for reuse by the next query.
+func (s *Set[T]) Reset() {
+	for i := range s.queues {
+		s.queues[i].Drain()
+	}
+	s.cursor.Store(0)
 }

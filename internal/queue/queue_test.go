@@ -9,7 +9,7 @@ import (
 )
 
 func TestPQOrdering(t *testing.T) {
-	var q PQ
+	var q PQ[int]
 	prios := []float64{5, 1, 3, 2, 4}
 	for _, p := range prios {
 		q.Push(int(p), p)
@@ -21,7 +21,7 @@ func TestPQOrdering(t *testing.T) {
 			break
 		}
 		got = append(got, it.Priority)
-		if it.Payload.(int) != int(it.Priority) {
+		if it.Payload != int(it.Priority) {
 			t.Errorf("payload %v does not match priority %v", it.Payload, it.Priority)
 		}
 	}
@@ -33,15 +33,43 @@ func TestPQOrdering(t *testing.T) {
 	}
 }
 
+// Property: pops come out in exactly sorted order for random inputs,
+// including duplicates.
+func TestPQOrderingProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		var q PQ[int]
+		n := 1 + rng.Intn(200)
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = float64(rng.Intn(20)) // force duplicates
+			q.Push(i, want[i])
+		}
+		sort.Float64s(want)
+		for i := 0; i < n; i++ {
+			it, ok := q.Pop()
+			if !ok {
+				t.Fatalf("trial %d: queue empty after %d of %d pops", trial, i, n)
+			}
+			if it.Priority != want[i] {
+				t.Fatalf("trial %d pop %d: priority %v, want %v", trial, i, it.Priority, want[i])
+			}
+		}
+		if _, ok := q.Pop(); ok {
+			t.Fatalf("trial %d: extra items", trial)
+		}
+	}
+}
+
 func TestPopEmpty(t *testing.T) {
-	var q PQ
+	var q PQ[int]
 	if _, ok := q.Pop(); ok {
 		t.Error("Pop on empty queue should report !ok")
 	}
 }
 
 func TestPopIfBelow(t *testing.T) {
-	var q PQ
+	var q PQ[string]
 	q.Push("a", 10)
 	q.Push("b", 5)
 	// Head (5) >= bound 5: refuse and report the head priority.
@@ -50,7 +78,7 @@ func TestPopIfBelow(t *testing.T) {
 		t.Errorf("expected refusal with head priority 5, got %+v ok=%v", it, ok)
 	}
 	it, ok = q.PopIfBelow(6)
-	if !ok || it.Payload.(string) != "b" {
+	if !ok || it.Payload != "b" {
 		t.Errorf("expected pop of b, got %+v ok=%v", it, ok)
 	}
 	// Empty queue reports +Inf head.
@@ -62,7 +90,7 @@ func TestPopIfBelow(t *testing.T) {
 }
 
 func TestDrainAndLen(t *testing.T) {
-	var q PQ
+	var q PQ[int]
 	for i := 0; i < 7; i++ {
 		q.Push(i, float64(i))
 	}
@@ -78,7 +106,7 @@ func TestDrainAndLen(t *testing.T) {
 }
 
 func TestConcurrentPushPop(t *testing.T) {
-	var q PQ
+	var q PQ[int]
 	const workers = 8
 	const perWorker = 500
 	var wg sync.WaitGroup
@@ -122,7 +150,7 @@ func TestConcurrentPushPop(t *testing.T) {
 }
 
 func TestSetRoundRobin(t *testing.T) {
-	s := NewSet(4)
+	s := NewSet[int](4)
 	if s.Size() != 4 {
 		t.Fatalf("Size: %d", s.Size())
 	}
@@ -140,7 +168,44 @@ func TestSetRoundRobin(t *testing.T) {
 }
 
 func TestNewSetMinimumSize(t *testing.T) {
-	if NewSet(0).Size() != 1 || NewSet(-3).Size() != 1 {
+	if NewSet[int](0).Size() != 1 || NewSet[int](-3).Size() != 1 {
 		t.Error("NewSet should clamp to at least one queue")
+	}
+}
+
+func TestSetReset(t *testing.T) {
+	s := NewSet[int](3)
+	for i := 0; i < 9; i++ {
+		s.PushRoundRobin(i, float64(i))
+	}
+	s.Reset()
+	if s.TotalLen() != 0 {
+		t.Errorf("TotalLen after Reset: %d", s.TotalLen())
+	}
+	// Cursor rewound: pushes distribute round-robin from queue 0 again.
+	s.PushRoundRobin(1, 1)
+	if s.Queue(0).Len() != 1 {
+		t.Error("cursor not rewound by Reset")
+	}
+}
+
+// Steady state: a drained queue reuses its backing array, so the push/pop
+// cycle of a repeated query performs zero allocations.
+func TestPQSteadyStateZeroAlloc(t *testing.T) {
+	var q PQ[*int]
+	payload := new(int)
+	cycle := func() {
+		for i := 0; i < 64; i++ {
+			q.Push(payload, float64(64-i))
+		}
+		for {
+			if _, ok := q.Pop(); !ok {
+				break
+			}
+		}
+	}
+	cycle() // grow the backing array
+	if avg := testing.AllocsPerRun(100, cycle); avg != 0 {
+		t.Errorf("steady-state push/pop allocates %v allocs/run, want 0", avg)
 	}
 }
