@@ -30,6 +30,7 @@ func main() {
 		leaf    = flag.Int("leaf", 0, "tree leaf capacity (default 256)")
 		seed    = flag.Int64("seed", 0, "generator seed (default 1)")
 		quick   = flag.Bool("quick", false, "reduced 5-dataset suite at 1/4 scale")
+		shards  = flag.Int("shards", 0, "shard count for the sharded-throughput experiment (default 4)")
 	)
 	flag.Parse()
 
@@ -55,6 +56,9 @@ func main() {
 	}
 	if *seed != 0 {
 		cfg.Seed = *seed
+	}
+	if *shards > 0 {
+		cfg.Shards = *shards
 	}
 	if *cores != "" {
 		var cc []int

@@ -6,6 +6,7 @@
 //
 //	sofa-query -data LenDB.sofads -queries LenDB.queries.sofads -k 10
 //	sofa-query -data LenDB.sofads -queries LenDB.queries.sofads -method messi
+//	sofa-query -data LenDB.sofads -queries LenDB.queries.sofads -shards 4 -stream 8
 package main
 
 import (
@@ -13,10 +14,13 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/distance"
+	"repro/internal/index"
 	"repro/internal/stats"
 )
 
@@ -28,6 +32,8 @@ func main() {
 		method    = flag.String("method", "sofa", "index method: sofa or messi")
 		leaf      = flag.Int("leaf", 1024, "tree leaf capacity")
 		workers   = flag.Int("workers", 0, "parallelism (default GOMAXPROCS)")
+		shards    = flag.Int("shards", 1, "index shards (independent trees; merged k-NN)")
+		stream    = flag.Int("stream", 0, "answer queries through the streaming engine with this many workers (0: per-query latency loop)")
 		verbose   = flag.Bool("v", false, "print every result")
 		savePath  = flag.String("save", "", "write the built index to this file")
 		loadPath  = flag.String("load", "", "load a previously saved index instead of building")
@@ -53,13 +59,16 @@ func main() {
 	}
 	var ix *core.Index
 	if *loadPath != "" {
+		if *shards != 1 {
+			fmt.Fprintln(os.Stderr, "sofa-query: -shards is ignored with -load (the shard count is part of the saved index)")
+		}
 		start := time.Now()
 		ix, err = core.LoadFile(*loadPath)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("%s index loaded from %s in %.2fs (%d series x %d)\n",
-			ix.Method(), *loadPath, time.Since(start).Seconds(), ix.Len(), ix.SeriesLen())
+		fmt.Printf("%s index loaded from %s in %.2fs (%d series x %d, %d shard(s))\n",
+			ix.Method(), *loadPath, time.Since(start).Seconds(), ix.Len(), ix.SeriesLen(), ix.Shards())
 	} else {
 		data, err := dataset.Load(*dataPath)
 		if err != nil {
@@ -68,13 +77,13 @@ func main() {
 		data.ZNormalizeAll()
 		fmt.Printf("loaded %d series x %d, %d queries\n", data.Len(), data.Stride, queries.Len())
 		start := time.Now()
-		ix, err = core.Build(data, core.Config{Method: m, LeafCapacity: *leaf, Workers: *workers})
+		ix, err = core.Build(data, core.Config{Method: m, LeafCapacity: *leaf, Workers: *workers, Shards: *shards})
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("%s index built in %.2fs (learn %.2fs, transform %.2fs, tree %.2fs)\n",
+		fmt.Printf("%s index built in %.2fs (learn %.2fs, transform %.2fs, tree %.2fs, %d shard(s))\n",
 			ix.Method(), time.Since(start).Seconds(),
-			ix.LearnSeconds, ix.TransformSeconds, ix.TreeSeconds)
+			ix.LearnSeconds, ix.TransformSeconds, ix.TreeSeconds, ix.Shards())
 	}
 	if *savePath != "" {
 		if err := core.SaveFile(ix, *savePath); err != nil {
@@ -86,6 +95,10 @@ func main() {
 	fmt.Printf("tree: %d subtrees, %d leaves, avg depth %.1f, avg leaf size %.0f\n",
 		st.Subtrees, st.Leaves, st.AvgDepth, st.AvgLeafSize)
 
+	if *stream > 0 {
+		runStream(ix, queries, *k, *stream, *verbose)
+		return
+	}
 	s := ix.NewSearcher()
 	times := make([]float64, queries.Len())
 	for qi := 0; qi < queries.Len(); qi++ {
@@ -96,15 +109,59 @@ func main() {
 		}
 		times[qi] = time.Since(qStart).Seconds()
 		if *verbose {
-			fmt.Printf("query %3d (%.2fms):", qi, times[qi]*1000)
-			for _, r := range res {
-				fmt.Printf(" #%d@%.4f", r.ID, math.Sqrt(r.Dist))
-			}
-			fmt.Println()
+			printResults(int(qi), times[qi], res)
 		}
 	}
 	fmt.Printf("%d-NN over %d queries: mean %.2fms, median %.2fms\n",
 		*k, queries.Len(), stats.Mean(times)*1000, stats.Median(times)*1000)
+}
+
+// runStream answers the query file through the streaming engine and reports
+// aggregate throughput. Verbose lines carry no per-query time: queries
+// overlap, so only the aggregate wall clock is meaningful.
+func runStream(ix *core.Index, queries *distance.Matrix, k, workers int, verbose bool) {
+	var mu sync.Mutex
+	var firstErr error
+	start := time.Now()
+	st, err := ix.NewStream(k, workers, func(qid uint64, res []index.Result, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if verbose && err == nil {
+			printResults(int(qid), -1, res)
+		}
+	})
+	if err != nil {
+		fatal(err)
+	}
+	for qi := 0; qi < queries.Len(); qi++ {
+		if _, err := st.Submit(queries.Row(qi)); err != nil {
+			fatal(err)
+		}
+	}
+	st.Close()
+	if firstErr != nil {
+		fatal(firstErr)
+	}
+	elapsed := time.Since(start).Seconds()
+	fmt.Printf("%d-NN over %d queries streamed with %d workers in %.2fs (%.0f queries/s)\n",
+		k, queries.Len(), workers, elapsed, float64(queries.Len())/elapsed)
+}
+
+// printResults prints one query's answer line; secs < 0 omits the latency
+// field (streamed queries overlap, so per-query times would mislead).
+func printResults(qi int, secs float64, res []index.Result) {
+	if secs < 0 {
+		fmt.Printf("query %3d:", qi)
+	} else {
+		fmt.Printf("query %3d (%.2fms):", qi, secs*1000)
+	}
+	for _, r := range res {
+		fmt.Printf(" #%d@%.4f", r.ID, math.Sqrt(r.Dist))
+	}
+	fmt.Println()
 }
 
 func fatal(err error) {

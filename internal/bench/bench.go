@@ -39,6 +39,9 @@ type SuiteConfig struct {
 	LeafCapacity int
 	// Seed drives all generators.
 	Seed int64
+	// Shards is the shard count the sharded-throughput experiment (qps)
+	// compares against the single tree (default 4).
+	Shards int
 }
 
 func (c SuiteConfig) withDefaults() SuiteConfig {
@@ -71,6 +74,9 @@ func (c SuiteConfig) withDefaults() SuiteConfig {
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.Shards == 0 {
+		c.Shards = 4
 	}
 	return c
 }
@@ -206,6 +212,7 @@ func Experiments() []Experiment {
 		{"table6", "Table VI / Fig 14 right: TLB on the 17 SOFA datasets", RunTable6},
 		{"fig15", "Fig 15: critical-difference ranks (Wilcoxon-Holm)", RunFig15},
 		{"approx", "Extension: approximate and \u03b5-bounded search trade-offs (paper Sec VI future work)", RunApprox},
+		{"qps", "Extension: sharded and streaming batched-query throughput", RunQPS},
 	}
 }
 

@@ -62,8 +62,8 @@ func TestQuickConfig(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 15 {
-		t.Fatalf("%d experiments, want 15", len(exps))
+	if len(exps) != 16 {
+		t.Fatalf("%d experiments, want 16", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {
@@ -78,6 +78,19 @@ func TestExperimentRegistry(t *testing.T) {
 	var buf bytes.Buffer
 	if err := RunByID("definitely-not-an-experiment", tiny(), &buf); err == nil {
 		t.Error("expected unknown-experiment error")
+	}
+}
+
+func TestRunQPS(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tiny()
+	cfg.Shards = 2
+	if err := RunQPS(cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "SOFA stream") || !strings.Contains(out, "flat batch") {
+		t.Errorf("unexpected output:\n%s", out)
 	}
 }
 

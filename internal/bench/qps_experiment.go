@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/distance"
+	"repro/internal/flat"
+	"repro/internal/index"
+)
+
+// RunQPS measures sustained batched-query throughput (queries per second) —
+// the system extension beyond the paper's one-query-at-a-time protocol. It
+// compares, at the maximum core count and k=10:
+//
+//   - the single tree's pooled BatchSearch,
+//   - the sharded collection's BatchSearch (S shards, merged k-NN),
+//   - the streaming engine over both (persistent workers, bounded channel),
+//   - the flat baseline, unsharded and sharded the same way.
+//
+// All engines answer the identical query set exactly, so the column is a
+// like-for-like throughput comparison.
+func RunQPS(cfg SuiteConfig, w io.Writer) error {
+	c := cfg.withDefaults()
+	cores := c.CoreCounts[len(c.CoreCounts)-1]
+	const k = 10
+	spec := c.Datasets[0]
+	scaled := spec
+	scaled.Count = int(float64(spec.Count) * c.Scale)
+	if scaled.Count < 200 {
+		scaled.Count = 200
+	}
+	data, err := dataset.Generate(scaled, c.Seed)
+	if err != nil {
+		return err
+	}
+	// Throughput needs enough in-flight queries to saturate the workers.
+	nq := 4 * cores
+	if nq < 16 {
+		nq = 16
+	}
+	queries, err := dataset.GenerateQueries(scaled, nq, c.Seed)
+	if err != nil {
+		return err
+	}
+	const reps = 3
+
+	tw := newTable(w)
+	fmt.Fprintln(tw, "engine\tshards\tworkers\tqueries/s")
+	shardCounts := []int{1}
+	if c.Shards > 1 {
+		shardCounts = append(shardCounts, c.Shards)
+	}
+	for _, shards := range shardCounts {
+		ix, err := core.Build(data, core.Config{
+			Method:       core.SOFA,
+			LeafCapacity: c.LeafCapacity,
+			Workers:      cores,
+			Shards:       shards,
+			SampleRate:   0.01,
+			Seed:         c.Seed,
+		})
+		if err != nil {
+			return err
+		}
+		qps, err := timeBatchQPS(ix, queries, k, cores, reps)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%s batch\t%d\t%d\t%.0f\n", ix.Method(), shards, cores, qps)
+		qps, err = timeStreamQPS(ix, queries, k, cores, reps)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%s stream\t%d\t%d\t%.0f\n", ix.Method(), shards, cores, qps)
+
+		fl, err := flat.BuildSharded(data, shards, cores)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			if _, err := fl.SearchBatch(queries, k); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(tw, "flat batch\t%d\t%d\t%.0f\n",
+			shards, cores, float64(reps*queries.Len())/time.Since(start).Seconds())
+	}
+	return tw.Flush()
+}
+
+// timeBatchQPS measures repeated SearchBatch calls.
+func timeBatchQPS(ix *core.Index, queries *distance.Matrix, k, workers, reps int) (float64, error) {
+	start := time.Now()
+	for r := 0; r < reps; r++ {
+		if _, err := ix.SearchBatch(queries, k, workers); err != nil {
+			return 0, err
+		}
+	}
+	return float64(reps * queries.Len()) / time.Since(start).Seconds(), nil
+}
+
+// timeStreamQPS measures the streaming engine: one stream for all reps, a
+// WaitGroup tracking completions.
+func timeStreamQPS(ix *core.Index, queries *distance.Matrix, k, workers, reps int) (float64, error) {
+	var pending sync.WaitGroup
+	var firstErr error
+	var mu sync.Mutex
+	st, err := ix.NewStream(k, workers, func(qid uint64, res []index.Result, err error) {
+		if err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+		}
+		pending.Done()
+	})
+	if err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	for r := 0; r < reps; r++ {
+		for i := 0; i < queries.Len(); i++ {
+			pending.Add(1)
+			if _, err := st.Submit(queries.Row(i)); err != nil {
+				pending.Done()
+				st.Close()
+				return 0, err
+			}
+		}
+		pending.Wait()
+	}
+	elapsed := time.Since(start).Seconds()
+	st.Close()
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	return float64(reps * queries.Len()) / elapsed, nil
+}

@@ -1,0 +1,545 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/distance"
+	"repro/internal/index"
+	"repro/internal/sax"
+	"repro/internal/sfa"
+)
+
+// Collection is the sharded index: S independent index.Tree shards, each
+// built over a disjoint round-robin slice of the series, sharing one learned
+// summarization. It is the scale-out layer MESSI-style systems put in front
+// of the tree — partition the collection, query every partition, merge — and
+// the abstraction every core entry point (Build, Search, SearchBatch,
+// Insert, Save/Load, NewStream) routes through. Shards == 1 degenerates to
+// the single-tree index with no overhead on the query hot path.
+//
+// Series ids are global: the series at global id g lives in shard g % S at
+// shard-local row g / S, and shard searchers map local ids back to global
+// ids at offer time (global = local*S + shard). Exact k-NN runs all shards
+// against one shared KNNCollector whose atomic bound is the cross-shard
+// best-so-far, so shards prune each other and the collector holds the global
+// top-k with no post-merge.
+//
+// A Collection is immutable and safe for concurrent searches after Build
+// (one Searcher per goroutine); Insert requires external synchronization,
+// as with the single tree.
+type Collection struct {
+	method Method
+	cfg    Config // effective (defaulted) configuration; cfg.Shards == len(shards)
+	sum    index.Summarization
+	sfaQ   *sfa.Quantizer // nil for MESSI
+
+	shards []*index.Tree
+	sdata  []*distance.Matrix // per-shard matrices (shard s holds global ids ≡ s mod S)
+	total  int                // series across all shards
+	stride int
+
+	insertEnc index.Encoder
+
+	// searchers pools serial collection searchers for SearchBatch and the
+	// streaming engine, so repeated batches and stream workers reuse
+	// per-shard scratch instead of rebuilding it.
+	searchers sync.Pool
+
+	// Phase timings for the Fig. 7 breakdown, in seconds. Transform and tree
+	// times are the wall-clock maximum across shards (shards build in
+	// parallel).
+	LearnSeconds     float64
+	TransformSeconds float64
+	TreeSeconds      float64
+}
+
+// BuildCollection constructs a sharded index over data (which must contain
+// z-normalized series, as for Build). cfg.Shards selects the shard count
+// (default 1; clamped to the number of series). The summarization is learned
+// once over the full collection and shared by every shard, so a sharded and
+// an unsharded build answer queries identically.
+func BuildCollection(data *distance.Matrix, cfg Config) (*Collection, error) {
+	if data == nil || data.Len() == 0 {
+		return nil, fmt.Errorf("core: cannot build over empty data")
+	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("core: shard count must be >= 1, got %d", cfg.Shards)
+	}
+	if cfg.WordLength == 0 {
+		cfg.WordLength = 16
+	}
+	if cfg.Bits == 0 {
+		cfg.Bits = 8
+	}
+	if cfg.LeafCapacity == 0 {
+		cfg.LeafCapacity = 1024
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Shards > data.Len() {
+		cfg.Shards = data.Len()
+	}
+
+	c := &Collection{method: cfg.Method, total: data.Len(), stride: data.Stride}
+	var err error
+	c.sum, c.sfaQ, c.LearnSeconds, err = newSummarization(data, cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.cfg = cfg
+
+	c.sdata = data.PartitionRoundRobin(cfg.Shards)
+	opts := c.shardOptions()
+	if err := c.buildShardTrees(func(i int) (*index.Tree, error) {
+		return index.Build(c.sdata[i], c.sum, opts)
+	}); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// newSummarization creates the configured summarization: a fixed iSAX
+// quantizer for MESSI, a learned SFA quantizer (with learn time) for SOFA.
+func newSummarization(data *distance.Matrix, cfg Config) (index.Summarization, *sfa.Quantizer, float64, error) {
+	switch cfg.Method {
+	case MESSI:
+		q, err := sax.NewQuantizer(data.Stride, cfg.WordLength, cfg.Bits)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		return saxSummarization{q}, nil, 0, nil
+	case SOFA:
+		start := time.Now()
+		q, err := sfa.Learn(data, sfa.Options{
+			WordLength: cfg.WordLength,
+			Bits:       cfg.Bits,
+			Binning:    cfg.Binning,
+			Selection:  cfg.Selection,
+			SampleRate: cfg.SampleRate,
+			MaxCoeffs:  cfg.MaxCoeffs,
+			Seed:       cfg.Seed,
+		})
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		return sfaSummarization{q}, q, time.Since(start).Seconds(), nil
+	default:
+		return nil, nil, 0, fmt.Errorf("core: unknown method %v", cfg.Method)
+	}
+}
+
+// shardOptions derives each shard tree's index.Options from the collection
+// config: the configured worker budget is divided across shards so a
+// collection-level query (or build) keeps total parallelism at the budget.
+func (c *Collection) shardOptions() index.Options {
+	workers := c.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	perShard := workers / c.cfg.Shards
+	if perShard < 1 {
+		perShard = 1
+	}
+	queues := 0
+	if c.cfg.Queues > 0 {
+		queues = c.cfg.Queues / c.cfg.Shards
+		if queues < 1 {
+			queues = 1
+		}
+	}
+	return index.Options{
+		LeafCapacity: c.cfg.LeafCapacity,
+		Workers:      perShard,
+		Queues:       queues,
+		NoLeafBlocks: c.cfg.NoLeafBlocks,
+	}
+}
+
+// buildShardTrees constructs every shard tree in parallel — one goroutine
+// per shard running build(i), each tree with the per-shard worker budget —
+// and folds the per-shard phase timings into the collection's (wall-clock
+// maxima, since shards build concurrently). Shared by Build (full build)
+// and Load (rebuild from saved words).
+func (c *Collection) buildShardTrees(build func(i int) (*index.Tree, error)) error {
+	c.shards = make([]*index.Tree, len(c.sdata))
+	errs := make([]error, len(c.sdata))
+	var wg sync.WaitGroup
+	for i := range c.sdata {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c.shards[i], errs[i] = build(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	for _, t := range c.shards {
+		if t.TransformSeconds > c.TransformSeconds {
+			c.TransformSeconds = t.TransformSeconds
+		}
+		if t.TreeSeconds > c.TreeSeconds {
+			c.TreeSeconds = t.TreeSeconds
+		}
+	}
+	return nil
+}
+
+// Method reports whether this is a SOFA or MESSI collection.
+func (c *Collection) Method() Method { return c.method }
+
+// Len returns the number of indexed series across all shards.
+func (c *Collection) Len() int { return c.total }
+
+// SeriesLen returns the length of the indexed series.
+func (c *Collection) SeriesLen() int { return c.stride }
+
+// Shards returns the shard count.
+func (c *Collection) Shards() int { return len(c.shards) }
+
+// Row returns the series stored under global id g (aliasing shard memory;
+// do not modify).
+func (c *Collection) Row(g int) []float64 {
+	s := len(c.shards)
+	return c.sdata[g%s].Row(g / s)
+}
+
+// BuildSeconds returns the total build time across all phases.
+func (c *Collection) BuildSeconds() float64 {
+	return c.LearnSeconds + c.TransformSeconds + c.TreeSeconds
+}
+
+// SFAQuantizer returns the shared learned SFA summarization (nil for MESSI).
+func (c *Collection) SFAQuantizer() *sfa.Quantizer { return c.sfaQ }
+
+// Stats aggregates the per-shard tree statistics: sums for counts, weighted
+// means for depth and leaf size, the maximum for depth.
+func (c *Collection) Stats() index.Stats {
+	var agg index.Stats
+	var depthSum, sizeSum float64
+	for _, t := range c.shards {
+		st := t.Stats()
+		agg.Series += st.Series
+		agg.Subtrees += st.Subtrees
+		agg.Leaves += st.Leaves
+		depthSum += st.AvgDepth * float64(st.Leaves)
+		sizeSum += st.AvgLeafSize * float64(st.Leaves)
+		if st.MaxDepth > agg.MaxDepth {
+			agg.MaxDepth = st.MaxDepth
+		}
+	}
+	if agg.Leaves > 0 {
+		agg.AvgDepth = depthSum / float64(agg.Leaves)
+		agg.AvgLeafSize = sizeSum / float64(agg.Leaves)
+	}
+	return agg
+}
+
+// CheckInvariants verifies every shard tree's structural invariants.
+func (c *Collection) CheckInvariants() error {
+	for i, t := range c.shards {
+		if err := t.CheckInvariants(); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Insert adds one series (z-normalized internally) and returns its global
+// id. The series goes to shard total % S, which preserves the round-robin
+// id mapping the searchers invert. Not safe to run concurrently with
+// searches or other inserts.
+func (c *Collection) Insert(series []float64) (int32, error) {
+	if c.insertEnc == nil {
+		c.insertEnc = c.shards[0].Encoder()
+	}
+	s := len(c.shards)
+	shard := c.total % s
+	local, err := c.shards[shard].Insert(distance.ZNormalized(series), c.insertEnc)
+	if err != nil {
+		return 0, err
+	}
+	global := int32(local)*int32(s) + int32(shard)
+	c.total++
+	return global, nil
+}
+
+// Searcher answers similarity queries against the collection. Create one
+// per querying goroutine. Result slices returned by Search and its variants
+// are owned by the Searcher and reused by its next call — copy them if they
+// must survive.
+type Searcher struct {
+	c  *Collection
+	ss []*index.Searcher
+
+	// kn is the shared cross-shard collector (unused when the collection has
+	// a single shard, where searches delegate to the tree engine directly).
+	kn     index.KNNCollector
+	resBuf []index.Result
+	errs   []error // per-shard error scratch for the parallel fan-out
+
+	// serial runs the shards sequentially on the calling goroutine (each
+	// shard searcher is single-threaded too); used by SearchBatch workers
+	// and the streaming engine so inter-query parallelism is not multiplied
+	// by intra-query parallelism.
+	serial bool
+}
+
+// NewSearcher creates a searcher over the collection; a single Search call
+// fans out across shards and, within each shard, across the tree's
+// configured workers.
+func (c *Collection) NewSearcher() *Searcher {
+	s := &Searcher{c: c, ss: make([]*index.Searcher, len(c.shards))}
+	for i, t := range c.shards {
+		s.ss[i] = t.NewSearcher()
+	}
+	return s
+}
+
+// newSerialSearcher creates a fully single-threaded collection searcher.
+func (c *Collection) newSerialSearcher() *Searcher {
+	s := &Searcher{c: c, ss: make([]*index.Searcher, len(c.shards)), serial: true}
+	for i, t := range c.shards {
+		s.ss[i] = t.NewSerialSearcher()
+	}
+	return s
+}
+
+// serialSearcher checks a serial searcher out of the collection's pool.
+func (c *Collection) serialSearcher() *Searcher {
+	if s, ok := c.searchers.Get().(*Searcher); ok {
+		return s
+	}
+	return c.newSerialSearcher()
+}
+
+// shardQuery builds shard i's ShardQuery for the current collector.
+func (s *Searcher) shardQuery(i int, epsilon float64) index.ShardQuery {
+	return index.ShardQuery{
+		KN:      &s.kn,
+		IDMul:   int32(len(s.ss)),
+		IDAdd:   int32(i),
+		Epsilon: epsilon,
+	}
+}
+
+// searchShards runs one query across every shard: a seeding phase first
+// (every shard's approximate stage feeds the shared collector, so each
+// shard's exact stage starts from the best bound any shard established),
+// then the exact phase. With serial searchers both phases run inline on the
+// calling goroutine; otherwise shards run concurrently, and within each
+// shard the tree applies its own worker fan-out.
+func (s *Searcher) searchShards(query []float64, k int, epsilon float64, seedOnly bool) error {
+	s.kn.Reset(k)
+	if s.serial || len(s.ss) == 1 {
+		for i, sub := range s.ss {
+			if err := sub.SeedShard(query, k, s.shardQuery(i, epsilon)); err != nil {
+				return err
+			}
+		}
+		if seedOnly {
+			return nil
+		}
+		for _, sub := range s.ss {
+			if err := sub.FinishShard(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if s.errs == nil {
+		s.errs = make([]error, len(s.ss))
+	}
+	errs := s.errs
+	var wg sync.WaitGroup
+	for i, sub := range s.ss {
+		wg.Add(1)
+		go func(i int, sub *index.Searcher) {
+			defer wg.Done()
+			errs[i] = sub.SeedShard(query, k, s.shardQuery(i, epsilon))
+		}(i, sub)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	if seedOnly {
+		return nil
+	}
+	var wg2 sync.WaitGroup
+	for i, sub := range s.ss {
+		wg2.Add(1)
+		go func(i int, sub *index.Searcher) {
+			defer wg2.Done()
+			errs[i] = sub.FinishShard()
+		}(i, sub)
+	}
+	wg2.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// finishResults snapshots the shared collector into the searcher-owned
+// result buffer (sorted ascending) and returns it.
+func (s *Searcher) finishResults() []index.Result {
+	s.resBuf = s.kn.ResultsAppend(s.resBuf[:0])
+	return s.resBuf
+}
+
+// Search returns the exact k nearest neighbors of query (any scale; it is
+// z-normalized internally) under squared z-normalized Euclidean distance,
+// in ascending order. With a single shard this is exactly the PR-1 tree
+// engine (zero allocations in steady state); with S shards the shards share
+// one collector and prune against each other's best-so-far.
+func (s *Searcher) Search(query []float64, k int) ([]index.Result, error) {
+	if len(s.ss) == 1 {
+		return s.ss[0].Search(query, k)
+	}
+	if err := s.searchShards(query, k, 0, false); err != nil {
+		return nil, err
+	}
+	return s.finishResults(), nil
+}
+
+// Search1 returns the exact nearest neighbor.
+func (s *Searcher) Search1(query []float64) (index.Result, error) {
+	res, err := s.Search(query, 1)
+	if err != nil {
+		return index.Result{}, err
+	}
+	return res[0], nil
+}
+
+// SearchApproximate returns up to k approximate nearest neighbors by probing
+// only the best-matching leaf of every shard — the classical iSAX-family
+// approximate search, run per shard and merged. The returned distances
+// upper-bound the true k-NN distances.
+func (s *Searcher) SearchApproximate(query []float64, k int) ([]index.Result, error) {
+	if len(s.ss) == 1 {
+		return s.ss[0].SearchApproximate(query, k)
+	}
+	if err := s.searchShards(query, k, 0, true); err != nil {
+		return nil, err
+	}
+	return s.finishResults(), nil
+}
+
+// SearchEpsilon returns k neighbors guaranteed within a (1+epsilon) factor
+// of the exact k-NN distances. epsilon = 0 is exact search.
+func (s *Searcher) SearchEpsilon(query []float64, k int, epsilon float64) ([]index.Result, error) {
+	if len(s.ss) == 1 {
+		return s.ss[0].SearchEpsilon(query, k, epsilon)
+	}
+	if epsilon < 0 {
+		return nil, fmt.Errorf("core: epsilon must be >= 0, got %v", epsilon)
+	}
+	if err := s.searchShards(query, k, epsilon, false); err != nil {
+		return nil, err
+	}
+	return s.finishResults(), nil
+}
+
+// LastStats sums the pruning counters of the most recent Search call across
+// shards.
+func (s *Searcher) LastStats() index.SearchStats {
+	var agg index.SearchStats
+	for _, sub := range s.ss {
+		st := sub.LastStats()
+		agg.NodesVisited += st.NodesVisited
+		agg.LeavesRefined += st.LeavesRefined
+		agg.SeriesLBD += st.SeriesLBD
+		agg.SeriesED += st.SeriesED
+	}
+	return agg
+}
+
+// SearchBatch answers a batch of queries with inter-query parallelism: up to
+// workers queries run concurrently, each handled end-to-end (all shards) by
+// a pooled serial searcher. workers <= 0 selects GOMAXPROCS. Results are in
+// query order and safe to retain — which is why the output is freshly
+// allocated per call; sustained traffic that wants allocation-free
+// steady state should use NewStream (callback-scoped results) or, on a
+// single-shard collection, Tree.BatchSearchInto.
+func (c *Collection) SearchBatch(queries *distance.Matrix, k, workers int) ([][]index.Result, error) {
+	if queries == nil || queries.Len() == 0 {
+		return nil, fmt.Errorf("core: empty query batch")
+	}
+	if queries.Stride != c.stride {
+		return nil, fmt.Errorf("core: query length %d, want %d", queries.Stride, c.stride)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if len(c.shards) == 1 {
+		rows := make([][]float64, queries.Len())
+		for i := range rows {
+			rows[i] = queries.Row(i)
+		}
+		return c.shards[0].BatchSearchWorkers(rows, k, workers)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("core: k must be >= 1, got %d", k)
+	}
+	if workers > queries.Len() {
+		workers = queries.Len()
+	}
+	out := make([][]index.Result, queries.Len())
+	if workers == 1 {
+		s := c.serialSearcher()
+		for i := range out {
+			res, err := s.Search(queries.Row(i), k)
+			if err != nil {
+				c.searchers.Put(s)
+				return nil, err
+			}
+			out[i] = append([]index.Result(nil), res...)
+		}
+		c.searchers.Put(s)
+		return out, nil
+	}
+	errs := make([]error, workers)
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := c.serialSearcher()
+			defer c.searchers.Put(s)
+			for {
+				i := int(cursor.Add(1) - 1)
+				if i >= queries.Len() {
+					return
+				}
+				res, err := s.Search(queries.Row(i), k)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				// res aliases the pooled searcher's buffer; copy it out.
+				out[i] = append([]index.Result(nil), res...)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,251 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/distance"
+)
+
+// The sharded-identity regression: on a fixed-seed 5k-series dataset, a
+// sharded collection must return exactly — same ids, same distances — what
+// the single-tree index returns, for every shard count and k. The result
+// sets are compared bit-for-bit: shards hold copies of the same rows, the
+// engines accept only fully-computed (never abandoned) distances, and the
+// sort is (dist, id)-total, so any divergence is a sharding bug, not noise.
+func TestShardedSearchMatchesSingleTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	n := 64
+	data := mixedMatrix(rng, 5000, n)
+	queries := distance.NewMatrix(20, n)
+	for i := 0; i < queries.Len(); i++ {
+		row := queries.Row(i)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+	}
+	single, err := Build(data, Config{Method: SOFA, LeafCapacity: 64, SampleRate: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type key struct{ k, q int }
+	expected := map[key][]Result{}
+	ss := single.NewSearcher()
+	for _, k := range []int{1, 10} {
+		for qi := 0; qi < queries.Len(); qi++ {
+			res, err := ss.Search(queries.Row(qi), k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			expected[key{k, qi}] = append([]Result(nil), res...)
+		}
+	}
+
+	for _, shards := range []int{1, 2, 8} {
+		ix, err := Build(data, Config{Method: SOFA, LeafCapacity: 64, SampleRate: 0.05, Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ix.Shards() != shards {
+			t.Fatalf("built %d shards, want %d", ix.Shards(), shards)
+		}
+		if ix.Len() != 5000 {
+			t.Fatalf("shards=%d: Len=%d", shards, ix.Len())
+		}
+		s := ix.NewSearcher()
+		for _, k := range []int{1, 10} {
+			for qi := 0; qi < queries.Len(); qi++ {
+				got, err := s.Search(queries.Row(qi), k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := expected[key{k, qi}]
+				if len(got) != len(want) {
+					t.Fatalf("shards=%d k=%d query %d: %d results, want %d",
+						shards, k, qi, len(got), len(want))
+				}
+				for r := range want {
+					if got[r] != want[r] {
+						t.Fatalf("shards=%d k=%d query %d rank %d: got %+v want %+v",
+							shards, k, qi, r, got[r], want[r])
+					}
+				}
+			}
+		}
+		// SearchBatch over the same queries must agree too (pooled serial
+		// collection searchers; workers == 1 exercises the inline path).
+		for _, k := range []int{1, 10} {
+			for _, workers := range []int{1, 4} {
+				batch, err := ix.SearchBatch(queries, k, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for qi := range batch {
+					want := expected[key{k, qi}]
+					for r := range want {
+						if batch[qi][r] != want[r] {
+							t.Fatalf("shards=%d k=%d workers=%d batch query %d rank %d: got %+v want %+v",
+								shards, k, workers, qi, r, batch[qi][r], want[r])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Global ids must be recoverable from sharded searches: each series found
+// under the id of the row of the original matrix.
+func TestShardedGlobalIDs(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	data := mixedMatrix(rng, 600, 64)
+	ix, err := Build(data, Config{Method: MESSI, LeafCapacity: 32, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ix.NewSearcher()
+	for _, g := range []int{0, 1, 17, 599} {
+		r, err := s.Search1(data.Row(g))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(r.ID) != g || r.Dist > 1e-9 {
+			t.Errorf("self query for global id %d returned %+v", g, r)
+		}
+		// Row inverts the partitioning: the row under a global id is the
+		// original matrix row.
+		row := ix.Row(g)
+		orig := data.Row(g)
+		for j := range orig {
+			if row[j] != orig[j] {
+				t.Fatalf("Row(%d) diverges from the original matrix at %d", g, j)
+			}
+		}
+	}
+}
+
+// Insert must preserve the round-robin id mapping and stay exact.
+func TestShardedInsert(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	base := mixedMatrix(rng, 300, 64)
+	extra := mixedMatrix(rng, 100, 64)
+	all := distance.NewMatrix(400, 64)
+	copy(all.Data, base.Data)
+	ix, err := Build(base, Config{Method: MESSI, LeafCapacity: 24, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < extra.Len(); i++ {
+		id, err := ix.Insert(extra.Row(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(id) != 300+i {
+			t.Fatalf("insert %d assigned global id %d, want %d", i, id, 300+i)
+		}
+		copy(all.Row(300+i), extra.Row(i))
+	}
+	if ix.Len() != 400 {
+		t.Fatalf("Len=%d after inserts", ix.Len())
+	}
+	if err := ix.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	s := ix.NewSearcher()
+	for qi := 0; qi < 10; qi++ {
+		query := make([]float64, 64)
+		for j := range query {
+			query[j] = rng.NormFloat64()
+		}
+		res, err := s.Search(query, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteKNN(all, query, 5)
+		for i := range want {
+			if math.Abs(res[i].Dist-want[i]) > 1e-7*(want[i]+1) {
+				t.Fatalf("query %d rank %d: got %v want %v", qi, i, res[i].Dist, want[i])
+			}
+		}
+	}
+	// Inserted series findable under their global ids.
+	r, err := s.Search1(extra.Row(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(r.ID) != 342 || r.Dist > 1e-9 {
+		t.Errorf("inserted series lookup returned %+v, want id 342", r)
+	}
+}
+
+// The approximate and epsilon modes must behave on shards as on the single
+// tree: approximate distances upper-bound the exact ones; epsilon answers
+// are within the (1+eps)^2 factor in squared space.
+func TestShardedApproximateAndEpsilon(t *testing.T) {
+	rng := rand.New(rand.NewSource(84))
+	data := mixedMatrix(rng, 1000, 64)
+	ix, err := Build(data, Config{Method: SOFA, LeafCapacity: 32, SampleRate: 0.1, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ix.NewSearcher()
+	const k = 5
+	const eps = 0.5
+	for qi := 0; qi < 10; qi++ {
+		query := make([]float64, 64)
+		for j := range query {
+			query[j] = rng.NormFloat64()
+		}
+		exact := bruteKNN(data, query, k)
+		approx, err := s.SearchApproximate(query, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(approx) == 0 {
+			t.Fatal("approximate search returned nothing")
+		}
+		for i, r := range approx {
+			if i < len(exact) && r.Dist < exact[i]-1e-12 {
+				t.Fatalf("approximate rank %d below exact: %v < %v", i, r.Dist, exact[i])
+			}
+		}
+		res, err := s.SearchEpsilon(query, k, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := (1 + eps) * (1 + eps)
+		for i := range res {
+			if res[i].Dist > exact[i]*bound+1e-9 {
+				t.Fatalf("epsilon rank %d: %v exceeds %v*(1+eps)^2", i, res[i].Dist, exact[i])
+			}
+		}
+	}
+	if _, err := s.SearchEpsilon(make([]float64, 64), 1, -1); err == nil {
+		t.Error("expected error on negative epsilon")
+	}
+}
+
+// Shard-count validation and clamping.
+func TestShardConfigValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(85))
+	data := mixedMatrix(rng, 10, 32)
+	if _, err := Build(data, Config{Method: MESSI, Shards: -1}); err == nil {
+		t.Error("expected error on negative shard count")
+	}
+	ix, err := Build(data, Config{Method: MESSI, Shards: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Shards() != 10 {
+		t.Errorf("shards not clamped to collection size: %d", ix.Shards())
+	}
+	s := ix.NewSearcher()
+	r, err := s.Search1(data.Row(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(r.ID) != 7 || r.Dist > 1e-9 {
+		t.Errorf("clamped-shard self query returned %+v", r)
+	}
+}

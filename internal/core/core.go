@@ -8,6 +8,16 @@
 //   - MESSI uses iSAX — PAA means under fixed Normal-distribution
 //     quantization (internal/sax).
 //
+// Every entry point routes through the Collection layer: an index made of S
+// shards (Config.Shards; default 1), each an independent tree over a
+// disjoint round-robin slice of the series, sharing one learned
+// summarization. Exact k-NN runs the shards against one shared collector
+// whose atomic bound is the cross-shard best-so-far, so a sharded index
+// returns exactly what the single tree returns while build, memory and
+// NUMA placement scale per shard. See Collection for the id mapping and
+// the merge contract, and Collection.NewStream for the sustained-traffic
+// streaming engine.
+//
 // Typical usage:
 //
 //	data, _ := distance.FromRows(rows) // N series of equal length
@@ -18,8 +28,6 @@ package core
 
 import (
 	"fmt"
-	"runtime"
-	"time"
 
 	"repro/internal/distance"
 	"repro/internal/index"
@@ -38,6 +46,10 @@ const (
 	MESSI
 )
 
+// Result is one answer of a similarity query (re-exported from the index
+// layer so core callers need not import it).
+type Result = index.Result
+
 func (m Method) String() string {
 	switch m {
 	case SOFA:
@@ -51,14 +63,25 @@ func (m Method) String() string {
 
 // Config configures Build. Zero values select the paper's defaults
 // (word length 16, alphabet 256, SFA with equi-width binning and variance
-// selection learned from a 1% sample).
+// selection learned from a 1% sample, one shard).
 type Config struct {
 	Method       Method
 	WordLength   int // symbols per word (default 16)
 	Bits         int // bits per symbol (default 8; alphabet 256)
 	LeafCapacity int // tree leaf size (default 1024)
-	Workers      int // build/query parallelism (default GOMAXPROCS)
-	Queues       int // query priority queues (default Workers)
+	Workers      int // build/query parallelism budget across shards (default GOMAXPROCS)
+	Queues       int // query priority queues across shards (default Workers)
+
+	// Shards is the number of index shards (default 1). Each shard is an
+	// independent tree over 1/S of the series; searches merge per-shard
+	// results through a shared best-so-far, so results are identical to a
+	// single-shard build. See the README for how to pick S.
+	Shards int
+
+	// NoLeafBlocks disables the per-leaf contiguous word blocks, roughly
+	// halving word memory at a refinement-locality cost — for
+	// memory-constrained builds (e.g. many shards per machine).
+	NoLeafBlocks bool
 
 	// SFA-only knobs (ignored for MESSI).
 	Binning    sfa.Binning   // default EquiWidth
@@ -68,21 +91,16 @@ type Config struct {
 	Seed       int64         // sampling seed (default 1)
 }
 
-// Index is a built SOFA or MESSI index. It is immutable and safe for
-// concurrent searches (one Searcher per goroutine).
+// Index is a built SOFA or MESSI index: a thin handle over a Collection of
+// one or more shard trees. It is immutable and safe for concurrent searches
+// (one Searcher per goroutine).
 type Index struct {
-	tree      *index.Tree
-	method    Method
-	cfg       Config           // effective (defaulted) configuration
-	data      *distance.Matrix // the indexed series
-	insertEnc index.Encoder    // lazily created encoder for Insert
+	col *Collection
 
 	// Phase timings for the Fig. 7 breakdown, in seconds.
 	LearnSeconds     float64 // SFA bin learning (0 for MESSI)
 	TransformSeconds float64 // summarization of all series
 	TreeSeconds      float64 // tree construction
-
-	sfaQ *sfa.Quantizer // nil for MESSI
 }
 
 // saxSummarization and sfaSummarization adapt the two quantizers to the
@@ -97,162 +115,78 @@ func (s sfaSummarization) NewIndexEncoder() index.Encoder { return s.Quantizer.N
 
 // Build constructs an index over data, which must contain z-normalized
 // series (use Matrix.ZNormalizeAll; Build returns the paper's z-normalized
-// Euclidean distances only under that contract).
+// Euclidean distances only under that contract). With cfg.Shards > 1 the
+// series are partitioned round-robin across that many independent trees —
+// see Collection.
 func Build(data *distance.Matrix, cfg Config) (*Index, error) {
-	if data == nil || data.Len() == 0 {
-		return nil, fmt.Errorf("core: cannot build over empty data")
-	}
-	if cfg.WordLength == 0 {
-		cfg.WordLength = 16
-	}
-	if cfg.Bits == 0 {
-		cfg.Bits = 8
-	}
-	if cfg.LeafCapacity == 0 {
-		cfg.LeafCapacity = 1024
-	}
-	ix := &Index{method: cfg.Method, cfg: cfg, data: data}
-	var sum index.Summarization
-	switch cfg.Method {
-	case MESSI:
-		q, err := sax.NewQuantizer(data.Stride, cfg.WordLength, cfg.Bits)
-		if err != nil {
-			return nil, err
-		}
-		sum = saxSummarization{q}
-	case SOFA:
-		start := time.Now()
-		q, err := sfa.Learn(data, sfa.Options{
-			WordLength: cfg.WordLength,
-			Bits:       cfg.Bits,
-			Binning:    cfg.Binning,
-			Selection:  cfg.Selection,
-			SampleRate: cfg.SampleRate,
-			MaxCoeffs:  cfg.MaxCoeffs,
-			Seed:       cfg.Seed,
-		})
-		if err != nil {
-			return nil, err
-		}
-		ix.LearnSeconds = time.Since(start).Seconds()
-		ix.sfaQ = q
-		sum = sfaSummarization{q}
-	default:
-		return nil, fmt.Errorf("core: unknown method %v", cfg.Method)
-	}
-	tree, err := index.Build(data, sum, index.Options{
-		LeafCapacity: cfg.LeafCapacity,
-		Workers:      cfg.Workers,
-		Queues:       cfg.Queues,
-	})
+	col, err := BuildCollection(data, cfg)
 	if err != nil {
 		return nil, err
 	}
-	ix.tree = tree
-	ix.TransformSeconds = tree.TransformSeconds
-	ix.TreeSeconds = tree.TreeSeconds
-	return ix, nil
+	return &Index{
+		col:              col,
+		LearnSeconds:     col.LearnSeconds,
+		TransformSeconds: col.TransformSeconds,
+		TreeSeconds:      col.TreeSeconds,
+	}, nil
 }
+
+// Collection returns the underlying sharded collection.
+func (ix *Index) Collection() *Collection { return ix.col }
 
 // Method reports whether this is a SOFA or MESSI index.
-func (ix *Index) Method() Method { return ix.method }
+func (ix *Index) Method() Method { return ix.col.Method() }
 
 // Len returns the number of indexed series.
-func (ix *Index) Len() int { return ix.tree.Len() }
+func (ix *Index) Len() int { return ix.col.Len() }
 
 // SeriesLen returns the length of the indexed series.
-func (ix *Index) SeriesLen() int { return ix.tree.SeriesLen() }
+func (ix *Index) SeriesLen() int { return ix.col.SeriesLen() }
 
-// Stats returns the tree-structure statistics (Fig. 8).
-func (ix *Index) Stats() index.Stats { return ix.tree.Stats() }
+// Shards returns the number of index shards.
+func (ix *Index) Shards() int { return ix.col.Shards() }
+
+// Row returns the series stored under global id g (aliasing index memory;
+// do not modify).
+func (ix *Index) Row(g int) []float64 { return ix.col.Row(g) }
+
+// Stats returns the tree-structure statistics (Fig. 8), aggregated across
+// shards.
+func (ix *Index) Stats() index.Stats { return ix.col.Stats() }
 
 // BuildSeconds returns the total build time across all phases.
-func (ix *Index) BuildSeconds() float64 {
-	return ix.LearnSeconds + ix.TransformSeconds + ix.TreeSeconds
-}
+func (ix *Index) BuildSeconds() float64 { return ix.col.BuildSeconds() }
 
 // SFAQuantizer returns the learned SFA summarization (nil for MESSI);
 // exposed for the ablation experiments (Fig. 13 reads the selected
-// coefficient indices).
-func (ix *Index) SFAQuantizer() *sfa.Quantizer { return ix.sfaQ }
+// coefficient indices). All shards share this one quantizer.
+func (ix *Index) SFAQuantizer() *sfa.Quantizer { return ix.col.SFAQuantizer() }
 
-// Searcher answers exact similarity queries against the index. Create one
-// per querying goroutine; a single Search parallelizes internally.
-//
-// Result slices returned by Search/SearchApproximate/SearchEpsilon are owned
-// by the Searcher and reused by its next call — copy them if they must
-// survive. SearchBatch returns freshly allocated slices.
-type Searcher struct{ s *index.Searcher }
-
-// NewSearcher creates a searcher.
-func (ix *Index) NewSearcher() *Searcher {
-	return &Searcher{s: ix.tree.NewSearcher()}
-}
-
-// Search returns the exact k nearest neighbors of query (any scale; it is
-// z-normalized internally) under squared z-normalized Euclidean distance,
-// in ascending order.
-func (s *Searcher) Search(query []float64, k int) ([]index.Result, error) {
-	return s.s.Search(query, k)
-}
-
-// Search1 returns the exact nearest neighbor.
-func (s *Searcher) Search1(query []float64) (index.Result, error) {
-	return s.s.Search1(query)
-}
-
-// LastStats returns the pruning counters of the most recent Search call.
-func (s *Searcher) LastStats() index.SearchStats { return s.s.LastStats() }
-
-// SearchApproximate returns up to k approximate nearest neighbors by
-// probing only the query's best-matching leaf — the classical iSAX-family
-// approximate search, and stage 1 of the exact algorithm. It is the
-// approximate mode the paper lists as future work (Section VI). The
-// returned distances upper-bound the true k-NN distances.
-func (s *Searcher) SearchApproximate(query []float64, k int) ([]index.Result, error) {
-	return s.s.SearchApproximate(query, k)
-}
-
-// SearchEpsilon returns k neighbors guaranteed within a (1+epsilon) factor
-// of the exact k-NN distances. epsilon = 0 is exact search; larger values
-// prune more aggressively and run faster.
-func (s *Searcher) SearchEpsilon(query []float64, k int, epsilon float64) ([]index.Result, error) {
-	return s.s.SearchEpsilon(query, k, epsilon)
-}
+// NewSearcher creates a searcher; see Collection.NewSearcher.
+func (ix *Index) NewSearcher() *Searcher { return ix.col.NewSearcher() }
 
 // SearchBatch answers a batch of queries with inter-query parallelism: up
 // to workers queries run concurrently, each on a pooled single-threaded
 // searcher (the FAISS protocol from the paper's Section V). workers <= 0
 // selects GOMAXPROCS. Results are in query order and safe to retain.
 func (ix *Index) SearchBatch(queries *distance.Matrix, k, workers int) ([][]index.Result, error) {
-	if queries == nil || queries.Len() == 0 {
-		return nil, fmt.Errorf("core: empty query batch")
-	}
-	if queries.Stride != ix.SeriesLen() {
-		return nil, fmt.Errorf("core: query length %d, want %d", queries.Stride, ix.SeriesLen())
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	rows := make([][]float64, queries.Len())
-	for i := range rows {
-		rows[i] = queries.Row(i)
-	}
-	return ix.tree.BatchSearchWorkers(rows, k, workers)
+	return ix.col.SearchBatch(queries, k, workers)
+}
+
+// NewStream starts the streaming query engine; see Collection.NewStream.
+func (ix *Index) NewStream(k, workers int, handle func(qid uint64, res []index.Result, err error)) (*Stream, error) {
+	return ix.col.NewStream(k, workers, handle)
 }
 
 // Insert adds one series to the index (z-normalized internally) and returns
-// its id. Not safe to run concurrently with searches or other inserts —
-// synchronize externally for mixed workloads. Inserted series are
+// its global id. Not safe to run concurrently with searches or other
+// inserts — synchronize externally for mixed workloads. Inserted series are
 // summarized with the index's existing learned quantization (SFA bins are
 // not re-learned, matching MESSI's incremental behaviour).
 func (ix *Index) Insert(series []float64) (int32, error) {
-	if ix.insertEnc == nil {
-		ix.insertEnc = ix.tree.Encoder()
-	}
-	return ix.tree.Insert(distance.ZNormalized(series), ix.insertEnc)
+	return ix.col.Insert(series)
 }
 
-// CheckInvariants verifies the tree's structural invariants (mainly useful
-// after Insert-heavy workloads and in tests).
-func (ix *Index) CheckInvariants() error { return ix.tree.CheckInvariants() }
+// CheckInvariants verifies every shard tree's structural invariants (mainly
+// useful after Insert-heavy workloads and in tests).
+func (ix *Index) CheckInvariants() error { return ix.col.CheckInvariants() }

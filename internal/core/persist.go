@@ -10,13 +10,18 @@ import (
 
 	"repro/internal/distance"
 	"repro/internal/index"
-	"repro/internal/sax"
 	"repro/internal/sfa"
 )
 
-// savedIndex is the gob-serialized form of an Index. Data values are stored
-// as float32 (the paper's on-disk precision) and re-z-normalized on load,
-// so the exactness guarantee is preserved against the loaded data.
+// savedIndex is the gob-serialized container format. Data values are stored
+// as float32 (the paper's on-disk precision) in global id order and
+// re-z-normalized on load, so the exactness guarantee is preserved against
+// the loaded data.
+//
+// Version 1 stored a single word buffer (Words); version 2 stores the shard
+// count plus one word buffer per shard in shard-local row order, which lets
+// Load rebuild every shard tree in parallel. Version-1 files load as a
+// single-shard collection.
 type savedIndex struct {
 	Version      int
 	Method       Method
@@ -26,34 +31,48 @@ type savedIndex struct {
 	SeriesLen    int
 	Count        int
 	Data         []float32
-	Words        []byte
-	SFA          *sfa.State // nil for MESSI
+	Words        []byte // version 1 only
+	SFA          *sfa.State
+
+	// Version 2 fields.
+	Shards       int
+	ShardWords   [][]byte
+	NoLeafBlocks bool
 }
 
-const savedIndexVersion = 1
+const savedIndexVersion = 2
 
-// Save serializes the index (summarization tables, words and data) to w.
-// The tree structure itself is not stored: it is rebuilt deterministically
-// from the words on Load, which is cheap relative to the transform.
+// Save serializes the index (summarization tables, per-shard words and
+// data) to w. The tree structures themselves are not stored: each shard is
+// rebuilt deterministically from its words on Load, in parallel across
+// shards, which is cheap relative to the transform.
 func Save(ix *Index, w io.Writer) error {
+	col := ix.col
 	bw := bufio.NewWriterSize(w, 1<<20)
 	s := savedIndex{
 		Version:      savedIndexVersion,
-		Method:       ix.method,
-		WordLength:   ix.cfg.WordLength,
-		Bits:         ix.cfg.Bits,
-		LeafCapacity: ix.cfg.LeafCapacity,
-		SeriesLen:    ix.SeriesLen(),
-		Count:        ix.Len(),
-		Words:        ix.tree.Words(),
+		Method:       col.method,
+		WordLength:   col.cfg.WordLength,
+		Bits:         col.cfg.Bits,
+		LeafCapacity: col.cfg.LeafCapacity,
+		SeriesLen:    col.SeriesLen(),
+		Count:        col.Len(),
+		Shards:       col.Shards(),
+		NoLeafBlocks: col.cfg.NoLeafBlocks,
+		ShardWords:   make([][]byte, col.Shards()),
 	}
-	data := ix.data
-	s.Data = make([]float32, len(data.Data))
-	for i, v := range data.Data {
-		s.Data[i] = float32(v)
+	for i, t := range col.shards {
+		s.ShardWords[i] = t.Words()
 	}
-	if ix.sfaQ != nil {
-		st := ix.sfaQ.State()
+	s.Data = make([]float32, col.Len()*col.SeriesLen())
+	for g := 0; g < col.Len(); g++ {
+		row := col.Row(g)
+		for j, v := range row {
+			s.Data[g*col.SeriesLen()+j] = float32(v)
+		}
+	}
+	if col.sfaQ != nil {
+		st := col.sfaQ.State()
 		s.SFA = &st
 	}
 	if err := gob.NewEncoder(bw).Encode(&s); err != nil {
@@ -75,51 +94,82 @@ func SaveFile(ix *Index, path string) error {
 	return f.Close()
 }
 
-// Load deserializes an index previously written by Save. The returned
-// index answers queries identically to the one saved (up to float32
-// round-trip of the underlying data, against which results remain exact).
+// Load deserializes an index previously written by Save (either format
+// version). The returned index answers queries identically to the one saved
+// (up to float32 round-trip of the underlying data, against which results
+// remain exact). Shard trees are rebuilt in parallel.
 func Load(r io.Reader) (*Index, error) {
 	var s savedIndex
 	if err := gob.NewDecoder(bufio.NewReaderSize(r, 1<<20)).Decode(&s); err != nil {
 		return nil, fmt.Errorf("core: decoding index: %w", err)
 	}
-	if s.Version != savedIndexVersion {
+	switch s.Version {
+	case 1:
+		s.Shards = 1
+		s.ShardWords = [][]byte{s.Words}
+	case savedIndexVersion:
+		if s.Shards < 1 || len(s.ShardWords) != s.Shards {
+			return nil, fmt.Errorf("core: corrupt shard table (%d shards, %d word buffers)",
+				s.Shards, len(s.ShardWords))
+		}
+	default:
 		return nil, fmt.Errorf("core: unsupported index version %d", s.Version)
 	}
 	if s.Count < 1 || s.SeriesLen < 1 {
 		return nil, fmt.Errorf("core: corrupt index header (%d series x %d)", s.Count, s.SeriesLen)
 	}
+	if s.Shards > s.Count {
+		return nil, fmt.Errorf("core: %d shards for %d series", s.Shards, s.Count)
+	}
 	if len(s.Data) != s.Count*s.SeriesLen {
 		return nil, fmt.Errorf("core: data length %d, want %d", len(s.Data), s.Count*s.SeriesLen)
 	}
-	if len(s.Words) != s.Count*s.WordLength {
-		return nil, fmt.Errorf("core: words length %d, want %d", len(s.Words), s.Count*s.WordLength)
-	}
-	for _, w := range s.Words {
-		if s.Bits < 8 && int(w) >= 1<<s.Bits {
-			return nil, fmt.Errorf("core: word symbol %d exceeds alphabet %d", w, 1<<s.Bits)
+	for sh, words := range s.ShardWords {
+		shardCount := (s.Count - sh + s.Shards - 1) / s.Shards
+		if len(words) != shardCount*s.WordLength {
+			return nil, fmt.Errorf("core: shard %d words length %d, want %d",
+				sh, len(words), shardCount*s.WordLength)
+		}
+		for _, w := range words {
+			if s.Bits < 8 && int(w) >= 1<<s.Bits {
+				return nil, fmt.Errorf("core: word symbol %d exceeds alphabet %d", w, 1<<s.Bits)
+			}
 		}
 	}
-	data := distance.NewMatrix(s.Count, s.SeriesLen)
-	for i, v := range s.Data {
-		if f := float64(v); math.IsNaN(f) || math.IsInf(f, 0) {
-			return nil, fmt.Errorf("core: non-finite data value at offset %d", i)
-		}
-		data.Data[i] = float64(v)
+	// Decode the float32 data (stored in global id order) straight into the
+	// per-shard matrices — an intermediate full matrix would transiently
+	// double series memory, the dominant cost on the memory-constrained
+	// many-shard deployments sharding targets. Rows are re-z-normalized to
+	// restore exactness after the f32 round-trip.
+	sdata := make([]*distance.Matrix, s.Shards)
+	for sh := range sdata {
+		sdata[sh] = distance.NewMatrix((s.Count-sh+s.Shards-1)/s.Shards, s.SeriesLen)
 	}
-	data.ZNormalizeAll() // restore exact z-normalization after f32 rounding
+	for g := 0; g < s.Count; g++ {
+		row := sdata[g%s.Shards].Row(g / s.Shards)
+		src := s.Data[g*s.SeriesLen : (g+1)*s.SeriesLen]
+		for j, v := range src {
+			if f := float64(v); math.IsNaN(f) || math.IsInf(f, 0) {
+				return nil, fmt.Errorf("core: non-finite data value at offset %d", g*s.SeriesLen+j)
+			}
+			row[j] = float64(v)
+		}
+		distance.ZNormalize(row)
+	}
 
-	ix := &Index{method: s.Method, data: data, cfg: Config{
-		Method: s.Method, WordLength: s.WordLength, Bits: s.Bits, LeafCapacity: s.LeafCapacity,
-	}}
+	cfg := Config{
+		Method: s.Method, WordLength: s.WordLength, Bits: s.Bits,
+		LeafCapacity: s.LeafCapacity, Shards: s.Shards, NoLeafBlocks: s.NoLeafBlocks,
+	}
+	col := &Collection{method: s.Method, cfg: cfg, total: s.Count, stride: s.SeriesLen}
 	var sum index.Summarization
 	switch s.Method {
 	case MESSI:
-		q, err := sax.NewQuantizer(s.SeriesLen, s.WordLength, s.Bits)
+		var err error
+		sum, _, _, err = newSummarization(sdata[0], cfg)
 		if err != nil {
 			return nil, err
 		}
-		sum = saxSummarization{q}
 	case SOFA:
 		if s.SFA == nil {
 			return nil, fmt.Errorf("core: SOFA index missing SFA state")
@@ -128,18 +178,23 @@ func Load(r io.Reader) (*Index, error) {
 		if err != nil {
 			return nil, err
 		}
-		ix.sfaQ = q
+		col.sfaQ = q
 		sum = sfaSummarization{q}
 	default:
 		return nil, fmt.Errorf("core: unknown method %v in saved index", s.Method)
 	}
-	tree, err := index.BuildFromWords(data, sum, index.Options{LeafCapacity: s.LeafCapacity}, s.Words)
-	if err != nil {
+	col.sum = sum
+
+	// Rebuild every shard in parallel: re-bucket and re-split from the saved
+	// words, skipping the (expensive) summarization transform.
+	col.sdata = sdata
+	opts := col.shardOptions()
+	if err := col.buildShardTrees(func(i int) (*index.Tree, error) {
+		return index.BuildFromWords(col.sdata[i], sum, opts, s.ShardWords[i])
+	}); err != nil {
 		return nil, err
 	}
-	ix.tree = tree
-	ix.TreeSeconds = tree.TreeSeconds
-	return ix, nil
+	return &Index{col: col, TreeSeconds: col.TreeSeconds}, nil
 }
 
 // LoadFile reads an index from a file.

@@ -51,12 +51,70 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 			}
 		}
 		// Loaded index remains exact against its own (f32-rounded) data.
-		r, err := ls.Search1(loaded.data.Row(3))
+		r, err := ls.Search1(loaded.Row(3))
 		if err != nil {
 			t.Fatal(err)
 		}
 		if r.Dist > 1e-9 {
 			t.Errorf("%v: self query on loaded index: %v", method, r.Dist)
+		}
+	}
+}
+
+// A sharded collection must survive the v2 container round-trip: shard
+// count preserved, per-shard trees rebuilt (in parallel) from the per-shard
+// word buffers, answers identical to the saved index.
+func TestSaveLoadSharded(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	data := mixedMatrix(rng, 600, 96)
+	queries := mixedMatrix(rng, 10, 96)
+	for _, method := range []Method{SOFA, MESSI} {
+		orig, err := Build(data, Config{Method: method, LeafCapacity: 32, SampleRate: 0.2, Shards: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := Save(orig, &buf); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := Load(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if loaded.Shards() != 4 {
+			t.Fatalf("%v: loaded %d shards, want 4", method, loaded.Shards())
+		}
+		if loaded.Len() != 600 || loaded.SeriesLen() != 96 {
+			t.Fatalf("%v: loaded header mismatch", method)
+		}
+		so, sl := orig.Stats(), loaded.Stats()
+		if so.Subtrees != sl.Subtrees || so.Leaves != sl.Leaves {
+			t.Errorf("%v: structure changed: %+v vs %+v", method, so, sl)
+		}
+		os, ls := orig.NewSearcher(), loaded.NewSearcher()
+		for qi := 0; qi < queries.Len(); qi++ {
+			a, err := os.Search(queries.Row(qi), 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := ls.Search(queries.Row(qi), 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range a {
+				if a[i].ID != b[i].ID && math.Abs(a[i].Dist-b[i].Dist) > 1e-4*(a[i].Dist+1) {
+					t.Fatalf("%v query %d rank %d: %+v vs %+v", method, qi, i, a[i], b[i])
+				}
+			}
+		}
+		// Global-id round trip: a loaded shard answers self-queries under the
+		// original global ids.
+		r, err := ls.Search1(loaded.Row(17))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(r.ID) != 17 || r.Dist > 1e-9 {
+			t.Errorf("%v: self query on loaded shard returned %+v", method, r)
 		}
 	}
 }

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/index"
+)
+
+// Stream is the sustained-traffic query engine: a fixed pool of worker
+// goroutines, each owning a pooled serial searcher, consuming queries from a
+// bounded channel and delivering answers through a result callback. Unlike
+// SearchBatch — which rebuilds its fan-out and output scaffolding per call —
+// a Stream is created once and re-used for the life of the workload: the
+// goroutines, searchers, query buffers and result buffers all persist, so
+// steady-state traffic performs no per-query setup allocations.
+//
+// Lifecycle: NewStream starts the workers; Submit enqueues queries (blocking
+// for backpressure when the channel is full); Close drains in-flight queries
+// and stops the workers. Submitting is safe from many goroutines at once.
+type Stream struct {
+	c      *Collection
+	k      int
+	handle func(qid uint64, res []index.Result, err error)
+
+	jobs chan streamJob
+	wg   sync.WaitGroup
+
+	// bufs pools query copies so Submit's handoff to the workers is
+	// allocation-free in steady state.
+	bufs sync.Pool
+
+	nextID atomic.Uint64
+
+	// mu guards the closed transition: Submit holds it shared while sending
+	// so Close cannot close the channel under an in-flight send.
+	mu     sync.RWMutex
+	closed bool
+}
+
+// streamJob is one enqueued query: the id returned by Submit plus a pooled
+// copy of the query values. The pool pointer itself travels in the job so
+// the worker returns the identical cell — re-boxing the slice header on
+// either side would allocate per query.
+type streamJob struct {
+	id uint64
+	q  *[]float64
+}
+
+// NewStream starts a streaming query engine over the collection. Every
+// submitted query is answered with its exact k nearest neighbors by one of
+// `workers` persistent worker goroutines (workers <= 0 selects GOMAXPROCS);
+// the bounded submit channel holds up to two queries per worker, so
+// submitters are backpressured instead of queueing unboundedly.
+//
+// handle is invoked once per submitted query, possibly concurrently from
+// different workers and in completion (not submission) order. The res slice
+// is owned by the worker and reused for its next query: it is valid only
+// for the duration of the callback — copy it to retain. Callbacks must not
+// call Submit or Close on the same stream (Submit may block on a full
+// channel that only the callback's worker can drain).
+func (c *Collection) NewStream(k, workers int, handle func(qid uint64, res []index.Result, err error)) (*Stream, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("core: k must be >= 1, got %d", k)
+	}
+	if handle == nil {
+		return nil, fmt.Errorf("core: stream handler must not be nil")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	st := &Stream{
+		c:      c,
+		k:      k,
+		handle: handle,
+		jobs:   make(chan streamJob, 2*workers),
+	}
+	st.bufs.New = func() any {
+		buf := make([]float64, c.stride)
+		return &buf
+	}
+	st.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go st.worker()
+	}
+	return st, nil
+}
+
+// worker consumes queries until the stream closes, answering each on a
+// pooled serial searcher shared with SearchBatch.
+func (st *Stream) worker() {
+	defer st.wg.Done()
+	s := st.c.serialSearcher()
+	defer st.c.searchers.Put(s)
+	for job := range st.jobs {
+		res, err := s.Search(*job.q, st.k)
+		st.handle(job.id, res, err)
+		st.bufs.Put(job.q)
+	}
+}
+
+// Submit enqueues one query and returns its id (the value later passed to
+// the handler). The query is copied before Submit returns, so the caller may
+// reuse its slice immediately. Submit blocks while the bounded channel is
+// full — that backpressure is the flow control of the engine.
+func (st *Stream) Submit(query []float64) (uint64, error) {
+	if len(query) != st.c.stride {
+		return 0, fmt.Errorf("core: query length %d, want %d", len(query), st.c.stride)
+	}
+	buf := st.bufs.Get().(*[]float64)
+	copy(*buf, query)
+	id := st.nextID.Add(1) - 1
+
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	if st.closed {
+		st.bufs.Put(buf)
+		return 0, fmt.Errorf("core: Submit on a closed Stream")
+	}
+	st.jobs <- streamJob{id: id, q: buf}
+	return id, nil
+}
+
+// Close stops accepting submissions, waits for every in-flight query's
+// callback to complete, and releases the workers. Close is idempotent;
+// Submit calls racing with Close either enqueue (and are answered) or
+// return an error.
+func (st *Stream) Close() {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return
+	}
+	st.closed = true
+	close(st.jobs)
+	st.mu.Unlock()
+	st.wg.Wait()
+}

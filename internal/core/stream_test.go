@@ -1,0 +1,130 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// The streaming engine under concurrent submitters (run with -race in CI):
+// many goroutines submit against one stream; every query must be answered
+// exactly once, with exactly the single-tree searcher's answer, regardless
+// of which worker handled it.
+func TestStreamConcurrentSubmitters(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	n := 64
+	data := mixedMatrix(rng, 2000, n)
+	ix, err := Build(data, Config{Method: SOFA, LeafCapacity: 64, SampleRate: 0.1, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		submitters = 4
+		perSub     = 25
+		k          = 5
+	)
+	queries := make([][]float64, submitters*perSub)
+	expected := make([][]Result, len(queries))
+	ref := ix.NewSearcher()
+	for i := range queries {
+		q := make([]float64, n)
+		for j := range q {
+			q[j] = rng.NormFloat64()
+		}
+		queries[i] = q
+		res, err := ref.Search(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		expected[i] = append([]Result(nil), res...)
+	}
+
+	var mu sync.Mutex
+	got := map[uint64][]Result{}
+	st, err := ix.NewStream(k, 3, func(qid uint64, res []Result, err error) {
+		if err != nil {
+			t.Errorf("query %d: %v", qid, err)
+			return
+		}
+		// The res slice is callback-scoped: copy to retain.
+		cp := append([]Result(nil), res...)
+		mu.Lock()
+		if _, dup := got[qid]; dup {
+			t.Errorf("query id %d answered twice", qid)
+		}
+		got[qid] = cp
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// qid -> query index, filled by the submitters.
+	var idmu sync.Mutex
+	qidToQuery := map[uint64]int{}
+	var wg sync.WaitGroup
+	for sub := 0; sub < submitters; sub++ {
+		wg.Add(1)
+		go func(sub int) {
+			defer wg.Done()
+			for i := 0; i < perSub; i++ {
+				qi := sub*perSub + i
+				qid, err := st.Submit(queries[qi])
+				if err != nil {
+					t.Errorf("submit %d: %v", qi, err)
+					return
+				}
+				idmu.Lock()
+				qidToQuery[qid] = qi
+				idmu.Unlock()
+			}
+		}(sub)
+	}
+	wg.Wait()
+	st.Close()
+
+	if len(got) != len(queries) {
+		t.Fatalf("%d answers for %d queries", len(got), len(queries))
+	}
+	for qid, res := range got {
+		want := expected[qidToQuery[qid]]
+		if len(res) != len(want) {
+			t.Fatalf("query %d: %d results, want %d", qid, len(res), len(want))
+		}
+		for r := range want {
+			if res[r] != want[r] {
+				t.Fatalf("query %d rank %d: got %+v want %+v", qid, r, res[r], want[r])
+			}
+		}
+	}
+}
+
+func TestStreamValidationAndClose(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	data := mixedMatrix(rng, 200, 32)
+	ix, err := Build(data, Config{Method: MESSI, LeafCapacity: 16, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.NewStream(0, 1, func(uint64, []Result, error) {}); err == nil {
+		t.Error("expected error on k=0")
+	}
+	if _, err := ix.NewStream(1, 1, nil); err == nil {
+		t.Error("expected error on nil handler")
+	}
+	st, err := ix.NewStream(1, 2, func(uint64, []Result, error) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Submit(make([]float64, 7)); err == nil {
+		t.Error("expected error on wrong query length")
+	}
+	if _, err := st.Submit(data.Row(0)); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	st.Close() // idempotent
+	if _, err := st.Submit(data.Row(1)); err == nil {
+		t.Error("expected error on Submit after Close")
+	}
+}

@@ -195,6 +195,27 @@ func Dot(a, b []float64) float64 {
 	return s
 }
 
+// PartitionRoundRobin splits the matrix into s shard matrices: shard i
+// receives rows i, i+s, i+2s, ... (so global row g lives in shard g % s at
+// local row g / s, and shard i holds ceil((n-i)/s) rows). This is the one
+// partitioning shared by every sharded structure in the repo — the tree
+// collection and the flat baseline must slice identically to be comparable.
+// With s == 1 the original matrix is returned (aliased, no copy).
+func (m *Matrix) PartitionRoundRobin(s int) []*Matrix {
+	if s == 1 {
+		return []*Matrix{m}
+	}
+	n := m.Len()
+	out := make([]*Matrix, s)
+	for i := 0; i < s; i++ {
+		out[i] = NewMatrix((n-i+s-1)/s, m.Stride)
+	}
+	for g := 0; g < n; g++ {
+		copy(out[g%s].Row(g/s), m.Row(g))
+	}
+	return out
+}
+
 // Append copies a new row onto the end of the matrix and returns its index.
 // It panics on a stride mismatch. Existing Row slices may be invalidated by
 // reallocation; callers that hold rows across Append must re-fetch them.

@@ -67,6 +67,14 @@ func (ix *Index) Search(query []float64, k int) ([]index.Result, error) {
 // searchNormalized scans every row against the already-normalized query,
 // collecting into kn (which the caller Resets for reuse across a batch).
 func (ix *Index) searchNormalized(q []float64, k int, kn *index.KNNCollector) []index.Result {
+	ix.scanInto(q, kn, 1, 0)
+	return kn.Results()
+}
+
+// scanInto scans every row against the already-normalized query, offering
+// row i under id i*idMul + idAdd — the identity for a stand-alone index,
+// the round-robin inverse for a shard of Sharded.
+func (ix *Index) scanInto(q []float64, kn *index.KNNCollector, idMul, idAdd int32) {
 	var qn float64
 	for _, v := range q {
 		qn += v * v
@@ -77,29 +85,37 @@ func (ix *Index) searchNormalized(q []float64, k int, kn *index.KNNCollector) []
 		if d < 0 {
 			d = 0 // guard rounding for near-identical vectors
 		}
-		kn.Offer(int32(i), d)
+		kn.Offer(int32(i)*idMul+idAdd, d)
 	}
-	return kn.Results()
 }
 
 // SearchBatch answers a batch of queries, distributing whole queries across
 // the configured workers (the paper's FAISS mini-batch protocol). Results
 // are returned in query order.
 func (ix *Index) SearchBatch(queries *distance.Matrix, k int) ([][]index.Result, error) {
+	return batchScan(queries, k, ix.workers, ix.data.Stride, func(q []float64, kn *index.KNNCollector) {
+		ix.scanInto(q, kn, 1, 0)
+	})
+}
+
+// batchScan is the shared mini-batch worker loop of the plain and sharded
+// flat indexes: whole queries are distributed across workers, each worker
+// reusing its z-normalized query buffer and k-NN collector across the batch
+// so the scan loop performs no per-query allocations. scan fills kn with
+// the (already normalized) query's candidates.
+func batchScan(queries *distance.Matrix, k, workers, stride int, scan func(q []float64, kn *index.KNNCollector)) ([][]index.Result, error) {
 	if queries == nil || queries.Len() == 0 {
 		return nil, fmt.Errorf("flat: empty query batch")
 	}
-	if queries.Stride != ix.data.Stride {
-		return nil, fmt.Errorf("flat: query length %d, want %d", queries.Stride, ix.data.Stride)
+	if queries.Stride != stride {
+		return nil, fmt.Errorf("flat: query length %d, want %d", queries.Stride, stride)
 	}
 	if k < 1 {
 		return nil, fmt.Errorf("flat: k must be >= 1, got %d", k)
 	}
 	out := make([][]index.Result, queries.Len())
 	var cursor atomic.Int64
-	next := func() int { return int(cursor.Add(1) - 1) }
 	var wg sync.WaitGroup
-	workers := ix.workers
 	if workers > queries.Len() {
 		workers = queries.Len()
 	}
@@ -107,20 +123,18 @@ func (ix *Index) SearchBatch(queries *distance.Matrix, k int) ([][]index.Result,
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			// Per-worker scratch: the z-normalized query buffer and the k-NN
-			// collector are reused across the whole batch, so the scan loop
-			// itself performs no per-query allocations.
-			qbuf := make([]float64, ix.data.Stride)
+			qbuf := make([]float64, stride)
 			kn := index.NewKNNCollector(k)
 			for {
-				i := next()
+				i := int(cursor.Add(1) - 1)
 				if i >= queries.Len() {
 					return
 				}
 				copy(qbuf, queries.Row(i))
 				distance.ZNormalize(qbuf)
 				kn.Reset(k)
-				out[i] = ix.searchNormalized(qbuf, k, kn)
+				scan(qbuf, kn)
+				out[i] = kn.Results()
 			}
 		}()
 	}

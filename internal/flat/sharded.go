@@ -1,0 +1,84 @@
+package flat
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/distance"
+	"repro/internal/index"
+)
+
+// Sharded is the flat baseline partitioned the same way core.Collection
+// partitions the tree index: S sub-indexes over disjoint round-robin slices
+// of the series (global id = local*S + shard), answering each query by
+// scanning every shard into one shared collector. It exists so sharded-tree
+// throughput numbers are compared against a baseline with the identical
+// memory partitioning, not against a monolithic scan.
+type Sharded struct {
+	shards  []*Index
+	stride  int
+	total   int
+	workers int
+}
+
+// BuildSharded creates a sharded flat index. shards is clamped to the
+// number of series; workers <= 0 selects GOMAXPROCS.
+func BuildSharded(data *distance.Matrix, shards, workers int) (*Sharded, error) {
+	if data == nil || data.Len() == 0 {
+		return nil, fmt.Errorf("flat: empty data")
+	}
+	if shards < 1 {
+		return nil, fmt.Errorf("flat: shard count must be >= 1, got %d", shards)
+	}
+	if shards > data.Len() {
+		shards = data.Len()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	ix := &Sharded{stride: data.Stride, total: data.Len(), workers: workers}
+	for _, m := range data.PartitionRoundRobin(shards) {
+		sub, err := Build(m, workers)
+		if err != nil {
+			return nil, err
+		}
+		ix.shards = append(ix.shards, sub)
+	}
+	return ix, nil
+}
+
+// Len returns the number of indexed series across all shards.
+func (ix *Sharded) Len() int { return ix.total }
+
+// Shards returns the shard count.
+func (ix *Sharded) Shards() int { return len(ix.shards) }
+
+// Search answers a single query exactly, scanning the shards sequentially
+// on one core (as in the unsharded baseline) into a shared collector.
+func (ix *Sharded) Search(query []float64, k int) ([]index.Result, error) {
+	if len(query) != ix.stride {
+		return nil, fmt.Errorf("flat: query length %d, want %d", len(query), ix.stride)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("flat: k must be >= 1, got %d", k)
+	}
+	q := distance.ZNormalized(query)
+	kn := index.NewKNNCollector(k)
+	ix.scanShards(q, kn)
+	return kn.Results(), nil
+}
+
+// scanShards scans every shard into kn under the global id mapping.
+func (ix *Sharded) scanShards(q []float64, kn *index.KNNCollector) {
+	s := int32(len(ix.shards))
+	for i, sub := range ix.shards {
+		sub.scanInto(q, kn, s, int32(i))
+	}
+}
+
+// SearchBatch answers a batch of queries, distributing whole queries across
+// the configured workers (the FAISS mini-batch protocol); each worker scans
+// all shards for its query. Results are returned in query order.
+func (ix *Sharded) SearchBatch(queries *distance.Matrix, k int) ([][]index.Result, error) {
+	return batchScan(queries, k, ix.workers, ix.stride, ix.scanShards)
+}

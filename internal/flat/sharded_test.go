@@ -1,0 +1,91 @@
+package flat
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/distance"
+)
+
+// The sharded flat baseline must return exactly what the unsharded scan
+// returns — same global ids, same distances — for single queries and
+// batches.
+func TestShardedMatchesUnsharded(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	n := 64
+	m := testMatrix(rng, 700, n)
+	plain, err := Build(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := distance.NewMatrix(10, n)
+	for i := 0; i < queries.Len(); i++ {
+		row := queries.Row(i)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+	}
+	const k = 5
+	want, err := plain.SearchBatch(queries, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 3, 8} {
+		ix, err := BuildSharded(m, shards, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ix.Len() != 700 {
+			t.Fatalf("shards=%d: Len=%d", shards, ix.Len())
+		}
+		got, err := ix.SearchBatch(queries, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for qi := range want {
+			for r := range want[qi] {
+				if got[qi][r] != want[qi][r] {
+					t.Fatalf("shards=%d query %d rank %d: got %+v want %+v",
+						shards, qi, r, got[qi][r], want[qi][r])
+				}
+			}
+		}
+		single, err := ix.Search(queries.Row(0), k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := range want[0] {
+			if single[r] != want[0][r] {
+				t.Fatalf("shards=%d single query rank %d: got %+v want %+v",
+					shards, r, single[r], want[0][r])
+			}
+		}
+	}
+}
+
+func TestShardedValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	m := testMatrix(rng, 20, 32)
+	if _, err := BuildSharded(nil, 2, 1); err == nil {
+		t.Error("expected error on nil data")
+	}
+	if _, err := BuildSharded(m, 0, 1); err == nil {
+		t.Error("expected error on zero shards")
+	}
+	ix, err := BuildSharded(m, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Shards() != 20 {
+		t.Errorf("shards not clamped: %d", ix.Shards())
+	}
+	if _, err := ix.Search(make([]float64, 7), 1); err == nil {
+		t.Error("expected error on wrong query length")
+	}
+	if _, err := ix.Search(m.Row(0), 0); err == nil {
+		t.Error("expected error on k=0")
+	}
+	if _, err := ix.SearchBatch(nil, 1); err == nil {
+		t.Error("expected error on empty batch")
+	}
+}

@@ -55,14 +55,11 @@ func (s *Searcher) finishResults() []Result {
 // is a valid upper bound on the true k-NN distances. Like Search, the
 // returned slice is owned by the Searcher and reused by its next call.
 func (s *Searcher) SearchApproximate(query []float64, k int) ([]Result, error) {
-	q, err := s.prepareQuery(query, k)
-	if err != nil {
+	s.kn.Reset(k)
+	if err := s.beginShard(query, k, &s.kn, 1, 0, 1); err != nil {
 		return nil, err
 	}
-	s.kn.Reset(k)
-	if leaf := s.approximateLeaf(); leaf != nil {
-		s.processLeafReal(leaf, q, &s.kn)
-	}
+	s.seeded = false // approximate mode: the seeding stage is the whole query
 	return s.finishResults(), nil
 }
 
@@ -86,25 +83,62 @@ func (s *Searcher) SearchEpsilon(query []float64, k int, epsilon float64) ([]Res
 // All per-query state lives in Searcher scratch. With one worker (or a
 // serial searcher, as in BatchSearch) the engine runs inline — no goroutines,
 // no WaitGroups — and performs zero heap allocations in steady state.
+//
+// The engine runs in two phases shared with the collection-level sharded
+// search (see SeedShard/FinishShard): beginShard prepares the query and
+// seeds the collector with real distances from the best-matching leaf;
+// finishShard traverses the tree and refines the surviving leaves.
 func (s *Searcher) search(query []float64, k int, pruneScale float64) ([]Result, error) {
-	t := s.t
-	q, err := s.prepareQuery(query, k)
-	if err != nil {
+	s.kn.Reset(k)
+	if err := s.beginShard(query, k, &s.kn, 1, 0, pruneScale); err != nil {
 		return nil, err
 	}
-	s.kern.qr = s.qr
-	s.dt.build(&s.kern, t.gather.alphabet)
+	s.finishShard()
+	return s.finishResults(), nil
+}
+
+// beginShard is the first engine phase: it prepares the query (normalization,
+// representation, word, flat distance table), resets the work counters,
+// records the shard-query state (collector, id mapping, prune scale) and
+// seeds kn with real distances from the query's best-matching leaf.
+// kn must have been Reset with this query's k by the caller.
+func (s *Searcher) beginShard(query []float64, k int, kn *KNNCollector, idMul, idAdd int32, pruneScale float64) error {
+	q, err := s.prepareQuery(query, k)
+	if err != nil {
+		return err
+	}
 	s.nodesVisited.Store(0)
 	s.leavesRefined.Store(0)
 	s.seriesLBD.Store(0)
 	s.seriesED.Store(0)
 
-	kn := &s.kn
-	kn.Reset(k)
-	approx := s.approximateLeaf()
-	if approx != nil {
-		s.processLeafReal(approx, q, kn)
+	s.extKN = kn
+	s.idMul = idMul
+	s.idAdd = idAdd
+	s.pruneScale = pruneScale
+	s.approxNode = s.approximateLeaf()
+	if s.approxNode != nil {
+		s.processLeafReal(s.approxNode, q, kn)
 	}
+	s.seeded = true
+	return nil
+}
+
+// finishShard is the second engine phase: tree traversal (pruning against
+// the collector recorded by beginShard) and priority-queue leaf refinement.
+func (s *Searcher) finishShard() {
+	t := s.t
+	kn := s.extKN
+	scale := s.pruneScale
+	approx := s.approxNode
+	q := s.qbuf
+	s.seeded = false
+
+	// The flat per-query LBD table feeds only the refinement loop below, so
+	// it is built here rather than in beginShard — the approximate mode
+	// (seeding only) never pays for it.
+	s.kern.qr = s.qr
+	s.dt.build(&s.kern, t.gather.alphabet)
 
 	workers := t.opts.Workers
 	if s.serial {
@@ -115,10 +149,10 @@ func (s *Searcher) search(query []float64, k int, pruneScale float64) ([]Result,
 
 	if workers == 1 {
 		for _, rk := range t.rootKeys {
-			s.traverseScaled(t.root[rk], kn, approx, pruneScale)
+			s.traverseScaled(t.root[rk], kn, approx, scale)
 		}
-		s.drainScaled(0, q, kn, pruneScale)
-		return s.finishResults(), nil
+		s.drainScaled(0, q, kn, scale)
+		return
 	}
 
 	var cursor atomic.Int64
@@ -132,7 +166,7 @@ func (s *Searcher) search(query []float64, k int, pruneScale float64) ([]Result,
 				if i >= len(t.rootKeys) {
 					return
 				}
-				s.traverseScaled(t.root[t.rootKeys[i]], kn, approx, pruneScale)
+				s.traverseScaled(t.root[t.rootKeys[i]], kn, approx, scale)
 			}
 		}()
 	}
@@ -143,11 +177,10 @@ func (s *Searcher) search(query []float64, k int, pruneScale float64) ([]Result,
 		wg2.Add(1)
 		go func(start int) {
 			defer wg2.Done()
-			s.drainScaled(start, q, kn, pruneScale)
+			s.drainScaled(start, q, kn, scale)
 		}(w % set.Size())
 	}
 	wg2.Wait()
-	return s.finishResults(), nil
 }
 
 func (s *Searcher) traverseScaled(n *node, kn *KNNCollector, skip *node, scale float64) {
@@ -172,6 +205,8 @@ func (s *Searcher) traverseScaled(n *node, kn *KNNCollector, skip *node, scale f
 // the flat per-query distance table (the hot loop is sequential loads from
 // two arrays), and reads the shared BSF atomic once per boundRefreshInterval
 // series — re-reading early only when this worker improves the k-NN set.
+// Under Options.NoLeafBlocks leaves carry no contiguous block and the word
+// rows are gathered from the global buffer per series instead.
 func (s *Searcher) drainScaled(start int, q []float64, kn *KNNCollector, scale float64) {
 	t := s.t
 	set := s.set
@@ -194,12 +229,18 @@ func (s *Searcher) drainScaled(start int, q []float64, kn *KNNCollector, scale f
 				}
 				pruneAt := bound * scale
 				nLBD++
-				if lb := s.dt.minDistEA(words[i*l:(i+1)*l], pruneAt); lb >= pruneAt {
+				var wrow []byte
+				if words != nil {
+					wrow = words[i*l : (i+1)*l]
+				} else {
+					wrow = t.words[int(id)*l : (int(id)+1)*l]
+				}
+				if lb := s.dt.minDistEA(wrow, pruneAt); lb >= pruneAt {
 					continue
 				}
 				nED++
 				d := distance.SquaredEDEarlyAbandon(t.data.Row(int(id)), q, bound)
-				if d < bound && kn.Offer(id, d) {
+				if d < bound && kn.Offer(s.mapID(id), d) {
 					bound = kn.Bound()
 				}
 			}

@@ -8,22 +8,29 @@ import (
 	"repro/internal/queue"
 )
 
-// serialSearchers is a reusable pool of single-threaded searchers used by
-// BatchSearch: each worker checks one out for the duration of the batch, so
-// repeated batches reuse the same scratch (encoders, distance tables,
-// queues, collectors) instead of rebuilding it per call.
+// NewSerialSearcher creates a single-threaded searcher: the query engine
+// runs inline with no goroutine fan-out, which is the right building block
+// when the caller manages inter-query parallelism itself (BatchSearch, the
+// collection's streaming engine). A single-threaded searcher gains nothing
+// from the multi-queue split (it exists to spread lock contention between
+// workers) and loses refinement order across queues; one queue drains leaves
+// in global ascending-LBD order, tightening the BSF fastest.
+func (t *Tree) NewSerialSearcher() *Searcher {
+	s := t.NewSearcher()
+	s.serial = true
+	s.set = queue.NewSet[*node](1)
+	return s
+}
+
+// serialSearcher checks a single-threaded searcher out of the tree's pool
+// (BatchSearch workers return them, so repeated batches reuse the same
+// scratch — encoders, distance tables, queues, collectors — instead of
+// rebuilding it per call).
 func (t *Tree) serialSearcher() *Searcher {
 	if s, ok := t.searchers.Get().(*Searcher); ok {
 		return s
 	}
-	s := t.NewSearcher()
-	s.serial = true
-	// A single-threaded searcher gains nothing from the multi-queue split
-	// (it exists to spread lock contention between workers) and loses
-	// refinement order across queues; one queue drains leaves in global
-	// ascending-LBD order, tightening the BSF fastest.
-	s.set = queue.NewSet[*node](1)
-	return s
+	return t.NewSerialSearcher()
 }
 
 // BatchSearch answers many independent queries with inter-query parallelism:
@@ -34,12 +41,28 @@ func (t *Tree) serialSearcher() *Searcher {
 // order; unlike Searcher.Search, the returned slices are freshly allocated
 // and safe to retain.
 func (t *Tree) BatchSearch(queries [][]float64, k int) ([][]Result, error) {
-	return t.BatchSearchWorkers(queries, k, t.opts.Workers)
+	return t.BatchSearchInto(queries, k, t.opts.Workers, nil)
 }
 
 // BatchSearchWorkers is BatchSearch with an explicit concurrency cap
 // (workers <= 0 selects the tree's configured worker count).
 func (t *Tree) BatchSearchWorkers(queries [][]float64, k, workers int) ([][]Result, error) {
+	return t.BatchSearchInto(queries, k, workers, nil)
+}
+
+// BatchSearchInto is BatchSearchWorkers with caller-owned output
+// scaffolding: the outer slice and every inner result slice of dst are
+// reused up to their capacity, so a caller issuing batches in a steady loop
+// (the streaming engine's batch mode, benchmark harnesses) pays no per-batch
+// allocations once the scaffolding has grown to steady-state size. Pass the
+// previous return value as dst on the next call.
+//
+// Results written into a reused dst are overwritten by the next call with
+// the same dst — copy them to retain. A nil dst allocates fresh slices
+// (the BatchSearch contract).
+//
+// With workers == 1 the batch runs inline on this goroutine with no fan-out.
+func (t *Tree) BatchSearchInto(queries [][]float64, k, workers int, dst [][]Result) ([][]Result, error) {
 	if len(queries) == 0 {
 		return nil, fmt.Errorf("index: empty query batch")
 	}
@@ -57,13 +80,40 @@ func (t *Tree) BatchSearchWorkers(queries [][]float64, k, workers int) ([][]Resu
 	if workers > len(queries) {
 		workers = len(queries)
 	}
-	out := make([][]Result, len(queries))
+	var out [][]Result
+	if cap(dst) < len(queries) {
+		out = make([][]Result, len(queries))
+		copy(out, dst[:cap(dst)])
+	} else {
+		out = dst[:len(queries)]
+	}
+
+	if workers == 1 {
+		// Explicit Puts rather than defer: the deferred interface conversion
+		// is the one heap allocation this path would otherwise make.
+		s := t.serialSearcher()
+		for i, q := range queries {
+			res, err := s.Search(q, k)
+			if err != nil {
+				t.searchers.Put(s)
+				return nil, err
+			}
+			out[i] = append(out[i][:0], res...)
+		}
+		t.searchers.Put(s)
+		return out, nil
+	}
+
 	errs := make([]error, workers)
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(w int) {
+		// out is passed as an argument rather than captured: a captured
+		// variable would be moved to the heap at its declaration, charging
+		// the serial path (which never spawns these goroutines) one
+		// allocation per call.
+		go func(w int, out [][]Result) {
 			defer wg.Done()
 			s := t.serialSearcher()
 			defer t.searchers.Put(s)
@@ -78,9 +128,9 @@ func (t *Tree) BatchSearchWorkers(queries [][]float64, k, workers int) ([][]Resu
 					return
 				}
 				// res aliases the pooled searcher's buffer; copy it out.
-				out[i] = append([]Result(nil), res...)
+				out[i] = append(out[i][:0], res...)
 			}
-		}(w)
+		}(w, out)
 	}
 	wg.Wait()
 	for _, err := range errs {

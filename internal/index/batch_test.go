@@ -88,6 +88,79 @@ func TestBatchSearchMatchesSequential(t *testing.T) {
 	}
 }
 
+// BatchSearchInto must reuse caller scaffolding across calls: the same dst
+// (outer slice and inner result slices) serves successive batches with
+// correct, freshly-overwritten contents — and with workers == 1 the reused
+// path performs zero steady-state allocations.
+func TestBatchSearchIntoReusesScaffolding(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	n := 96
+	m := mixedMatrix(rng, 600, n)
+	tr, err := Build(m, newSAXSum(t, n, 16, 8), Options{LeafCapacity: 32, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkBatch := func(seed int64, count int) [][]float64 {
+		r := rand.New(rand.NewSource(seed))
+		qs := make([][]float64, count)
+		for i := range qs {
+			q := make([]float64, n)
+			for j := range q {
+				q[j] = r.NormFloat64()
+			}
+			qs[i] = q
+		}
+		return qs
+	}
+	const k = 5
+	batchA, batchB := mkBatch(1, 12), mkBatch(2, 8)
+	wantB, err := tr.BatchSearch(batchB, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := tr.BatchSearchInto(batchA, k, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outerA := &dst[0]
+	// Second batch (smaller) into the same scaffolding: contents must equal
+	// the fresh-allocation answer, and the outer backing array must be the
+	// same one.
+	dst2, err := tr.BatchSearchInto(batchB, k, 2, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &dst2[0] != outerA {
+		t.Error("BatchSearchInto reallocated the outer scaffolding")
+	}
+	for i := range wantB {
+		for r := range wantB[i] {
+			if dst2[i][r] != wantB[i][r] {
+				t.Fatalf("reused dst query %d rank %d: got %+v want %+v", i, r, dst2[i][r], wantB[i][r])
+			}
+		}
+	}
+	// Steady-state reuse with one worker allocates nothing.
+	if raceEnabled {
+		return // the race detector's sync.Pool instrumentation allocates
+	}
+	for i := 0; i < 3; i++ {
+		if dst2, err = tr.BatchSearchInto(batchB, k, 1, dst2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(20, func() {
+		var err error
+		dst2, err = tr.BatchSearchInto(batchB, k, 1, dst2)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("steady-state serial BatchSearchInto allocates %v allocs/op, want 0", avg)
+	}
+}
+
 // BenchmarkBatchSearchQPS measures end-to-end batched query throughput —
 // the first throughput-oriented (many queries per second) benchmark, as
 // opposed to the latency-oriented BenchmarkSearch1NN.

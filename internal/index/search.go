@@ -163,6 +163,19 @@ type Searcher struct {
 	set    *queue.Set[*node]
 	resBuf []Result
 
+	// Shard-query state, set by beginShard at the start of every search.
+	// A stand-alone Search points extKN at the searcher's own collector with
+	// the identity id mapping; a collection-level shard search points it at
+	// the shared cross-shard collector and maps the tree's local ids to
+	// global ids (global = local*idMul + idAdd) at offer time, so all shards
+	// of a sharded index prune against one global best-so-far.
+	extKN      *KNNCollector
+	idMul      int32
+	idAdd      int32
+	pruneScale float64
+	approxNode *node
+	seeded     bool
+
 	// serial forces single-threaded query answering (no goroutine fan-out);
 	// BatchSearch sets it so inter-query parallelism is not multiplied by
 	// intra-query parallelism.
@@ -204,8 +217,14 @@ func (t *Tree) NewSearcher() *Searcher {
 		qword: make([]byte, t.l),
 		kern:  kernel{weights: t.sum.Weights(), g: t.gather, l: t.l},
 		set:   queue.NewSet[*node](t.opts.Queues),
+		idMul: 1,
 	}
 }
+
+// mapID translates a tree-local series id to the id space of the current
+// query (the identity for stand-alone searches; global = local*idMul + idAdd
+// for shard searches).
+func (s *Searcher) mapID(id int32) int32 { return id*s.idMul + s.idAdd }
 
 // Search returns the exact k nearest neighbors of query under squared
 // z-normalized Euclidean distance, ascending. The query is z-normalized
@@ -288,7 +307,7 @@ func (s *Searcher) processLeafReal(leaf *node, q []float64, kn *KNNCollector) {
 			bound = kn.Bound()
 		}
 		d := distance.SquaredEDEarlyAbandon(t.data.Row(int(id)), q, bound)
-		if d < bound && kn.Offer(id, d) {
+		if d < bound && kn.Offer(s.mapID(id), d) {
 			bound = kn.Bound()
 		}
 	}

@@ -1,0 +1,80 @@
+package index
+
+import "fmt"
+
+// This file is the tree's shard-facing query interface: the building blocks
+// a sharded collection (core.Collection) uses to run one logical k-NN query
+// across S independent trees while keeping the exactness guarantee.
+//
+// The contract mirrors MESSI's single-tree pipeline, lifted one level up:
+//
+//  1. The caller owns one KNNCollector shared by every shard. Its atomic
+//     bound is the cross-shard best-so-far: any shard improving the global
+//     k-NN set immediately tightens the pruning bound of every other shard.
+//  2. SeedShard runs each shard's approximate stage (real distances from the
+//     query's best-matching leaf) into the shared collector, so every shard
+//     starts its exact stage with the best bound any shard could establish.
+//  3. FinishShard runs the exact stage — traversal and priority-queue leaf
+//     refinement — against the shared collector.
+//  4. Tree-local series ids are mapped to the caller's global id space at
+//     offer time (global = local*IDMul + IDAdd, the inverse of round-robin
+//     partitioning), so the shared collector accumulates global ids and no
+//     post-merge is needed: after all shards finish, the collector holds the
+//     global top-k directly.
+//
+// Correctness: the shared bound is always an upper bound on the true global
+// k-th nearest distance, so per-shard pruning against it is conservative;
+// each candidate the single-tree engine would keep is offered by exactly one
+// shard (the partition is disjoint and exhaustive).
+
+// ShardQuery configures one shard's participation in a cross-shard query.
+type ShardQuery struct {
+	// KN is the shared collector. The caller must Reset it with the query's
+	// k before seeding the first shard.
+	KN *KNNCollector
+	// IDMul and IDAdd map tree-local ids to global ids at offer time:
+	// global = local*IDMul + IDAdd. IDMul == 0 is treated as the identity
+	// mapping (IDMul 1, IDAdd 0).
+	IDMul, IDAdd int32
+	// Epsilon relaxes pruning for (1+Epsilon)-approximate answers, as in
+	// SearchEpsilon. 0 is exact.
+	Epsilon float64
+}
+
+// SeedShard runs the first phase of a cross-shard query on this shard:
+// query preparation plus the approximate stage, offering real distances from
+// the shard's best-matching leaf into the shared collector. Call it on every
+// shard before any FinishShard so each shard's exact stage starts from the
+// tightest bound available (the searchers of distinct shards may seed
+// concurrently; the collector is concurrency-safe).
+func (s *Searcher) SeedShard(query []float64, k int, sq ShardQuery) error {
+	if sq.KN == nil {
+		return fmt.Errorf("index: ShardQuery.KN must not be nil")
+	}
+	if sq.Epsilon < 0 {
+		return fmt.Errorf("index: epsilon must be >= 0, got %v", sq.Epsilon)
+	}
+	mul := sq.IDMul
+	var add int32
+	if mul == 0 {
+		mul = 1
+	} else {
+		add = sq.IDAdd
+	}
+	scale := 1.0
+	if sq.Epsilon > 0 {
+		scale = 1 / ((1 + sq.Epsilon) * (1 + sq.Epsilon))
+	}
+	return s.beginShard(query, k, sq.KN, mul, add, scale)
+}
+
+// FinishShard runs the second phase — exact traversal and leaf refinement —
+// using the state prepared by the preceding SeedShard on this searcher.
+func (s *Searcher) FinishShard() error {
+	if !s.seeded {
+		return fmt.Errorf("index: FinishShard without a preceding SeedShard")
+	}
+	s.finishShard()
+	return nil
+}
+

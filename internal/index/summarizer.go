@@ -45,7 +45,16 @@
 //
 //   - Batched throughput. Tree.BatchSearch fans independent queries across
 //     pooled single-threaded Searchers (the FAISS mini-batch protocol),
-//     trading intra-query latency for aggregate queries/second.
+//     trading intra-query latency for aggregate queries/second;
+//     BatchSearchInto reuses caller-owned output scaffolding for
+//     allocation-free steady-state batching.
+//
+//   - Shard participation. The engine runs in two phases (seed the
+//     best-so-far from the best-matching leaf, then traverse and refine)
+//     exposed as SeedShard/FinishShard: a sharded collection (core.Collection)
+//     points S trees at one shared KNNCollector, seeds all shards first, and
+//     lets the shards prune against each other's results; tree-local ids map
+//     to collection-global ids at offer time (ShardQuery.IDMul/IDAdd).
 package index
 
 // Summarizer describes a learned or fixed symbolic summarization. The

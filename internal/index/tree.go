@@ -22,6 +22,12 @@ type Options struct {
 	// Queues is the number of priority queues used during query answering
 	// (default = Workers, matching the paper's setup).
 	Queues int
+	// NoLeafBlocks disables the per-leaf contiguous word blocks (node.words).
+	// Blocks roughly double word memory (the global buffer stays the source
+	// of truth), so memory-constrained builds — e.g. many shards per machine
+	// — can trade the refinement loop's sequential streaming for per-series
+	// gathers from the global buffer.
+	NoLeafBlocks bool
 }
 
 func (o Options) withDefaults() Options {
@@ -248,7 +254,9 @@ func (t *Tree) buildTree() {
 				}
 				root := t.root[t.rootKeys[i]]
 				t.splitToCapacity(root)
-				t.fillLeafBlocks(root)
+				if !t.opts.NoLeafBlocks {
+					t.fillLeafBlocks(root)
+				}
 			}
 		}()
 	}
