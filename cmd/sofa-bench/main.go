@@ -31,6 +31,7 @@ func main() {
 		seed    = flag.Int64("seed", 0, "generator seed (default 1)")
 		quick   = flag.Bool("quick", false, "reduced 5-dataset suite at 1/4 scale")
 		shards  = flag.Int("shards", 0, "shard count for the sharded-throughput experiment (default 4)")
+		jsonOut = flag.String("json", "", "write the 'report' experiment's perf snapshot to this JSON file")
 	)
 	flag.Parse()
 
@@ -59,6 +60,9 @@ func main() {
 	}
 	if *shards > 0 {
 		cfg.Shards = *shards
+	}
+	if *jsonOut != "" {
+		cfg.JSONPath = *jsonOut
 	}
 	if *cores != "" {
 		var cc []int

@@ -42,6 +42,9 @@ type SuiteConfig struct {
 	// Shards is the shard count the sharded-throughput experiment (qps)
 	// compares against the single tree (default 4).
 	Shards int
+	// JSONPath, when set, makes the "report" experiment write its
+	// machine-readable performance snapshot (PerfReport) to this file.
+	JSONPath string
 }
 
 func (c SuiteConfig) withDefaults() SuiteConfig {
@@ -213,6 +216,7 @@ func Experiments() []Experiment {
 		{"fig15", "Fig 15: critical-difference ranks (Wilcoxon-Holm)", RunFig15},
 		{"approx", "Extension: approximate and \u03b5-bounded search trade-offs (paper Sec VI future work)", RunApprox},
 		{"qps", "Extension: sharded and streaming batched-query throughput", RunQPS},
+		{"report", "Extension: kernel + end-to-end perf snapshot (JSON via -json)", RunReport},
 	}
 }
 

@@ -2,8 +2,12 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
+	"flag"
 	"math"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -62,8 +66,8 @@ func TestQuickConfig(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 16 {
-		t.Fatalf("%d experiments, want 16", len(exps))
+	if len(exps) != 17 {
+		t.Fatalf("%d experiments, want 17", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {
@@ -91,6 +95,53 @@ func TestRunQPS(t *testing.T) {
 	out := buf.String()
 	if !strings.Contains(out, "SOFA stream") || !strings.Contains(out, "flat batch") {
 		t.Errorf("unexpected output:\n%s", out)
+	}
+}
+
+func TestRunReport(t *testing.T) {
+	// Shrink testing.Benchmark's target time so the ten kernel
+	// microbenchmarks don't dominate the test suite; restore whatever the
+	// invocation had (a user's -benchtime must survive into the package's
+	// real benchmarks).
+	prev := flag.Lookup("test.benchtime").Value.String()
+	if err := flag.Set("test.benchtime", "5ms"); err != nil {
+		t.Fatal(err)
+	}
+	defer flag.Set("test.benchtime", prev)
+	cfg := tiny()
+	cfg.Shards = 2
+	cfg.JSONPath = filepath.Join(t.TempDir(), "perf.json")
+	var buf bytes.Buffer
+	if err := RunReport(cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"ed_ea_", "lbd_gather_emulated", "table_lookup_seq", "SOFA stream"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report output missing %q:\n%s", want, out)
+		}
+	}
+	blob, err := os.ReadFile(cfg.JSONPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep PerfReport
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatalf("report JSON does not parse: %v", err)
+	}
+	if rep.PR != 3 || len(rep.Kernels) == 0 || len(rep.EndToEnd) == 0 {
+		t.Errorf("report incomplete: %+v", rep)
+	}
+	if rep.SIMD != "avx2" && rep.SIMD != "portable" {
+		t.Errorf("bad simd field %q", rep.SIMD)
+	}
+	for _, k := range rep.Kernels {
+		if k.NsPerOp <= 0 {
+			t.Errorf("kernel %s has non-positive ns/op %v", k.Name, k.NsPerOp)
+		}
+	}
+	if !raceEnabled && rep.SearchSteadyStateAllocs != 0 {
+		t.Errorf("steady-state Search allocates %v allocs/op, want 0", rep.SearchSteadyStateAllocs)
 	}
 }
 

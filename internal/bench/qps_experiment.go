@@ -13,6 +13,14 @@ import (
 	"repro/internal/index"
 )
 
+// QPSRow is one engine's sustained-throughput measurement.
+type QPSRow struct {
+	Engine  string  `json:"engine"`
+	Shards  int     `json:"shards"`
+	Workers int     `json:"workers"`
+	QPS     float64 `json:"qps"`
+}
+
 // RunQPS measures sustained batched-query throughput (queries per second) —
 // the system extension beyond the paper's one-query-at-a-time protocol. It
 // compares, at the maximum core count and k=10:
@@ -25,6 +33,22 @@ import (
 // All engines answer the identical query set exactly, so the column is a
 // like-for-like throughput comparison.
 func RunQPS(cfg SuiteConfig, w io.Writer) error {
+	rows, _, err := qpsRows(cfg)
+	if err != nil {
+		return err
+	}
+	tw := newTable(w)
+	fmt.Fprintln(tw, "engine\tshards\tworkers\tqueries/s")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.0f\n", r.Engine, r.Shards, r.Workers, r.QPS)
+	}
+	return tw.Flush()
+}
+
+// qpsRows runs the throughput comparison and returns the raw rows plus the
+// scaled dataset spec they were measured on; RunQPS renders them as a table
+// and the perf report serializes both to JSON.
+func qpsRows(cfg SuiteConfig) ([]QPSRow, dataset.Spec, error) {
 	c := cfg.withDefaults()
 	cores := c.CoreCounts[len(c.CoreCounts)-1]
 	const k = 10
@@ -36,7 +60,7 @@ func RunQPS(cfg SuiteConfig, w io.Writer) error {
 	}
 	data, err := dataset.Generate(scaled, c.Seed)
 	if err != nil {
-		return err
+		return nil, scaled, err
 	}
 	// Throughput needs enough in-flight queries to saturate the workers.
 	nq := 4 * cores
@@ -45,12 +69,11 @@ func RunQPS(cfg SuiteConfig, w io.Writer) error {
 	}
 	queries, err := dataset.GenerateQueries(scaled, nq, c.Seed)
 	if err != nil {
-		return err
+		return nil, scaled, err
 	}
 	const reps = 3
 
-	tw := newTable(w)
-	fmt.Fprintln(tw, "engine\tshards\tworkers\tqueries/s")
+	var rows []QPSRow
 	shardCounts := []int{1}
 	if c.Shards > 1 {
 		shardCounts = append(shardCounts, c.Shards)
@@ -65,33 +88,33 @@ func RunQPS(cfg SuiteConfig, w io.Writer) error {
 			Seed:         c.Seed,
 		})
 		if err != nil {
-			return err
+			return nil, scaled, err
 		}
 		qps, err := timeBatchQPS(ix, queries, k, cores, reps)
 		if err != nil {
-			return err
+			return nil, scaled, err
 		}
-		fmt.Fprintf(tw, "%s batch\t%d\t%d\t%.0f\n", ix.Method(), shards, cores, qps)
+		rows = append(rows, QPSRow{Engine: ix.Method().String() + " batch", Shards: shards, Workers: cores, QPS: qps})
 		qps, err = timeStreamQPS(ix, queries, k, cores, reps)
 		if err != nil {
-			return err
+			return nil, scaled, err
 		}
-		fmt.Fprintf(tw, "%s stream\t%d\t%d\t%.0f\n", ix.Method(), shards, cores, qps)
+		rows = append(rows, QPSRow{Engine: ix.Method().String() + " stream", Shards: shards, Workers: cores, QPS: qps})
 
 		fl, err := flat.BuildSharded(data, shards, cores)
 		if err != nil {
-			return err
+			return nil, scaled, err
 		}
 		start := time.Now()
 		for r := 0; r < reps; r++ {
 			if _, err := fl.SearchBatch(queries, k); err != nil {
-				return err
+				return nil, scaled, err
 			}
 		}
-		fmt.Fprintf(tw, "flat batch\t%d\t%d\t%.0f\n",
-			shards, cores, float64(reps*queries.Len())/time.Since(start).Seconds())
+		rows = append(rows, QPSRow{Engine: "flat batch", Shards: shards, Workers: cores,
+			QPS: float64(reps*queries.Len()) / time.Since(start).Seconds()})
 	}
-	return tw.Flush()
+	return rows, scaled, nil
 }
 
 // timeBatchQPS measures repeated SearchBatch calls.
@@ -102,7 +125,7 @@ func timeBatchQPS(ix *core.Index, queries *distance.Matrix, k, workers, reps int
 			return 0, err
 		}
 	}
-	return float64(reps * queries.Len()) / time.Since(start).Seconds(), nil
+	return float64(reps*queries.Len()) / time.Since(start).Seconds(), nil
 }
 
 // timeStreamQPS measures the streaming engine: one stream for all reps, a
@@ -141,5 +164,5 @@ func timeStreamQPS(ix *core.Index, queries *distance.Matrix, k, workers, reps in
 	if firstErr != nil {
 		return 0, firstErr
 	}
-	return float64(reps * queries.Len()) / elapsed, nil
+	return float64(reps*queries.Len()) / elapsed, nil
 }

@@ -1,0 +1,224 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/simd"
+)
+
+// PerfReport is the machine-readable performance snapshot the "report"
+// experiment emits (see SuiteConfig.JSONPath / sofa-bench -json): kernel
+// ns/op for every LBD and distance kernel variant, end-to-end sustained
+// QPS per engine, and the steady-state allocation count of the query hot
+// path. Checked-in snapshots (BENCH_pr3.json, ...) give the repo a perf
+// trajectory future PRs are compared against.
+type PerfReport struct {
+	PR        int    `json:"pr"`
+	Generated string `json:"generated"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	MaxProcs  int    `json:"maxprocs"`
+	// SIMD is the dispatched kernel implementation: "avx2" or "portable".
+	SIMD string `json:"simd"`
+
+	// Kernels: nanoseconds per single kernel invocation (series length 256
+	// for ED/dot; l=16 words over a 256-symbol alphabet for LBD kernels).
+	Kernels []KernelRow `json:"kernels"`
+
+	// EndToEnd: sustained queries/s per engine (the qps experiment's rows),
+	// measured on Dataset (DataSeries series of length DataLength, k=10).
+	Dataset    string   `json:"dataset"`
+	DataSeries int      `json:"data_series"`
+	DataLength int      `json:"data_length"`
+	EndToEnd   []QPSRow `json:"end_to_end"`
+
+	// SearchSteadyStateAllocs is allocations per exact Search call on a
+	// warmed pooled searcher (the PR-1 zero-allocation invariant).
+	SearchSteadyStateAllocs float64 `json:"search_steady_state_allocs"`
+}
+
+// KernelRow is one kernel variant's microbenchmark result.
+type KernelRow struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// RunReport measures the PR-3 performance report, prints it as text and, if
+// cfg.JSONPath is set, writes the JSON snapshot there.
+func RunReport(cfg SuiteConfig, w io.Writer) error {
+	rep, err := BuildReport(cfg)
+	if err != nil {
+		return err
+	}
+	tw := newTable(w)
+	fmt.Fprintf(tw, "go\t%s %s/%s\tsimd\t%s\tmaxprocs\t%d\n",
+		rep.GoVersion, rep.GOOS, rep.GOARCH, rep.SIMD, rep.MaxProcs)
+	fmt.Fprintln(tw, "kernel\tns/op")
+	for _, k := range rep.Kernels {
+		fmt.Fprintf(tw, "%s\t%.1f\n", k.Name, k.NsPerOp)
+	}
+	fmt.Fprintln(tw, "engine\tshards\tworkers\tqueries/s")
+	for _, r := range rep.EndToEnd {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.0f\n", r.Engine, r.Shards, r.Workers, r.QPS)
+	}
+	fmt.Fprintf(tw, "search steady-state allocs\t%.1f\n", rep.SearchSteadyStateAllocs)
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if cfg.JSONPath != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(cfg.JSONPath, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "[wrote %s]\n", cfg.JSONPath)
+	}
+	return nil
+}
+
+// BuildReport runs every measurement of the report.
+func BuildReport(cfg SuiteConfig) (*PerfReport, error) {
+	rep := &PerfReport{
+		PR:        3,
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		MaxProcs:  runtime.GOMAXPROCS(0),
+		SIMD:      simd.Impl(),
+	}
+	rep.Kernels = kernelRows()
+	rows, spec, err := qpsRows(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep.EndToEnd = rows
+	rep.Dataset = spec.Name
+	rep.DataSeries = spec.Count
+	rep.DataLength = spec.Length
+	allocs, err := searchSteadyStateAllocs(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep.SearchSteadyStateAllocs = allocs
+	return rep, nil
+}
+
+// kernelRows microbenchmarks every kernel variant via testing.Benchmark on
+// fixed synthetic inputs: 256-element series, l=16 words, 256 symbols.
+func kernelRows() []KernelRow {
+	rng := rand.New(rand.NewSource(9))
+	const n, l, alpha = 256, 16, 256
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64()
+	}
+	word, qr, lower, upper, weights := lbdFixtureSynthetic(rng, l, alpha)
+	table := make([]float64, l*alpha)
+	for i := range table {
+		table[i] = rng.Float64()
+	}
+	inf := math.Inf(1)
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"ed_ea_" + simd.Impl(), func() { simd.SquaredEDEA(a, b, inf) }},
+		{"ed_ea_portable", func() { simd.SquaredEDEAPortable(a, b, inf) }},
+		{"dot_" + simd.Impl(), func() { simd.Dot(a, b) }},
+		{"dot_portable", func() { simd.DotPortable(a, b) }},
+		{"lbd_gather_" + simd.Impl(), func() { simd.LBDGatherEA(word, qr, lower, upper, weights, alpha, inf) }},
+		{"lbd_gather_portable", func() { simd.LBDGatherEAPortable(word, qr, lower, upper, weights, alpha, inf) }},
+		{"lbd_gather_emulated", func() { simd.LBDGatherEAEmulated(word, qr, lower, upper, weights, alpha, inf) }},
+		{"table_lookup_seq", func() { simd.LookupAccumEASeq(word, table, alpha, inf) }},
+		{"table_lookup_vec_" + simd.Impl(), func() { simd.LookupAccumEA(word, table, alpha, inf) }},
+		{"table_lookup_portable", func() { simd.LookupAccumEAPortable(word, table, alpha, inf) }},
+	}
+	rows := make([]KernelRow, 0, len(cases))
+	for _, c := range cases {
+		fn := c.fn
+		res := testing.Benchmark(func(tb *testing.B) {
+			for i := 0; i < tb.N; i++ {
+				fn()
+			}
+		})
+		rows = append(rows, KernelRow{Name: c.name, NsPerOp: float64(res.NsPerOp())})
+	}
+	return rows
+}
+
+// lbdFixtureSynthetic builds a structurally valid LBD problem (sorted
+// per-position breakpoints, -Inf/+Inf edge intervals) without needing a
+// learned summarization.
+func lbdFixtureSynthetic(rng *rand.Rand, l, alpha int) (word []byte, qr, lower, upper, weights []float64) {
+	word = make([]byte, l)
+	qr = make([]float64, l)
+	weights = make([]float64, l)
+	lower = make([]float64, l*alpha)
+	upper = make([]float64, l*alpha)
+	for j := 0; j < l; j++ {
+		word[j] = byte(rng.Intn(alpha))
+		qr[j] = rng.NormFloat64()
+		weights[j] = 1
+		step := 6.0 / float64(alpha)
+		for sym := 0; sym < alpha; sym++ {
+			lower[j*alpha+sym] = -3 + float64(sym)*step
+			upper[j*alpha+sym] = -3 + float64(sym+1)*step
+		}
+		lower[j*alpha+0] = math.Inf(-1)
+		upper[j*alpha+alpha-1] = math.Inf(1)
+	}
+	return
+}
+
+// searchSteadyStateAllocs verifies the zero-allocation hot path end to end:
+// allocations per Search on a warmed searcher over a small index.
+func searchSteadyStateAllocs(cfg SuiteConfig) (float64, error) {
+	c := cfg.withDefaults()
+	spec := c.Datasets[0]
+	spec.Count = 2000
+	data, err := dataset.Generate(spec, c.Seed)
+	if err != nil {
+		return 0, err
+	}
+	queries, err := dataset.GenerateQueries(spec, 4, c.Seed)
+	if err != nil {
+		return 0, err
+	}
+	ix, err := core.Build(data, core.Config{
+		Method: core.SOFA, LeafCapacity: 64, Workers: 1, SampleRate: 0.05, Seed: c.Seed,
+	})
+	if err != nil {
+		return 0, err
+	}
+	s := ix.NewSearcher()
+	var searchErr error
+	run := func(q []float64) {
+		if _, err := s.Search(q, 10); err != nil && searchErr == nil {
+			searchErr = err
+		}
+	}
+	for i := 0; i < 3; i++ { // warm every pooled buffer
+		run(queries.Row(i % queries.Len()))
+	}
+	allocs := testing.AllocsPerRun(20, func() { run(queries.Row(0)) })
+	if searchErr != nil {
+		return 0, searchErr
+	}
+	return allocs, nil
+}

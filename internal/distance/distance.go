@@ -79,30 +79,15 @@ func SquaredED(a, b []float64) float64 {
 // to be the exact distance when it is <= bound; otherwise it is a certificate
 // that the true distance exceeds bound.
 //
-// The loop is chunked in simd.Width-lane blocks with the abandon test after
-// each block, reproducing the paper's SIMD early-abandoning structure
-// (Section IV-H, Algorithm 3) rather than testing per element.
+// The kernel is simd.SquaredEDEA: 16-element blocks of fused
+// multiply-accumulate with the abandon test after each block — AVX2+FMA
+// assembly where the hardware supports it, the bit-identical portable
+// reference everywhere else (paper Section IV-H).
 func SquaredEDEarlyAbandon(a, b []float64, bound float64) float64 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("distance: length mismatch %d vs %d", len(a), len(b)))
 	}
-	var sum float64
-	n := len(a)
-	i := 0
-	for ; i+simd.Width <= n; i += simd.Width {
-		va := simd.Load(a[i:])
-		vb := simd.Load(b[i:])
-		d := simd.Sub(va, vb)
-		sum += simd.Sum(simd.Mul(d, d))
-		if sum > bound {
-			return sum
-		}
-	}
-	for ; i < n; i++ {
-		d := a[i] - b[i]
-		sum += d * d
-	}
-	return sum
+	return simd.SquaredEDEA(a, b, bound)
 }
 
 // ED returns the (non-squared) Euclidean distance between a and b.
@@ -179,20 +164,13 @@ func (m *Matrix) SquaredNorms() []float64 {
 	return out
 }
 
-// Dot returns the dot product of equal-length a and b.
+// Dot returns the dot product of equal-length a and b (blocked FMA kernel,
+// dispatched to AVX2 assembly when available).
 func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("distance: length mismatch %d vs %d", len(a), len(b)))
 	}
-	var s float64
-	i := 0
-	for ; i+simd.Width <= len(a); i += simd.Width {
-		s += simd.Sum(simd.Mul(simd.Load(a[i:]), simd.Load(b[i:])))
-	}
-	for ; i < len(a); i++ {
-		s += a[i] * b[i]
-	}
-	return s
+	return simd.Dot(a, b)
 }
 
 // PartitionRoundRobin splits the matrix into s shard matrices: shard i

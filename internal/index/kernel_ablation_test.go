@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/distance"
 	"repro/internal/sfa"
+	"repro/internal/simd"
 )
 
 func ablationFixture(tb testing.TB) (sfaSum, *gatherTables, Encoder, *distance.Matrix) {
@@ -90,27 +91,55 @@ func lbdFixture(b *testing.B) (*kernel, *distTable, [][]byte, []byte, int) {
 	return k, dt, ragged, block, l
 }
 
-// BenchmarkLBDKernels compares, per full pass over 400 series, the three LBD
-// kernel designs on the same workload:
+// BenchmarkLBDKernels compares, per full pass over 400 series, every LBD
+// kernel design on the same workload — the paper's Figure-6-style ablation
+// measured on real vector units:
 //
 //   - Gather: Algorithm 3's mask/blend kernel gathering lower/upper bounds
-//     per symbol (the seed's refinement kernel);
+//     per symbol, dispatched (VGATHERQPD/VCMPPD/VBLENDVPD assembly on AVX2
+//     hardware, the bit-identical portable reference elsewhere);
+//   - GatherEmulated: the same algorithm through the 8-lane Vec emulation
+//     (the seed's refinement kernel) — the emulation-overhead baseline;
+//   - GatherPortable: the blocked pure-Go reference the assembly is
+//     bit-identical to;
 //   - Scalar: the branchy scalar reference;
-//   - FlatTable: the per-query flat distance table over the seed's ragged
-//     per-series word slices;
-//   - FlatTableLeafBlock: the flat table streaming one contiguous leaf-style
-//     word block — the layout the refinement loop now uses.
+//   - FlatTable: the per-query flat distance table (sequential lookups, the
+//     default refinement kernel) over ragged per-series word slices;
+//   - FlatTableAsm: the VGATHERQPD lookup-accumulate variant of the table
+//     kernel — the honest gather-vs-table comparison on real SIMD;
+//   - FlatTableLeafBlock: the flat table streaming one contiguous
+//     leaf-style word block — the layout the refinement loop uses.
 //
 // CI runs this benchmark as a smoke test; the flat-table + leaf-block path
-// is the default query kernel and must stay well ahead of Gather.
+// is the default query kernel and must stay ahead of the Gather variants.
 func BenchmarkLBDKernels(b *testing.B) {
-	b.Run("Gather", func(b *testing.B) {
+	b.Run("Gather-"+simd.Impl(), func(b *testing.B) {
 		k, _, ragged, _, _ := lbdFixture(b)
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			for _, w := range ragged {
 				k.minDistEA(w, math.Inf(1))
+			}
+		}
+	})
+	b.Run("GatherEmulated", func(b *testing.B) {
+		k, _, ragged, _, _ := lbdFixture(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, w := range ragged {
+				k.minDistEAEmulated(w, math.Inf(1))
+			}
+		}
+	})
+	b.Run("GatherPortable", func(b *testing.B) {
+		k, _, ragged, _, _ := lbdFixture(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, w := range ragged {
+				simd.LBDGatherEAPortable(w[:k.l], k.qr, k.g.lower, k.g.upper, k.weights, k.g.alphabet, math.Inf(1))
 			}
 		}
 	})
@@ -134,6 +163,16 @@ func BenchmarkLBDKernels(b *testing.B) {
 			}
 		}
 	})
+	b.Run("FlatTableAsm-"+simd.Impl(), func(b *testing.B) {
+		_, dt, ragged, _, _ := lbdFixture(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, w := range ragged {
+				simd.LookupAccumEA(w[:dt.l], dt.flat, dt.alphabet, math.Inf(1))
+			}
+		}
+	})
 	b.Run("FlatTableLeafBlock", func(b *testing.B) {
 		_, dt, _, block, l := lbdFixture(b)
 		rows := len(block) / l
@@ -143,6 +182,37 @@ func BenchmarkLBDKernels(b *testing.B) {
 			for r := 0; r < rows; r++ {
 				dt.minDistEA(block[r*l:(r+1)*l], math.Inf(1))
 			}
+		}
+	})
+}
+
+// BenchmarkDistTableBuild measures the per-query table build: Cold rebuilds
+// for a fresh query representation every iteration; Cached replays the same
+// representation, which the qr-cache turns into an l-float compare.
+func BenchmarkDistTableBuild(b *testing.B) {
+	k, dt, _, _, _ := lbdFixture(b)
+	alpha := dt.alphabet
+	qrA := append([]float64(nil), k.qr...)
+	qrB := append([]float64(nil), k.qr...)
+	qrB[0] += 0.25
+	b.Run("Cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if i%2 == 0 {
+				k.qr = qrA
+			} else {
+				k.qr = qrB
+			}
+			dt.build(k, alpha)
+		}
+	})
+	b.Run("Cached", func(b *testing.B) {
+		k.qr = qrA
+		dt.build(k, alpha)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dt.build(k, alpha)
 		}
 	})
 }

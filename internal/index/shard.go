@@ -77,4 +77,3 @@ func (s *Searcher) FinishShard() error {
 	s.finishShard()
 	return nil
 }
-

@@ -23,9 +23,13 @@
 //     is the default refinement kernel — it folds query position, weights
 //     and breakpoint intervals into one lookup per word position, built
 //     once per query into Searcher-owned scratch (32 KiB at l=16,
-//     alphabet=256; L1/L2-resident for the whole refinement phase). The
-//     mask/blend gather kernel (kernel.minDistEA) is retained as the
-//     Algorithm 3 reference; BenchmarkLBDKernels compares them.
+//     alphabet=256; L1/L2-resident for the whole refinement phase) and
+//     reused outright when the query representation repeats. The mask/blend
+//     gather kernel (kernel.minDistEA) is retained as the Algorithm 3
+//     reference, dispatched through internal/simd to real VGATHERQPD
+//     assembly on AVX2 hardware; BenchmarkLBDKernels compares every
+//     variant. Real Euclidean distances dispatch to AVX2+FMA assembly the
+//     same way (internal/distance -> simd.SquaredEDEA).
 //
 //   - SoA leaf blocks. Every finalized leaf carries its members' words as
 //     one contiguous block (node.words, row i belonging to node.ids[i]), so

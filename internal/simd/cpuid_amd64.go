@@ -1,0 +1,38 @@
+//go:build amd64 && !noasm
+
+package simd
+
+// Hand-written CPUID feature detection (stdlib-only; internal/cpu is not
+// importable and x/sys would be a new dependency). The assembly kernels
+// need AVX2 and FMA3, and the OS must have enabled YMM state saving
+// (OSXSAVE set and XCR0 reporting XMM+YMM), or executing VEX-256
+// instructions faults.
+
+// cpuid executes CPUID with EAX=leaf, ECX=sub (cpuid_amd64.s).
+func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads XCR0; only valid once CPUID reports OSXSAVE.
+func xgetbv() (eax, edx uint32)
+
+func detectAVX2FMA() bool {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, c1, _ := cpuid(1, 0)
+	const (
+		fma     = 1 << 12
+		osxsave = 1 << 27
+		avx     = 1 << 28
+	)
+	if c1&fma == 0 || c1&osxsave == 0 || c1&avx == 0 {
+		return false
+	}
+	xlo, _ := xgetbv()
+	if xlo&0x6 != 0x6 { // XMM and YMM state enabled by the OS
+		return false
+	}
+	_, b7, _, _ := cpuid(7, 0)
+	const avx2 = 1 << 5
+	return b7&avx2 != 0
+}

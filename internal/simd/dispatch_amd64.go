@@ -1,0 +1,65 @@
+//go:build amd64 && !noasm
+
+package simd
+
+import "os"
+
+// useAVX2 gates the assembly kernels. It is established once at init from
+// CPUID (see cpuid_amd64.go); setting SOFA_NOSIMD in the environment forces
+// the portable reference at runtime, which gives an honest same-binary A/B
+// for the asm-vs-portable benchmarks without rebuilding with -tags noasm.
+var useAVX2 = os.Getenv("SOFA_NOSIMD") == "" && detectAVX2FMA()
+
+// Impl names the active kernel implementation: "avx2" when the hardware
+// kernels are dispatched, "portable" otherwise.
+func Impl() string {
+	if useAVX2 {
+		return "avx2"
+	}
+	return "portable"
+}
+
+func edBlocks16(a, b []float64, bound float64) (float64, int) {
+	if useAVX2 {
+		return edBlocks16AVX2(a, b, bound)
+	}
+	return edBlocks16Ref(a, b, bound)
+}
+
+func dotBlocks16(a, b []float64) (float64, int) {
+	if useAVX2 {
+		return dotBlocks16AVX2(a, b)
+	}
+	return dotBlocks16Ref(a, b)
+}
+
+func lbdGatherBlocks8(word []byte, qr, lower, upper, weights []float64, alphabet int, bsf float64) (float64, int) {
+	if useAVX2 {
+		return lbdGatherBlocks8AVX2(word, qr, lower, upper, weights, alphabet, bsf)
+	}
+	return lbdGatherBlocks8Ref(word, qr, lower, upper, weights, alphabet, bsf)
+}
+
+func lookupBlocks8(word []byte, table []float64, alphabet int, bsf float64) (float64, int) {
+	if useAVX2 {
+		return lookupBlocks8AVX2(word, table, alphabet, bsf)
+	}
+	return lookupBlocks8Ref(word, table, alphabet, bsf)
+}
+
+// Assembly kernels (kernels_amd64.s). Each processes only the full blocks
+// of its input and returns the reduced sum over the processed prefix plus
+// the index of the first unprocessed element; the exported wrappers in
+// kernels.go finish the tail in shared Go code.
+
+//go:noescape
+func edBlocks16AVX2(a, b []float64, bound float64) (sum float64, idx int)
+
+//go:noescape
+func dotBlocks16AVX2(a, b []float64) (sum float64, idx int)
+
+//go:noescape
+func lbdGatherBlocks8AVX2(word []byte, qr, lower, upper, weights []float64, alphabet int, bsf float64) (sum float64, idx int)
+
+//go:noescape
+func lookupBlocks8AVX2(word []byte, table []float64, alphabet int, bsf float64) (sum float64, idx int)

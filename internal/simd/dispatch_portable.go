@@ -1,0 +1,26 @@
+//go:build !amd64 || noasm
+
+package simd
+
+// Portable build (non-amd64 architectures, or -tags noasm): every kernel is
+// the pure-Go reference. Results are bit-identical to the assembly path by
+// construction — the reference defines the canonical semantics.
+
+// Impl names the active kernel implementation.
+func Impl() string { return "portable" }
+
+func edBlocks16(a, b []float64, bound float64) (float64, int) {
+	return edBlocks16Ref(a, b, bound)
+}
+
+func dotBlocks16(a, b []float64) (float64, int) {
+	return dotBlocks16Ref(a, b)
+}
+
+func lbdGatherBlocks8(word []byte, qr, lower, upper, weights []float64, alphabet int, bsf float64) (float64, int) {
+	return lbdGatherBlocks8Ref(word, qr, lower, upper, weights, alphabet, bsf)
+}
+
+func lookupBlocks8(word []byte, table []float64, alphabet int, bsf float64) (float64, int) {
+	return lookupBlocks8Ref(word, table, alphabet, bsf)
+}

@@ -1,0 +1,47 @@
+package simd
+
+import "math"
+
+// LBDGatherEAEmulated is the pre-PR-3 formulation of Algorithm 3: the same
+// mask/blend/reduce structure expressed with the package's 8-lane Vec
+// emulation (scalar lane loops the compiler only partially vectorizes). It
+// is retained as the ablation baseline the real VGATHERQPD kernel is
+// benchmarked against; production code dispatches through LBDGatherEA.
+//
+// Its numeric semantics differ in rounding from the canonical kernels (the
+// terms are w*(d*d) summed through the Vec tree, without the two-register
+// lane split), so comparisons against LBDGatherEA are tolerance-based.
+func LBDGatherEAEmulated(word []byte, qr, lower, upper, weights []float64, alphabet int, bsf float64) float64 {
+	var sum float64
+	l := len(word)
+	for c := 0; c < l; c += Width {
+		var vq, vlo, vhi, vw Vec
+		lanes := l - c
+		if lanes > Width {
+			lanes = Width
+		}
+		for i := 0; i < lanes; i++ {
+			j := c + i
+			sym := int(word[j])
+			vq[i] = qr[j]
+			vlo[i] = lower[j*alphabet+sym]
+			vhi[i] = upper[j*alphabet+sym]
+			vw[i] = weights[j]
+		}
+		for i := lanes; i < Width; i++ {
+			vlo[i] = math.Inf(-1) // padding lanes fall inside their interval
+			vhi[i] = math.Inf(1)
+		}
+		// Three-way branchless select (paper Fig. 6): UPPER, LOWER, ZERO.
+		below := CmpLT(vq, vlo)
+		above := CmpGT(vq, vhi)
+		dLo := Sub(vlo, vq)
+		dHi := Sub(vq, vhi)
+		d := Blend(below, dLo, Blend(above, dHi, Vec{}))
+		sum += Sum(Mul(vw, Mul(d, d)))
+		if sum > bsf {
+			return sum
+		}
+	}
+	return sum
+}

@@ -1,13 +1,22 @@
-// Package simd emulates the 8-lane SIMD vector operations that the paper's
-// C implementation expresses with AVX/AVX2 intrinsics (Section IV-H).
+// Package simd provides the hot-loop distance kernels of the SOFA
+// reproduction (paper Section IV-H) behind a runtime dispatch layer:
 //
-// Go with only the standard library has no portable vector intrinsics, so
-// this package reproduces the *algorithmic* structure instead: fixed-width
-// 8-lane vectors, branchless three-way selection through comparison masks
-// and blends, and horizontal reduction. The straight-line lane loops compile
-// to code the Go compiler can partially auto-vectorize, and — more
-// importantly for the reproduction — the chunked early-abandoning control
-// flow of Algorithm 3 is preserved exactly.
+//   - kernels.go defines the exported kernel API (SquaredEDEA, Dot,
+//     LBDGatherEA, LookupAccumEA) and the portable pure-Go references that
+//     fix each kernel's canonical bit-level semantics;
+//   - kernels_amd64.s implements the same semantics with AVX2+FMA assembly
+//     (VFMADD accumulation, VGATHERQPD bound gathers, VCMPPD/VBLENDVPD
+//     three-way selects); cpuid_amd64.go probes the hardware at init and
+//     dispatch_amd64.go routes each call. Assembly and reference are
+//     bit-identical on every input (kernels_parity_test.go), so results do
+//     not depend on the platform. Build with -tags noasm, or set
+//     SOFA_NOSIMD in the environment, to force the portable path.
+//
+// This file retains the original 8-lane Vec emulation of the AVX intrinsic
+// vocabulary: fixed-width vectors, comparison masks, blends and horizontal
+// reductions expressed as scalar lane loops. It remains the substrate of
+// the emulated ablation kernel (emulated.go) that the benchmarks compare
+// the real assembly against, and of tests that pin the mask/blend algebra.
 package simd
 
 // Width is the number of float64 lanes per vector, matching an AVX-512

@@ -1,0 +1,157 @@
+package repro
+
+// Pooled-slice retention audit (ROADMAP item): Searcher.Search and friends
+// return a slice owned by the (possibly pooled) searcher and overwritten by
+// its next query; stream callbacks receive worker-owned slices valid only
+// for the callback's duration. A caller that retains such a slice across
+// calls corrupts results silently under load, so every call site must be
+// audited by a human once and then pinned here.
+//
+// This test walks the module's non-test sources, collects every call site
+// of the owning-slice APIs (by selector name — deliberately over-inclusive:
+// scan/flat Search methods return fresh slices, but auditing them costs one
+// allowlist line and catches contract drift), and fails when a file gains
+// a call that is not in the audited allowlist below. To clear a failure:
+// read the new caller, verify it either consumes the results before the
+// searcher's next query, copies them (append([]index.Result(nil), res...)),
+// or only extracts scalars — then add the file:method pair with a one-line
+// justification.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// ownedSliceAPIs are the method names whose results alias caller-invisible
+// pooled buffers (or, for NewStream, register callbacks that receive them).
+var ownedSliceAPIs = map[string]bool{
+	"Search":            true,
+	"Search1":           true, // returns a value, but callers often switch to Search
+	"SearchApproximate": true,
+	"SearchEpsilon":     true,
+	"NewStream":         true, // callback res slices are worker-owned
+}
+
+// auditedCallers maps repo-relative file -> method -> justification. Every
+// entry has been read by a human; the justification records why it cannot
+// retain a searcher-owned slice across queries.
+var auditedCallers = map[string]map[string]string{
+	"cmd/sofa-query/main.go": {
+		"Search":    "prints each result batch before the next query on the same searcher",
+		"NewStream": "callback prints res inline; nothing escapes the callback",
+	},
+	"examples/quickstart/main.go": {
+		"Search": "one-shot searcher; results printed immediately",
+	},
+	"examples/seismic/main.go": {
+		"Search1": "value result (index.Result), no slice to retain",
+	},
+	"examples/vectors/main.go": {
+		"Search": "prints inside the loop before the searcher's next query",
+	},
+	"internal/bench/approx_experiment.go": {
+		"Search":            "extracts r[0].Dist scalar only",
+		"SearchApproximate": "extracts r[0].Dist scalar only",
+		"SearchEpsilon":     "extracts r[0].Dist scalar only",
+	},
+	"internal/bench/bench.go": {
+		"Search": "timeTreeQueries/timeScanQueries discard results (latency only)",
+	},
+	"internal/bench/qps_experiment.go": {
+		"NewStream": "callback only counts completions; res never escapes",
+	},
+	"internal/bench/report.go": {
+		"Search": "searchSteadyStateAllocs discards results (alloc count only)",
+	},
+	"internal/core/collection.go": {
+		"Search":            "SearchBatch copies (append(nil, res...)) before the pooled searcher is reused; Search1 extracts res[0]; single-shard Search forwards the documented owned-slice contract",
+		"SearchApproximate": "forwards the owned-slice contract (documented)",
+		"SearchEpsilon":     "forwards the owned-slice contract (documented)",
+	},
+	"internal/core/core.go": {
+		"NewStream": "doc example in package comment context; Index.NewStream forwards the callback-scoped contract",
+	},
+	"internal/core/stream.go": {
+		"Search": "worker passes res straight to the callback; contract documents callback scope",
+	},
+	"internal/index/batch.go": {
+		"Search": "BatchSearchInto copies results into the caller buffer before the pooled searcher is reused",
+	},
+	"internal/index/search.go": {
+		"Search": "Search1 extracts res[0] before returning",
+	},
+	"internal/scan/scan.go": {
+		"Search": "Search1 extracts res[0]; scanner results are freshly collected per call",
+	},
+}
+
+func TestPooledSliceRetentionAudit(t *testing.T) {
+	found := map[string]map[string]bool{}
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if strings.HasPrefix(d.Name(), ".") && path != "." {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return err
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !ownedSliceAPIs[sel.Sel.Name] {
+				return true
+			}
+			rel := filepath.ToSlash(path)
+			if found[rel] == nil {
+				found[rel] = map[string]bool{}
+			}
+			found[rel][sel.Sel.Name] = true
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for file, methods := range found {
+		for m := range methods {
+			if auditedCallers[file][m] == "" {
+				t.Errorf("unaudited caller: %s calls %s — searcher-owned/callback-scoped slices must not be retained across queries; audit the call site and add it to auditedCallers with a justification", file, m)
+			}
+		}
+	}
+	// Stale entries rot the audit the other way: they claim coverage of
+	// call sites that no longer exist.
+	var stale []string
+	for file, methods := range auditedCallers {
+		for m := range methods {
+			if !found[file][m] {
+				stale = append(stale, file+":"+m)
+			}
+		}
+	}
+	sort.Strings(stale)
+	for _, s := range stale {
+		t.Errorf("stale audit entry %s (call site gone); remove it from auditedCallers", s)
+	}
+}
