@@ -1,0 +1,74 @@
+package repro
+
+// Public-API boundary test: repro/sofa is the one supported entry point to
+// the index. Nothing under cmd/ or examples/ may reach around it into the
+// engine packages (internal/core, internal/index) — those are unstable
+// internals whose contracts (pooled searcher-owned slices, shard query
+// phases) the public package exists to encapsulate. Harness-level internals
+// (internal/dataset, internal/bench, internal/stats, the baseline scans and
+// summarization packages the ablation walkthroughs compare against) remain
+// importable from the demo programs: they are not the query API.
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// forbiddenFromPrograms are the engine packages cmd/ and examples/ must
+// reach only through repro/sofa.
+var forbiddenFromPrograms = map[string]bool{
+	"repro/internal/core":  true,
+	"repro/internal/index": true,
+}
+
+// mustImportSofa lists the programs whose whole purpose is the query API;
+// they must demonstrate the public package (guarding against a future
+// "temporary" rewire back onto the internals).
+var mustImportSofa = map[string]bool{
+	"cmd/sofa-query":      true,
+	"examples/quickstart": true,
+	"examples/vectors":    true,
+	"examples/seismic":    true,
+}
+
+func TestProgramsUseOnlyPublicAPI(t *testing.T) {
+	fset := token.NewFileSet()
+	importsSofa := map[string]bool{}
+	for _, root := range []string{"cmd", "examples"} {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(path, ".go") {
+				return nil
+			}
+			file, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+			if err != nil {
+				return err
+			}
+			dir := filepath.ToSlash(filepath.Dir(path))
+			for _, imp := range file.Imports {
+				ipath := strings.Trim(imp.Path.Value, `"`)
+				if forbiddenFromPrograms[ipath] {
+					t.Errorf("%s imports %s: cmd/ and examples/ must use the public repro/sofa API", path, ipath)
+				}
+				if ipath == "repro/sofa" {
+					importsSofa[dir] = true
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for dir := range mustImportSofa {
+		if !importsSofa[dir] {
+			t.Errorf("%s does not import repro/sofa — the query-API demos must use the public package", dir)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 // Command sofa-query builds a SOFA (or MESSI) index over a binary dataset
 // file and answers exact k-NN queries from a query file, printing per-query
-// results and timing.
+// results and timing. It is written entirely against the public repro/sofa
+// API.
 //
 // Usage:
 //
@@ -10,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
@@ -17,11 +19,9 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/dataset"
-	"repro/internal/distance"
-	"repro/internal/index"
 	"repro/internal/stats"
+	"repro/sofa"
 )
 
 func main() {
@@ -34,6 +34,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "parallelism (default GOMAXPROCS)")
 		shards    = flag.Int("shards", 1, "index shards (independent trees; merged k-NN)")
 		stream    = flag.Int("stream", 0, "answer queries through the streaming engine with this many workers (0: per-query latency loop)")
+		timeout   = flag.Duration("timeout", 0, "per-query deadline (0: none)")
 		verbose   = flag.Bool("v", false, "print every result")
 		savePath  = flag.String("save", "", "write the built index to this file")
 		loadPath  = flag.String("load", "", "load a previously saved index instead of building")
@@ -43,12 +44,12 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	var m core.Method
+	opts := []sofa.Option{sofa.LeafSize(*leaf), sofa.Workers(*workers), sofa.Shards(*shards)}
 	switch *method {
 	case "sofa":
-		m = core.SOFA
+		opts = append(opts, sofa.SFA())
 	case "messi":
-		m = core.MESSI
+		opts = append(opts, sofa.MESSI())
 	default:
 		fatal(fmt.Errorf("unknown method %q (want sofa or messi)", *method))
 	}
@@ -57,13 +58,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	var ix *core.Index
+	var ix *sofa.Index
 	if *loadPath != "" {
 		if *shards != 1 {
 			fmt.Fprintln(os.Stderr, "sofa-query: -shards is ignored with -load (the shard count is part of the saved index)")
 		}
 		start := time.Now()
-		ix, err = core.LoadFile(*loadPath)
+		ix, err = sofa.LoadFile(*loadPath)
 		if err != nil {
 			fatal(err)
 		}
@@ -77,16 +78,15 @@ func main() {
 		data.ZNormalizeAll()
 		fmt.Printf("loaded %d series x %d, %d queries\n", data.Len(), data.Stride, queries.Len())
 		start := time.Now()
-		ix, err = core.Build(data, core.Config{Method: m, LeafCapacity: *leaf, Workers: *workers, Shards: *shards})
+		ix, err = sofa.Build(data, opts...)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("%s index built in %.2fs (learn %.2fs, transform %.2fs, tree %.2fs, %d shard(s))\n",
-			ix.Method(), time.Since(start).Seconds(),
-			ix.LearnSeconds, ix.TransformSeconds, ix.TreeSeconds, ix.Shards())
+		fmt.Printf("%s index built in %.2fs (%d shard(s))\n",
+			ix.Method(), time.Since(start).Seconds(), ix.Shards())
 	}
 	if *savePath != "" {
-		if err := core.SaveFile(ix, *savePath); err != nil {
+		if err := sofa.SaveFile(ix, *savePath); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("index saved to %s\n", *savePath)
@@ -96,20 +96,25 @@ func main() {
 		st.Subtrees, st.Leaves, st.AvgDepth, st.AvgLeafSize)
 
 	if *stream > 0 {
-		runStream(ix, queries, *k, *stream, *verbose)
+		runStream(ix, queries, *k, *stream, *timeout, *verbose)
 		return
 	}
-	s := ix.NewSearcher()
+	ctx := context.Background()
 	times := make([]float64, queries.Len())
+	var buf []sofa.Result
 	for qi := 0; qi < queries.Len(); qi++ {
+		q := sofa.Query{Series: queries.Row(qi), K: *k}
+		if *timeout > 0 {
+			q = q.With(sofa.Deadline(time.Now().Add(*timeout)))
+		}
 		qStart := time.Now()
-		res, err := s.Search(queries.Row(qi), *k)
+		buf, err = ix.SearchInto(ctx, q, buf)
 		if err != nil {
 			fatal(err)
 		}
 		times[qi] = time.Since(qStart).Seconds()
 		if *verbose {
-			printResults(int(qi), times[qi], res)
+			printResults(qi, times[qi], buf)
 		}
 	}
 	fmt.Printf("%d-NN over %d queries: mean %.2fms, median %.2fms\n",
@@ -119,11 +124,11 @@ func main() {
 // runStream answers the query file through the streaming engine and reports
 // aggregate throughput. Verbose lines carry no per-query time: queries
 // overlap, so only the aggregate wall clock is meaningful.
-func runStream(ix *core.Index, queries *distance.Matrix, k, workers int, verbose bool) {
+func runStream(ix *sofa.Index, queries *sofa.Matrix, k, workers int, timeout time.Duration, verbose bool) {
 	var mu sync.Mutex
 	var firstErr error
 	start := time.Now()
-	st, err := ix.NewStream(k, workers, func(qid uint64, res []index.Result, err error) {
+	st, err := ix.NewStream(workers, func(qid uint64, res []sofa.Result, err error) {
 		mu.Lock()
 		defer mu.Unlock()
 		if err != nil && firstErr == nil {
@@ -137,7 +142,11 @@ func runStream(ix *core.Index, queries *distance.Matrix, k, workers int, verbose
 		fatal(err)
 	}
 	for qi := 0; qi < queries.Len(); qi++ {
-		if _, err := st.Submit(queries.Row(qi)); err != nil {
+		q := sofa.Query{Series: queries.Row(qi), K: k}
+		if timeout > 0 {
+			q = q.With(sofa.Deadline(time.Now().Add(timeout)))
+		}
+		if _, err := st.Submit(q); err != nil {
 			fatal(err)
 		}
 	}
@@ -152,7 +161,7 @@ func runStream(ix *core.Index, queries *distance.Matrix, k, workers int, verbose
 
 // printResults prints one query's answer line; secs < 0 omits the latency
 // field (streamed queries overlap, so per-query times would mislead).
-func printResults(qi int, secs float64, res []index.Result) {
+func printResults(qi int, secs float64, res []sofa.Result) {
 	if secs < 0 {
 		fmt.Printf("query %3d:", qi)
 	} else {

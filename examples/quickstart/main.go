@@ -1,15 +1,16 @@
 // Quickstart: build a SOFA index over a small in-memory collection and run
-// an exact 10-NN query — the sixty-second tour of the public API.
+// an exact 10-NN query — the sixty-second tour of the public repro/sofa
+// API, which is the only repro import this program needs.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
 	"math/rand"
 
-	"repro/internal/core"
-	"repro/internal/distance"
+	"repro/sofa"
 )
 
 func main() {
@@ -17,7 +18,7 @@ func main() {
 	//    synthetic sensor traces of length 128.
 	rng := rand.New(rand.NewSource(42))
 	const n, count = 128, 10000
-	data := distance.NewMatrix(count, n)
+	data := sofa.NewMatrix(count, n)
 	for i := 0; i < count; i++ {
 		row := data.Row(i)
 		freq := 2 + rng.Float64()*10
@@ -32,20 +33,22 @@ func main() {
 
 	// 3. Build the SOFA index. Defaults mirror the paper: word length 16,
 	//    alphabet 256, equi-width MCB learned from a sample, variance-based
-	//    coefficient selection.
-	ix, err := core.Build(data, core.Config{Method: core.SOFA})
+	//    coefficient selection. Options adjust anything: sofa.MESSI(),
+	//    sofa.Shards(4), sofa.LeafSize(512), ...
+	ix, err := sofa.Build(data, sofa.SFA())
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("built SOFA index over %d series in %.0fms\n",
 		ix.Len(), ix.BuildSeconds()*1000)
 
-	// 4. Query: exact 10 nearest neighbors of a fresh series.
+	// 4. Query: exact 10 nearest neighbors of a fresh series. The result
+	//    slice is caller-owned — keep it as long as you like.
 	query := make([]float64, n)
 	for j := range query {
 		query[j] = math.Sin(2*math.Pi*5*float64(j)/n) + 0.2*rng.NormFloat64()
 	}
-	res, err := ix.NewSearcher().Search(query, 10)
+	res, err := ix.Search(context.Background(), sofa.Query{Series: query, K: 10})
 	if err != nil {
 		log.Fatal(err)
 	}

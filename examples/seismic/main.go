@@ -2,21 +2,23 @@
 // collection (LenDB-like) and compare SOFA against MESSI, the parallel scan
 // and the flat baseline on the same exact 1-NN queries — the regime where
 // SAX's mean-based summarization collapses and SFA shines (paper Fig. 1,
-// Fig. 12).
+// Fig. 12). The tree indexes go through the public repro/sofa API; the scan
+// and flat baselines are internal reference implementations.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/distance"
 	"repro/internal/flat"
 	"repro/internal/scan"
 	"repro/internal/stats"
+	"repro/sofa"
 )
 
 func main() {
@@ -36,27 +38,27 @@ func main() {
 	fmt.Printf("seismic collection: %d series x %d (synthetic %s)\n",
 		data.Len(), data.Stride, spec.Name)
 
-	// Tree indexes.
-	for _, method := range []core.Method{core.MESSI, core.SOFA} {
-		ix, err := core.Build(data, core.Config{Method: method, LeafCapacity: 512})
+	// Tree indexes, both through the one public entry point.
+	ctx := context.Background()
+	for _, method := range []sofa.Option{sofa.MESSI(), sofa.SFA()} {
+		ix, err := sofa.Build(data, method, sofa.LeafSize(512))
 		if err != nil {
 			log.Fatal(err)
 		}
+		var buf []sofa.Result
 		times, sample := timeQueries(queries, func(q []float64) float64 {
-			r, err := ix.NewSearcher().Search1(q)
+			buf, err = ix.SearchInto(ctx, sofa.Query{Series: q, K: 1}, buf)
 			if err != nil {
 				log.Fatal(err)
 			}
-			return r.Dist
+			return buf[0].Dist
 		})
-		if method == core.SOFA {
-			q := ix.SFAQuantizer()
+		if mean, ok := ix.MeanSelectedCoefficient(); ok {
 			fmt.Printf("%-6s build %4.0fms  query mean %6.3fms median %6.3fms  (mean selected coeff %.1f)\n",
-				method, ix.BuildSeconds()*1000, stats.Mean(times)*1000, stats.Median(times)*1000,
-				q.MeanCoefficientIndex())
+				ix.Method(), ix.BuildSeconds()*1000, stats.Mean(times)*1000, stats.Median(times)*1000, mean)
 		} else {
 			fmt.Printf("%-6s build %4.0fms  query mean %6.3fms median %6.3fms\n",
-				method, ix.BuildSeconds()*1000, stats.Mean(times)*1000, stats.Median(times)*1000)
+				ix.Method(), ix.BuildSeconds()*1000, stats.Mean(times)*1000, stats.Median(times)*1000)
 		}
 		_ = sample
 	}

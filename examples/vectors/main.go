@@ -1,18 +1,19 @@
 // Vectors: exact k-NN over SIFT-like descriptor vectors — the unordered,
 // heavy-tailed, high-variance data the paper contrasts with classic time
 // series (Section III). Shows k-NN scaling (paper Table III / Fig. 9) and
-// the pruning counters behind it.
+// the pruning counters behind it, through the public repro/sofa API.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/stats"
+	"repro/sofa"
 )
 
 func main() {
@@ -32,7 +33,7 @@ func main() {
 	fmt.Printf("vector collection: %d descriptors x %d (synthetic %s)\n",
 		data.Len(), data.Stride, spec.Name)
 
-	ix, err := core.Build(data, core.Config{Method: core.SOFA, LeafCapacity: 512})
+	ix, err := sofa.Build(data, sofa.SFA(), sofa.LeafSize(512))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -40,24 +41,26 @@ func main() {
 	fmt.Printf("SOFA index: %d subtrees, %d leaves, avg depth %.1f, built in %.0fms\n",
 		st.Subtrees, st.Leaves, st.AvgDepth, ix.BuildSeconds()*1000)
 
-	s := ix.NewSearcher()
+	ctx := context.Background()
 	fmt.Println("\nk-NN scaling (median per-query time, exact results):")
+	var buf []sofa.Result
 	for _, k := range []int{1, 3, 5, 10, 20, 50} {
 		times := make([]float64, queries.Len())
 		var lbd, ed int64
+		var qstats sofa.SearchStats
 		for qi := 0; qi < queries.Len(); qi++ {
+			q := sofa.Query{Series: queries.Row(qi), K: k}.With(sofa.WithStats(&qstats))
 			start := time.Now()
-			res, err := s.Search(queries.Row(qi), k)
+			buf, err = ix.SearchInto(ctx, q, buf)
 			if err != nil {
 				log.Fatal(err)
 			}
 			times[qi] = time.Since(start).Seconds()
-			if len(res) != k {
-				log.Fatalf("expected %d results, got %d", k, len(res))
+			if len(buf) != k {
+				log.Fatalf("expected %d results, got %d", k, len(buf))
 			}
-			c := s.LastStats()
-			lbd += c.SeriesLBD
-			ed += c.SeriesED
+			lbd += qstats.SeriesLBD
+			ed += qstats.SeriesED
 		}
 		nq := int64(queries.Len())
 		fmt.Printf("  k=%-3d median %6.3fms   word-LBD checks/query %6d, real distances/query %5d (of %d series)\n",
@@ -65,7 +68,7 @@ func main() {
 	}
 
 	// Show one concrete answer.
-	res, err := s.Search(queries.Row(0), 5)
+	res, err := ix.Search(ctx, sofa.Query{Series: queries.Row(0), K: 5})
 	if err != nil {
 		log.Fatal(err)
 	}

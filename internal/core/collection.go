@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -331,16 +332,89 @@ func (s *Searcher) shardQuery(i int, epsilon float64) index.ShardQuery {
 	}
 }
 
-// searchShards runs one query across every shard: a seeding phase first
+// Plan describes one query's execution for the unified, context-aware query
+// path: exact (the zero value apart from K), ε-approximate, or best-leaf
+// approximate, with an optional per-query deadline. It is the single
+// internal representation every public query variant lowers to.
+type Plan struct {
+	// K is the number of neighbors to return (required, >= 1).
+	K int
+	// Epsilon relaxes pruning for (1+Epsilon)-approximate answers; 0 is
+	// exact. Ignored when Approximate is set.
+	Epsilon float64
+	// Approximate answers from each shard's best-matching leaf only (the
+	// classical iSAX approximate probe; stage 1 of the exact engine).
+	Approximate bool
+	// Deadline, when nonzero, aborts the query with context.DeadlineExceeded
+	// once passed. Checked at shard granularity, so an expired query stops
+	// between shard stages instead of running to completion.
+	Deadline time.Time
+}
+
+// queryErr reports why in-flight query work must stop: context cancellation
+// (or context deadline) first, then plan-deadline expiry. The ctx.Err check
+// is skipped for non-cancellable contexts (Done() == nil), keeping the
+// common Background case free.
+func queryErr(ctx context.Context, deadline time.Time) error {
+	if ctx != nil && ctx.Done() != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	if !deadline.IsZero() && !time.Now().Before(deadline) {
+		return context.DeadlineExceeded
+	}
+	return nil
+}
+
+// SearchPlan is the unified query entry point: it executes p against all
+// shards, honoring ctx cancellation and p.Deadline at shard granularity, and
+// appends the answers (ascending distance) to dst, returning the extended
+// slice. Ownership of the result memory is therefore the caller's: passing a
+// reused buffer gives an allocation-free steady state, passing nil returns a
+// fresh slice. Exact, ε-approximate and best-leaf-approximate search are all
+// the same path here, selected by the plan.
+func (s *Searcher) SearchPlan(ctx context.Context, query []float64, p Plan, dst []index.Result) ([]index.Result, error) {
+	if p.K < 1 {
+		return nil, fmt.Errorf("core: k must be >= 1, got %d", p.K)
+	}
+	if p.Epsilon < 0 {
+		return nil, fmt.Errorf("core: epsilon must be >= 0, got %v", p.Epsilon)
+	}
+	if err := queryErr(ctx, p.Deadline); err != nil {
+		return nil, err
+	}
+	epsilon := p.Epsilon
+	if p.Approximate {
+		epsilon = 0
+	}
+	if err := s.searchShardsCtx(ctx, p.Deadline, query, p.K, epsilon, p.Approximate); err != nil {
+		return nil, err
+	}
+	return s.kn.ResultsAppend(dst), nil
+}
+
+// searchShards runs one query across every shard with no cancellation
+// point — the legacy entry kept for the context-free Search* wrappers.
+func (s *Searcher) searchShards(query []float64, k int, epsilon float64, seedOnly bool) error {
+	return s.searchShardsCtx(context.Background(), time.Time{}, query, k, epsilon, seedOnly)
+}
+
+// searchShardsCtx runs one query across every shard: a seeding phase first
 // (every shard's approximate stage feeds the shared collector, so each
 // shard's exact stage starts from the best bound any shard established),
 // then the exact phase. With serial searchers both phases run inline on the
 // calling goroutine; otherwise shards run concurrently, and within each
-// shard the tree applies its own worker fan-out.
-func (s *Searcher) searchShards(query []float64, k int, epsilon float64, seedOnly bool) error {
+// shard the tree applies its own worker fan-out. Cancellation (ctx or
+// deadline) is checked before every per-shard stage, so a cancelled query
+// stops between shards rather than running every stage to completion.
+func (s *Searcher) searchShardsCtx(ctx context.Context, deadline time.Time, query []float64, k int, epsilon float64, seedOnly bool) error {
 	s.kn.Reset(k)
 	if s.serial || len(s.ss) == 1 {
 		for i, sub := range s.ss {
+			if err := queryErr(ctx, deadline); err != nil {
+				return err
+			}
 			if err := sub.SeedShard(query, k, s.shardQuery(i, epsilon)); err != nil {
 				return err
 			}
@@ -349,6 +423,9 @@ func (s *Searcher) searchShards(query []float64, k int, epsilon float64, seedOnl
 			return nil
 		}
 		for _, sub := range s.ss {
+			if err := queryErr(ctx, deadline); err != nil {
+				return err
+			}
 			if err := sub.FinishShard(); err != nil {
 				return err
 			}
@@ -364,6 +441,10 @@ func (s *Searcher) searchShards(query []float64, k int, epsilon float64, seedOnl
 		wg.Add(1)
 		go func(i int, sub *index.Searcher) {
 			defer wg.Done()
+			if err := queryErr(ctx, deadline); err != nil {
+				errs[i] = err
+				return
+			}
 			errs[i] = sub.SeedShard(query, k, s.shardQuery(i, epsilon))
 		}(i, sub)
 	}
@@ -381,6 +462,10 @@ func (s *Searcher) searchShards(query []float64, k int, epsilon float64, seedOnl
 		wg2.Add(1)
 		go func(i int, sub *index.Searcher) {
 			defer wg2.Done()
+			if err := queryErr(ctx, deadline); err != nil {
+				errs[i] = err
+				return
+			}
 			errs[i] = sub.FinishShard()
 		}(i, sub)
 	}
@@ -474,6 +559,9 @@ func (s *Searcher) LastStats() index.SearchStats {
 // allocated per call; sustained traffic that wants allocation-free
 // steady state should use NewStream (callback-scoped results) or, on a
 // single-shard collection, Tree.BatchSearchInto.
+//
+// SearchBatch is the fixed-k convenience over SearchBatchPlan, the unified
+// context-aware batch path.
 func (c *Collection) SearchBatch(queries *distance.Matrix, k, workers int) ([][]index.Result, error) {
 	if queries == nil || queries.Len() == 0 {
 		return nil, fmt.Errorf("core: empty query batch")
@@ -481,37 +569,65 @@ func (c *Collection) SearchBatch(queries *distance.Matrix, k, workers int) ([][]
 	if queries.Stride != c.stride {
 		return nil, fmt.Errorf("core: query length %d, want %d", queries.Stride, c.stride)
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if len(c.shards) == 1 {
-		rows := make([][]float64, queries.Len())
-		for i := range rows {
-			rows[i] = queries.Row(i)
-		}
-		return c.shards[0].BatchSearchWorkers(rows, k, workers)
-	}
 	if k < 1 {
 		return nil, fmt.Errorf("core: k must be >= 1, got %d", k)
 	}
-	if workers > queries.Len() {
-		workers = queries.Len()
+	qs := make([]PlanQuery, queries.Len())
+	for i := range qs {
+		qs[i] = PlanQuery{Series: queries.Row(i), Plan: Plan{K: k}}
 	}
-	out := make([][]index.Result, queries.Len())
+	return c.SearchBatchPlan(context.Background(), qs, workers)
+}
+
+// PlanQuery pairs one query series with its execution plan for the batch
+// path, so a single batch can mix k values, approximation modes and
+// per-query deadlines.
+type PlanQuery struct {
+	Series []float64
+	Plan   Plan
+}
+
+// SearchBatchPlan answers a heterogeneous batch of planned queries with
+// inter-query parallelism: up to workers queries run concurrently, each
+// handled end-to-end (all shards) by a pooled serial searcher. workers <= 0
+// selects GOMAXPROCS. Results are in query order and caller-owned (freshly
+// allocated per query). Per-query validation (length, k, epsilon) happens
+// when each query executes, via SearchPlan.
+//
+// Cancellation is checked at batch granularity (before every query is
+// started) and, through SearchPlan, at shard granularity inside each query,
+// so cancelling ctx stops a large batch mid-flight. Any error — a ctx
+// error, an invalid query, or an individual query's expired plan deadline —
+// aborts the whole batch: every worker stops before its next query, and one
+// of the observed errors is returned.
+func (c *Collection) SearchBatchPlan(ctx context.Context, qs []PlanQuery, workers int) ([][]index.Result, error) {
+	if len(qs) == 0 {
+		return nil, fmt.Errorf("core: empty query batch")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(qs) {
+		workers = len(qs)
+	}
+	out := make([][]index.Result, len(qs))
 	if workers == 1 {
 		s := c.serialSearcher()
-		for i := range out {
-			res, err := s.Search(queries.Row(i), k)
-			if err != nil {
-				c.searchers.Put(s)
+		defer c.searchers.Put(s)
+		for i, q := range qs {
+			if err := queryErr(ctx, time.Time{}); err != nil {
 				return nil, err
 			}
-			out[i] = append([]index.Result(nil), res...)
+			res, err := s.SearchPlan(ctx, q.Series, q.Plan, nil)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = res
 		}
-		c.searchers.Put(s)
 		return out, nil
 	}
 	errs := make([]error, workers)
+	var abort atomic.Bool // any worker's error stops the whole batch
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -522,16 +638,21 @@ func (c *Collection) SearchBatch(queries *distance.Matrix, k, workers int) ([][]
 			defer c.searchers.Put(s)
 			for {
 				i := int(cursor.Add(1) - 1)
-				if i >= queries.Len() {
+				if i >= len(qs) || abort.Load() {
 					return
 				}
-				res, err := s.Search(queries.Row(i), k)
+				if err := queryErr(ctx, time.Time{}); err != nil {
+					errs[w] = err
+					abort.Store(true)
+					return
+				}
+				res, err := s.SearchPlan(ctx, qs[i].Series, qs[i].Plan, nil)
 				if err != nil {
 					errs[w] = err
+					abort.Store(true)
 					return
 				}
-				// res aliases the pooled searcher's buffer; copy it out.
-				out[i] = append([]index.Result(nil), res...)
+				out[i] = res
 			}
 		}(w)
 	}

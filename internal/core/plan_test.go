@@ -1,0 +1,157 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// SearchPlan with a pre-cancelled context must return before seeding any
+// shard. The proof uses the work counters: they are reset only when a shard
+// query begins, so after a cancelled call they still hold the previous
+// query's values.
+func TestSearchPlanPreCancelledRunsNoShardWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	m := mixedMatrix(rng, 400, 32)
+	col, err := BuildCollection(m, Config{Method: SOFA, SampleRate: 0.2, LeafCapacity: 32, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := col.NewSearcher()
+	query := make([]float64, 32)
+	for j := range query {
+		query[j] = rng.NormFloat64()
+	}
+	if _, err := s.SearchPlan(context.Background(), query, Plan{K: 3}, nil); err != nil {
+		t.Fatal(err)
+	}
+	before := s.LastStats()
+	if before.SeriesED == 0 {
+		t.Fatal("fixture query did no work; the counter comparison below would be vacuous")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.SearchPlan(ctx, query, Plan{K: 3}, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if after := s.LastStats(); after != before {
+		t.Errorf("cancelled SearchPlan ran shard work: counters %+v -> %+v", before, after)
+	}
+}
+
+// An already-expired plan deadline behaves like a cancelled context, with
+// context.DeadlineExceeded as the error.
+func TestSearchPlanExpiredDeadline(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	m := mixedMatrix(rng, 200, 32)
+	col, err := BuildCollection(m, Config{Method: SOFA, SampleRate: 0.2, LeafCapacity: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := col.NewSearcher()
+	p := Plan{K: 1, Deadline: time.Now().Add(-time.Minute)}
+	if _, err := s.SearchPlan(context.Background(), m.Row(0), p, nil); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// SearchPlan is the unified path: its exact answers must be identical to
+// the legacy Search wrapper, and plan validation must reject bad k and
+// epsilon.
+func TestSearchPlanMatchesSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	m := mixedMatrix(rng, 500, 32)
+	for _, shards := range []int{1, 3} {
+		col, err := BuildCollection(m, Config{Method: SOFA, SampleRate: 0.2, LeafCapacity: 32, Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := col.NewSearcher()
+		for qi := 0; qi < 5; qi++ {
+			query := make([]float64, 32)
+			for j := range query {
+				query[j] = rng.NormFloat64()
+			}
+			want, err := s.Search(query, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantCopy := append([]Result(nil), want...)
+			got, err := s.SearchPlan(context.Background(), query, Plan{K: 4}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(wantCopy) {
+				t.Fatalf("shards=%d: %d results, want %d", shards, len(got), len(wantCopy))
+			}
+			for i := range wantCopy {
+				if got[i] != wantCopy[i] {
+					t.Fatalf("shards=%d rank %d: %v != %v", shards, i, got[i], wantCopy[i])
+				}
+			}
+		}
+		if _, err := s.SearchPlan(context.Background(), m.Row(0), Plan{K: 0}, nil); err == nil {
+			t.Error("k=0 plan accepted")
+		}
+		if _, err := s.SearchPlan(context.Background(), m.Row(0), Plan{K: 1, Epsilon: -1}, nil); err == nil {
+			t.Error("negative epsilon plan accepted")
+		}
+	}
+}
+
+// The stream must shed queued work whose deadline expired and honor
+// per-query plans (mixed k in flight).
+func TestStreamSubmitPlan(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	m := mixedMatrix(rng, 400, 32)
+	col, err := BuildCollection(m, Config{Method: SOFA, SampleRate: 0.2, LeafCapacity: 32, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type answer struct {
+		n   int
+		err error
+	}
+	var mu sync.Mutex
+	got := map[uint64]answer{}
+	st, err := col.NewStream(1, 2, func(qid uint64, res []Result, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		got[qid] = answer{n: len(res), err: err}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[uint64]int{}
+	for i := 0; i < 20; i++ {
+		k := 2 + i%4
+		qid, err := st.SubmitPlan(m.Row(i), Plan{K: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[qid] = k
+	}
+	expired, err := st.SubmitPlan(m.Row(0), Plan{K: 5, Deadline: time.Now().Add(-time.Second)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	for qid, k := range want {
+		if got[qid].err != nil || got[qid].n != k {
+			t.Errorf("qid %d: got (%d, %v), want %d results", qid, got[qid].n, got[qid].err, k)
+		}
+	}
+	if !errors.Is(got[expired].err, context.DeadlineExceeded) {
+		t.Errorf("expired query: got %v, want context.DeadlineExceeded", got[expired].err)
+	}
+	if _, err := st.SubmitPlan(m.Row(0), Plan{K: 0}); err == nil {
+		t.Error("k=0 SubmitPlan accepted")
+	}
+	if _, err := st.Submit(m.Row(0)); !errors.Is(err, ErrStreamClosed) {
+		t.Errorf("submit after close: got %v, want ErrStreamClosed", err)
+	}
+}

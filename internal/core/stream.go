@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -8,6 +10,11 @@ import (
 
 	"repro/internal/index"
 )
+
+// ErrStreamClosed is returned by Submit variants after Close. It is a
+// sentinel so layered APIs (the public sofa package) can translate it with
+// errors.Is instead of string matching.
+var ErrStreamClosed = errors.New("core: stream is closed")
 
 // Stream is the sustained-traffic query engine: a fixed pool of worker
 // goroutines, each owning a pooled serial searcher, consuming queries from a
@@ -17,9 +24,16 @@ import (
 // goroutines, searchers, query buffers and result buffers all persist, so
 // steady-state traffic performs no per-query setup allocations.
 //
-// Lifecycle: NewStream starts the workers; Submit enqueues queries (blocking
-// for backpressure when the channel is full); Close drains in-flight queries
-// and stops the workers. Submitting is safe from many goroutines at once.
+// Every submission carries its own Plan (SubmitPlan), so in-flight queries
+// may mix k values, approximation modes and deadlines; Submit is the
+// fixed-k convenience over the stream's default k. A query whose deadline
+// has passed by the time a worker picks it up (or between its shard stages)
+// is answered with context.DeadlineExceeded instead of doing the work.
+//
+// Lifecycle: NewStream starts the workers; Submit/SubmitPlan enqueue queries
+// (blocking for backpressure when the channel is full); Close drains
+// in-flight queries and stops the workers. Submitting is safe from many
+// goroutines at once.
 type Stream struct {
 	c      *Collection
 	k      int
@@ -40,20 +54,22 @@ type Stream struct {
 	closed bool
 }
 
-// streamJob is one enqueued query: the id returned by Submit plus a pooled
-// copy of the query values. The pool pointer itself travels in the job so
-// the worker returns the identical cell — re-boxing the slice header on
-// either side would allocate per query.
+// streamJob is one enqueued query: the id returned by Submit, a pooled copy
+// of the query values, and the query's execution plan. The pool pointer
+// itself travels in the job so the worker returns the identical cell —
+// re-boxing the slice header on either side would allocate per query.
 type streamJob struct {
-	id uint64
-	q  *[]float64
+	id   uint64
+	q    *[]float64
+	plan Plan
 }
 
 // NewStream starts a streaming query engine over the collection. Every
-// submitted query is answered with its exact k nearest neighbors by one of
-// `workers` persistent worker goroutines (workers <= 0 selects GOMAXPROCS);
-// the bounded submit channel holds up to two queries per worker, so
-// submitters are backpressured instead of queueing unboundedly.
+// submitted query is answered by one of `workers` persistent worker
+// goroutines (workers <= 0 selects GOMAXPROCS); the bounded submit channel
+// holds up to two queries per worker, so submitters are backpressured
+// instead of queueing unboundedly. k is the default plan for Submit;
+// SubmitPlan overrides it per query.
 //
 // handle is invoked once per submitted query, possibly concurrently from
 // different workers and in completion (not submission) order. The res slice
@@ -89,25 +105,44 @@ func (c *Collection) NewStream(k, workers int, handle func(qid uint64, res []ind
 }
 
 // worker consumes queries until the stream closes, answering each on a
-// pooled serial searcher shared with SearchBatch.
+// pooled serial searcher shared with SearchBatch. Results are appended into
+// the searcher's own buffer, so the callback-scoped slice costs no per-query
+// allocation in steady state.
 func (st *Stream) worker() {
 	defer st.wg.Done()
 	s := st.c.serialSearcher()
 	defer st.c.searchers.Put(s)
 	for job := range st.jobs {
-		res, err := s.Search(*job.q, st.k)
+		res, err := s.SearchPlan(context.Background(), *job.q, job.plan, s.resBuf[:0])
+		if err == nil {
+			s.resBuf = res
+		}
 		st.handle(job.id, res, err)
 		st.bufs.Put(job.q)
 	}
 }
 
-// Submit enqueues one query and returns its id (the value later passed to
-// the handler). The query is copied before Submit returns, so the caller may
-// reuse its slice immediately. Submit blocks while the bounded channel is
-// full — that backpressure is the flow control of the engine.
+// Submit enqueues one query under the stream's default k. The query is
+// copied before Submit returns, so the caller may reuse its slice
+// immediately. Submit blocks while the bounded channel is full — that
+// backpressure is the flow control of the engine.
 func (st *Stream) Submit(query []float64) (uint64, error) {
+	return st.SubmitPlan(query, Plan{K: st.k})
+}
+
+// SubmitPlan enqueues one query with its own execution plan (k, epsilon or
+// approximate mode, deadline), returning the id later passed to the handler.
+// Like Submit, the query values are copied before SubmitPlan returns and
+// the call blocks for backpressure while the bounded channel is full.
+func (st *Stream) SubmitPlan(query []float64, p Plan) (uint64, error) {
 	if len(query) != st.c.stride {
 		return 0, fmt.Errorf("core: query length %d, want %d", len(query), st.c.stride)
+	}
+	if p.K < 1 {
+		return 0, fmt.Errorf("core: k must be >= 1, got %d", p.K)
+	}
+	if p.Epsilon < 0 {
+		return 0, fmt.Errorf("core: epsilon must be >= 0, got %v", p.Epsilon)
 	}
 	buf := st.bufs.Get().(*[]float64)
 	copy(*buf, query)
@@ -117,16 +152,16 @@ func (st *Stream) Submit(query []float64) (uint64, error) {
 	defer st.mu.RUnlock()
 	if st.closed {
 		st.bufs.Put(buf)
-		return 0, fmt.Errorf("core: Submit on a closed Stream")
+		return 0, ErrStreamClosed
 	}
-	st.jobs <- streamJob{id: id, q: buf}
+	st.jobs <- streamJob{id: id, q: buf, plan: p}
 	return id, nil
 }
 
 // Close stops accepting submissions, waits for every in-flight query's
 // callback to complete, and releases the workers. Close is idempotent;
 // Submit calls racing with Close either enqueue (and are answered) or
-// return an error.
+// return ErrStreamClosed.
 func (st *Stream) Close() {
 	st.mu.Lock()
 	if st.closed {

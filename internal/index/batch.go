@@ -1,6 +1,7 @@
 package index
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -41,13 +42,13 @@ func (t *Tree) serialSearcher() *Searcher {
 // order; unlike Searcher.Search, the returned slices are freshly allocated
 // and safe to retain.
 func (t *Tree) BatchSearch(queries [][]float64, k int) ([][]Result, error) {
-	return t.BatchSearchInto(queries, k, t.opts.Workers, nil)
+	return t.BatchSearchInto(context.Background(), queries, k, t.opts.Workers, nil)
 }
 
 // BatchSearchWorkers is BatchSearch with an explicit concurrency cap
 // (workers <= 0 selects the tree's configured worker count).
 func (t *Tree) BatchSearchWorkers(queries [][]float64, k, workers int) ([][]Result, error) {
-	return t.BatchSearchInto(queries, k, workers, nil)
+	return t.BatchSearchInto(context.Background(), queries, k, workers, nil)
 }
 
 // BatchSearchInto is BatchSearchWorkers with caller-owned output
@@ -62,7 +63,11 @@ func (t *Tree) BatchSearchWorkers(queries [][]float64, k, workers int) ([][]Resu
 // (the BatchSearch contract).
 //
 // With workers == 1 the batch runs inline on this goroutine with no fan-out.
-func (t *Tree) BatchSearchInto(queries [][]float64, k, workers int, dst [][]Result) ([][]Result, error) {
+//
+// ctx is checked at batch granularity — before every query is started — so
+// cancelling it stops a large batch mid-flight with ctx's error. A
+// non-cancellable ctx (context.Background()) adds no work to the hot loop.
+func (t *Tree) BatchSearchInto(ctx context.Context, queries [][]float64, k, workers int, dst [][]Result) ([][]Result, error) {
 	if len(queries) == 0 {
 		return nil, fmt.Errorf("index: empty query batch")
 	}
@@ -88,11 +93,19 @@ func (t *Tree) BatchSearchInto(queries [][]float64, k, workers int, dst [][]Resu
 		out = dst[:len(queries)]
 	}
 
+	cancellable := ctx.Done() != nil
+
 	if workers == 1 {
 		// Explicit Puts rather than defer: the deferred interface conversion
 		// is the one heap allocation this path would otherwise make.
 		s := t.serialSearcher()
 		for i, q := range queries {
+			if cancellable {
+				if err := ctx.Err(); err != nil {
+					t.searchers.Put(s)
+					return nil, err
+				}
+			}
 			res, err := s.Search(q, k)
 			if err != nil {
 				t.searchers.Put(s)
@@ -121,6 +134,12 @@ func (t *Tree) BatchSearchInto(queries [][]float64, k, workers int, dst [][]Resu
 				i := int(cursor.Add(1) - 1)
 				if i >= len(queries) {
 					return
+				}
+				if cancellable {
+					if err := ctx.Err(); err != nil {
+						errs[w] = err
+						return
+					}
 				}
 				res, err := s.Search(queries[i], k)
 				if err != nil {

@@ -1,6 +1,7 @@
 package index
 
 import (
+	"context"
 	"math/rand"
 	"runtime"
 	"testing"
@@ -118,7 +119,7 @@ func TestBatchSearchIntoReusesScaffolding(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dst, err := tr.BatchSearchInto(batchA, k, 2, nil)
+	dst, err := tr.BatchSearchInto(context.Background(), batchA, k, 2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +127,7 @@ func TestBatchSearchIntoReusesScaffolding(t *testing.T) {
 	// Second batch (smaller) into the same scaffolding: contents must equal
 	// the fresh-allocation answer, and the outer backing array must be the
 	// same one.
-	dst2, err := tr.BatchSearchInto(batchB, k, 2, dst)
+	dst2, err := tr.BatchSearchInto(context.Background(), batchB, k, 2, dst)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,13 +146,13 @@ func TestBatchSearchIntoReusesScaffolding(t *testing.T) {
 		return // the race detector's sync.Pool instrumentation allocates
 	}
 	for i := 0; i < 3; i++ {
-		if dst2, err = tr.BatchSearchInto(batchB, k, 1, dst2); err != nil {
+		if dst2, err = tr.BatchSearchInto(context.Background(), batchB, k, 1, dst2); err != nil {
 			t.Fatal(err)
 		}
 	}
 	avg := testing.AllocsPerRun(20, func() {
 		var err error
-		dst2, err = tr.BatchSearchInto(batchB, k, 1, dst2)
+		dst2, err = tr.BatchSearchInto(context.Background(), batchB, k, 1, dst2)
 		if err != nil {
 			t.Fatal(err)
 		}

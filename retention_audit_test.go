@@ -18,23 +18,33 @@ package repro
 // justification.
 
 import (
+	"context"
 	"go/ast"
 	"go/parser"
 	"go/token"
 	"io/fs"
+	"math/rand"
 	"path/filepath"
 	"sort"
 	"strings"
 	"testing"
+
+	"repro/sofa"
 )
 
 // ownedSliceAPIs are the method names whose results alias caller-invisible
 // pooled buffers (or, for NewStream, register callbacks that receive them).
+// The public sofa package deliberately inverts the contract — sofa.Search
+// results are caller-owned copies — but its method names stay in this map
+// so every new call site is still read once by a human: the public
+// SearchInto and the stream callbacks do alias reused memory.
 var ownedSliceAPIs = map[string]bool{
 	"Search":            true,
 	"Search1":           true, // returns a value, but callers often switch to Search
 	"SearchApproximate": true,
 	"SearchEpsilon":     true,
+	"SearchPlan":        true, // appends into caller dst — worker-owned when dst is pooled scratch
+	"SearchInto":        true, // public escape hatch: results overwritten by the next call with the same buf
 	"NewStream":         true, // callback res slices are worker-owned
 }
 
@@ -43,17 +53,19 @@ var ownedSliceAPIs = map[string]bool{
 // retain a searcher-owned slice across queries.
 var auditedCallers = map[string]map[string]string{
 	"cmd/sofa-query/main.go": {
-		"Search":    "prints each result batch before the next query on the same searcher",
-		"NewStream": "callback prints res inline; nothing escapes the callback",
+		"SearchInto": "public sofa API; prints each result batch before the next call reuses buf",
+		"NewStream":  "public sofa API; callback prints res inline, nothing escapes the callback",
 	},
 	"examples/quickstart/main.go": {
-		"Search": "one-shot searcher; results printed immediately",
+		"Search": "public sofa.Search: results are caller-owned copies",
 	},
 	"examples/seismic/main.go": {
-		"Search1": "value result (index.Result), no slice to retain",
+		"Search1":    "scan baseline value result (index.Result), no slice to retain",
+		"SearchInto": "public sofa API; buf[0].Dist scalar extracted before the next call",
 	},
 	"examples/vectors/main.go": {
-		"Search": "prints inside the loop before the searcher's next query",
+		"Search":     "public sofa.Search: results are caller-owned copies",
+		"SearchInto": "public sofa API; printed/validated inside the loop before the next call reuses buf",
 	},
 	"internal/bench/approx_experiment.go": {
 		"Search":            "extracts r[0].Dist scalar only",
@@ -73,12 +85,19 @@ var auditedCallers = map[string]map[string]string{
 		"Search":            "SearchBatch copies (append(nil, res...)) before the pooled searcher is reused; Search1 extracts res[0]; single-shard Search forwards the documented owned-slice contract",
 		"SearchApproximate": "forwards the owned-slice contract (documented)",
 		"SearchEpsilon":     "forwards the owned-slice contract (documented)",
+		"SearchPlan":        "SearchBatchPlan passes dst=nil, so each query's results are freshly allocated and caller-owned",
 	},
 	"internal/core/core.go": {
 		"NewStream": "doc example in package comment context; Index.NewStream forwards the callback-scoped contract",
 	},
 	"internal/core/stream.go": {
-		"Search": "worker passes res straight to the callback; contract documents callback scope",
+		"SearchPlan": "worker appends into its own pooled resBuf and passes it straight to the callback; contract documents callback scope",
+	},
+	"sofa/query.go": {
+		"SearchPlan": "dst is nil (Search: fresh caller-owned slice) or the caller's own buf (SearchInto) — never searcher scratch; see TestSofaPublicOwnership",
+	},
+	"sofa/stream.go": {
+		"NewStream": "public wrapper forwarding the documented callback-scoped contract",
 	},
 	"internal/index/batch.go": {
 		"Search": "BatchSearchInto copies results into the caller buffer before the pooled searcher is reused",
@@ -153,5 +172,66 @@ func TestPooledSliceRetentionAudit(t *testing.T) {
 	sort.Strings(stale)
 	for _, s := range stale {
 		t.Errorf("stale audit entry %s (call site gone); remove it from auditedCallers", s)
+	}
+}
+
+// TestSofaPublicOwnership pins the public boundary's ownership contract
+// behaviorally: sofa.Search must COPY (its results survive any number of
+// later queries on the same index, which cycle the pooled internal
+// searchers), and only SearchInto may reuse memory — the caller's own
+// buffer, overwritten by the next call exactly like append. The pooled
+// searcher-owned slice contract this file audits therefore stops at the
+// internal packages.
+func TestSofaPublicOwnership(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	data := sofa.NewMatrix(400, 32)
+	for i := 0; i < data.Len(); i++ {
+		row := data.Row(i)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+	}
+	data.ZNormalizeAll()
+	ix, err := sofa.Build(data, sofa.SampleRate(0.5), sofa.LeafSize(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	query := func() []float64 {
+		q := make([]float64, 32)
+		for j := range q {
+			q[j] = rng.NormFloat64()
+		}
+		return q
+	}
+
+	res, err := ix.Search(ctx, sofa.Query{Series: query(), K: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := append([]sofa.Result(nil), res...)
+	for i := 0; i < 30; i++ {
+		if _, err := ix.Search(ctx, sofa.Query{Series: query(), K: 8}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ix.SearchInto(ctx, sofa.Query{Series: query(), K: 8}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range snapshot {
+		if res[i] != snapshot[i] {
+			t.Fatalf("sofa.Search leaked a pooled slice: result %d mutated by later queries (%v != %v)", i, res[i], snapshot[i])
+		}
+	}
+
+	// SearchInto, by contrast, documents overwrite semantics on the
+	// caller's buffer — verify it aliases that buffer and nothing else.
+	buf := make([]sofa.Result, 0, 8)
+	r1, err := ix.SearchInto(ctx, sofa.Query{Series: query(), K: 8}, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &r1[0] != &buf[:1][0] {
+		t.Fatal("SearchInto did not append into the caller's buffer")
 	}
 }

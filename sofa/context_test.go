@@ -1,0 +1,144 @@
+package sofa
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// A pre-cancelled context must be reported before any shard work happens,
+// from every execution engine. (That no shard is seeded is asserted at the
+// internal layer, where the work counters are visible; here the contract is
+// the error identity and that the index stays usable afterwards.)
+func TestPreCancelledContext(t *testing.T) {
+	ix, _, rng := buildFixture(t, 400, 32, Shards(2))
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	q := Query{Series: randQuery(rng, 32), K: 3}
+
+	if _, err := ix.Search(cancelled, q); !errors.Is(err, context.Canceled) {
+		t.Errorf("Search: got %v, want context.Canceled", err)
+	}
+	if _, err := ix.SearchInto(cancelled, q, nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("SearchInto: got %v, want context.Canceled", err)
+	}
+	qs := make([]Query, 64)
+	for i := range qs {
+		qs[i] = Query{Series: randQuery(rng, 32), K: 3}
+	}
+	for _, workers := range []int{1, 4} {
+		if _, err := ix.SearchBatch(cancelled, qs, workers); !errors.Is(err, context.Canceled) {
+			t.Errorf("SearchBatch(workers=%d): got %v, want context.Canceled", workers, err)
+		}
+	}
+
+	// The index must remain fully usable after cancelled calls returned
+	// pooled searchers.
+	if _, err := ix.Search(context.Background(), q); err != nil {
+		t.Fatalf("index unusable after cancelled queries: %v", err)
+	}
+}
+
+// A short context deadline aborts a large batch mid-flight: the batch is
+// sized to take far longer than the deadline, and the error must be the
+// context's. Run with -race in CI, this also exercises the cancellation
+// paths of the batch workers and the shard fan-out for data races.
+func TestDeadlineAbortsBatchMidFlight(t *testing.T) {
+	ix, _, rng := buildFixture(t, 2000, 64, Shards(2))
+	// A batch far too big to finish inside the deadline on any machine:
+	// cancellation must cut it short.
+	qs := make([]Query, 20000)
+	for i := range qs {
+		qs[i] = Query{Series: randQuery(rng, 64), K: 10}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := ix.SearchBatch(ctx, qs, 2)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want context.DeadlineExceeded", err)
+	}
+	// Generous bound: the full batch takes orders of magnitude longer than
+	// the deadline, so finishing quickly proves the abort was mid-flight.
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("batch took %v after a 15ms deadline — cancellation did not stop the work", elapsed)
+	}
+}
+
+// Cancelling a context mid-batch (not just a deadline) aborts with
+// context.Canceled.
+func TestCancelAbortsBatch(t *testing.T) {
+	ix, _, rng := buildFixture(t, 2000, 64)
+	qs := make([]Query, 20000)
+	for i := range qs {
+		qs[i] = Query{Series: randQuery(rng, 64), K: 10}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := ix.SearchBatch(ctx, qs, 2)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("got %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("batch did not return after cancellation")
+	}
+}
+
+// One query's expired plan deadline must abort the whole batch: every
+// worker stops before its next query instead of running the remaining
+// thousands to completion (the documented first-error-aborts contract).
+func TestQueryErrorAbortsBatch(t *testing.T) {
+	ix, _, rng := buildFixture(t, 2000, 64)
+	qs := make([]Query, 20000)
+	for i := range qs {
+		qs[i] = Query{Series: randQuery(rng, 64), K: 10}
+	}
+	// An early query with an already-expired per-query deadline.
+	qs[3] = qs[3].With(Deadline(time.Now().Add(-time.Second)))
+	start := time.Now()
+	_, err := ix.SearchBatch(context.Background(), qs, 4)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("batch ran %v after an immediate per-query error — workers did not abort", elapsed)
+	}
+}
+
+// SearchInto must hand the caller's buffer back on error, so the
+// steady-state `buf, err = ix.SearchInto(...)` pattern keeps its warm
+// capacity across expected failures.
+func TestSearchIntoKeepsBufferOnError(t *testing.T) {
+	ix, _, rng := buildFixture(t, 300, 32)
+	buf := make([]Result, 0, 32)
+	expired := Query{Series: randQuery(rng, 32), K: 3}.With(Deadline(time.Now().Add(-time.Second)))
+	out, err := ix.SearchInto(context.Background(), expired, buf)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want context.DeadlineExceeded", err)
+	}
+	if cap(out) != cap(buf) || (cap(out) > 0 && &out[:1][0] != &buf[:1][0]) {
+		t.Error("SearchInto dropped the caller's buffer on error")
+	}
+	// And the buffer still works for the next query.
+	out, err = ix.SearchInto(context.Background(), Query{Series: randQuery(rng, 32), K: 3}, out)
+	if err != nil || len(out) != 3 {
+		t.Fatalf("buffer unusable after error: %d results, %v", len(out), err)
+	}
+}
+
+// A per-query Deadline option aborts a single Search once it expires.
+func TestQueryDeadlineOption(t *testing.T) {
+	ix, _, rng := buildFixture(t, 400, 32)
+	q := Query{Series: randQuery(rng, 32), K: 3}.With(Deadline(time.Now().Add(-time.Millisecond)))
+	if _, err := ix.Search(context.Background(), q); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("got %v, want context.DeadlineExceeded", err)
+	}
+}

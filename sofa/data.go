@@ -1,0 +1,56 @@
+package sofa
+
+import (
+	"fmt"
+
+	"repro/internal/distance"
+	"repro/internal/index"
+)
+
+// Matrix is a flat row-major collection of equal-length series — the input
+// to Build and SearchBatch. It is an alias of the internal matrix type, so
+// data prepared by the internal harnesses flows through the public API
+// without copying; programs using only this package need just NewMatrix or
+// FromRows plus Row and ZNormalizeAll.
+type Matrix = distance.Matrix
+
+// NewMatrix allocates a matrix for count series of the given length. Fill
+// rows in place via Row, then z-normalize with ZNormalizeAll before Build.
+func NewMatrix(count, length int) *Matrix {
+	return distance.NewMatrix(count, length)
+}
+
+// FromRows builds a Matrix by copying the given equal-length rows. No rows
+// returns ErrEmptyData; ragged or zero-length rows return
+// ErrBadSeriesLength.
+func FromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 {
+		return nil, ErrEmptyData
+	}
+	want := len(rows[0])
+	if want == 0 {
+		return nil, fmt.Errorf("%w: zero-length series", ErrBadSeriesLength)
+	}
+	m := distance.NewMatrix(len(rows), want)
+	for i, r := range rows {
+		if len(r) != want {
+			return nil, fmt.Errorf("%w: row %d has length %d, want %d", ErrBadSeriesLength, i, len(r), want)
+		}
+		copy(m.Row(i), r)
+	}
+	return m, nil
+}
+
+// Result is one answer of a similarity query. Dist is the squared
+// z-normalized Euclidean distance (take the square root at presentation
+// time).
+type Result = index.Result
+
+// TreeStats describes the aggregate index structure: subtree and leaf
+// counts, depth and leaf occupancy.
+type TreeStats = index.Stats
+
+// SearchStats reports how much work one query did — the pruning-power
+// counters behind the paper's Section V-E discussion. Request them with the
+// WithStats query option.
+type SearchStats = index.SearchStats

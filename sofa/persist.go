@@ -1,0 +1,35 @@
+package sofa
+
+import (
+	"io"
+
+	"repro/internal/core"
+)
+
+// Save writes the index to w in the versioned container format: float32
+// series data in id order, the learned summarization state, and one word
+// buffer per shard (so Load rebuilds all shard trees in parallel without
+// re-transforming).
+func Save(x *Index, w io.Writer) error { return core.Save(x.ix, w) }
+
+// SaveFile writes the index to a file; see Save.
+func SaveFile(x *Index, path string) error { return core.SaveFile(x.ix, path) }
+
+// Load reads an index previously written by Save. The shard count is part
+// of the saved index.
+func Load(r io.Reader) (*Index, error) {
+	ix, err := core.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	return newIndex(ix), nil
+}
+
+// LoadFile reads an index from a file; see Load.
+func LoadFile(path string) (*Index, error) {
+	ix, err := core.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return newIndex(ix), nil
+}

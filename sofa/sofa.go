@@ -1,0 +1,245 @@
+// Package sofa is the public API of the SOFA reproduction: exact and
+// approximate k-nearest-neighbor similarity search over collections of
+// equal-length data series (and fixed-dimension vectors) under z-normalized
+// Euclidean distance.
+//
+// SOFA (ICDE 2025) pairs the MESSI-style parallel in-memory tree index with
+// a learned symbolic summarization — SFA, Fourier coefficients selected by
+// variance and quantized with bins learned from the data — which keeps its
+// pruning power on the high-frequency series where classical mean-based
+// iSAX summarizations collapse. This package fronts the full reproduction
+// stack: the learned quantization, the cache-conscious zero-allocation
+// query engine with runtime-dispatched SIMD distance kernels, a sharded
+// collection layer whose shards prune against one shared best-so-far (so a
+// sharded index answers exactly like a single tree), batched and streaming
+// execution, and shard-aware persistence.
+//
+// Construction uses functional options:
+//
+//	ix, err := sofa.Build(data, sofa.SFA(), sofa.Shards(4), sofa.LeafSize(512))
+//
+// Queries are values executed under a context:
+//
+//	res, err := ix.Search(ctx, sofa.Query{Series: q, K: 10})
+//
+// with per-query options for approximate modes and deadlines:
+//
+//	q := sofa.Query{Series: series, K: 5}.With(sofa.Epsilon(0.1), sofa.Deadline(t))
+//
+// Search returns caller-owned results; SearchInto is the allocation-free
+// variant for steady-state loops; SearchBatch and NewStream provide
+// throughput-oriented execution. Everything under internal/ (including
+// internal/core) is unstable implementation detail — import only this
+// package.
+package sofa // import "repro/sofa"
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/sfa"
+)
+
+// Sentinel errors returned (possibly wrapped with detail) by Build and the
+// query paths. Match them with errors.Is.
+var (
+	// ErrEmptyData is returned when a build or batch is given no series.
+	ErrEmptyData = errors.New("sofa: empty data")
+	// ErrBadSeriesLength is returned when a series' length does not match
+	// the collection (ragged build rows, wrong query length).
+	ErrBadSeriesLength = errors.New("sofa: series length mismatch")
+	// ErrBadK is returned when a query asks for fewer than one neighbor.
+	ErrBadK = errors.New("sofa: k must be at least 1")
+	// ErrBadEpsilon is returned when a query's epsilon is negative.
+	ErrBadEpsilon = errors.New("sofa: epsilon must not be negative")
+	// ErrBadConfig is returned by Build for invalid option values.
+	ErrBadConfig = errors.New("sofa: invalid configuration")
+	// ErrStreamClosed is returned by Stream.Submit after Close.
+	ErrStreamClosed = errors.New("sofa: stream is closed")
+)
+
+// Method identifies the summarization behind an index.
+type Method = core.Method
+
+// The two supported summarizations: the paper's contribution and its
+// state-of-the-art baseline over the identical tree.
+const (
+	MethodSOFA  Method = core.SOFA
+	MethodMESSI Method = core.MESSI
+)
+
+// config collects the option values; zero values select the paper's
+// defaults (word length 16, alphabet 256, leaf capacity 1024, SFA with
+// equi-width binning and variance selection learned from a 1% sample, one
+// shard).
+type config struct {
+	cfg core.Config
+}
+
+// Option configures Build.
+type Option func(*config)
+
+// SFA selects the paper's index: SFA summarization (learned DFT
+// quantization) over the MESSI tree. This is the default.
+func SFA() Option { return func(c *config) { c.cfg.Method = core.SOFA } }
+
+// MESSI selects the baseline index: iSAX summarization (PAA means under
+// fixed Normal-distribution breakpoints) over the same tree.
+func MESSI() Option { return func(c *config) { c.cfg.Method = core.MESSI } }
+
+// WordLength sets the symbols per summarization word (default 16).
+func WordLength(l int) Option { return func(c *config) { c.cfg.WordLength = l } }
+
+// SymbolBits sets the bits per symbol (default 8, i.e. alphabet 256).
+func SymbolBits(b int) Option { return func(c *config) { c.cfg.Bits = b } }
+
+// LeafSize sets the tree leaf capacity (default 1024).
+func LeafSize(n int) Option { return func(c *config) { c.cfg.LeafCapacity = n } }
+
+// Workers sets the build/query parallelism budget across shards (default
+// GOMAXPROCS).
+func Workers(n int) Option { return func(c *config) { c.cfg.Workers = n } }
+
+// Shards sets the number of index shards (default 1). Each shard is an
+// independent tree over a round-robin 1/S slice of the series; searches
+// merge through a shared best-so-far, so results are identical to a
+// single-shard build.
+func Shards(s int) Option { return func(c *config) { c.cfg.Shards = s } }
+
+// NoLeafBlocks disables the per-leaf contiguous word blocks, roughly
+// halving word memory at a refinement-locality cost — for
+// memory-constrained builds (e.g. many shards per machine).
+func NoLeafBlocks() Option { return func(c *config) { c.cfg.NoLeafBlocks = true } }
+
+// EquiDepthBinning switches SFA to equi-depth (equal sample mass) bins,
+// the original SFA strategy; the default is the paper's equi-width bins.
+func EquiDepthBinning() Option { return func(c *config) { c.cfg.Binning = sfa.EquiDepth } }
+
+// FirstCoefficients switches SFA coefficient selection to the classical
+// low-pass choice (first l values); the default keeps the l values with
+// the highest variance over the sample.
+func FirstCoefficients() Option { return func(c *config) { c.cfg.Selection = sfa.FirstCoefficients } }
+
+// SampleRate sets the fraction of the collection the SFA bins are learned
+// from (default 0.01).
+func SampleRate(r float64) Option { return func(c *config) { c.cfg.SampleRate = r } }
+
+// MaxCoeffs sets the number of candidate complex DFT coefficients SFA
+// selects from (default 16).
+func MaxCoeffs(m int) Option { return func(c *config) { c.cfg.MaxCoeffs = m } }
+
+// Seed sets the sampling seed for the SFA learning stage (default 1).
+func Seed(s int64) Option { return func(c *config) { c.cfg.Seed = s } }
+
+// validate rejects option values Build must not silently default.
+func (c *config) validate() error {
+	cfg := c.cfg
+	switch {
+	case cfg.WordLength < 0:
+		return fmt.Errorf("%w: word length %d", ErrBadConfig, cfg.WordLength)
+	case cfg.Bits < 0 || cfg.Bits > 8:
+		return fmt.Errorf("%w: symbol bits %d (want 1..8)", ErrBadConfig, cfg.Bits)
+	case cfg.LeafCapacity < 0:
+		return fmt.Errorf("%w: leaf size %d", ErrBadConfig, cfg.LeafCapacity)
+	case cfg.Workers < 0:
+		return fmt.Errorf("%w: workers %d", ErrBadConfig, cfg.Workers)
+	case cfg.Shards < 0:
+		return fmt.Errorf("%w: shards %d", ErrBadConfig, cfg.Shards)
+	case cfg.SampleRate < 0 || cfg.SampleRate > 1:
+		return fmt.Errorf("%w: sample rate %v (want 0..1)", ErrBadConfig, cfg.SampleRate)
+	case cfg.MaxCoeffs < 0:
+		return fmt.Errorf("%w: max coefficients %d", ErrBadConfig, cfg.MaxCoeffs)
+	}
+	return nil
+}
+
+// Index is a built similarity index over a fixed collection of series. It
+// is immutable (apart from Insert, which requires external synchronization)
+// and safe for concurrent Search/SearchInto/SearchBatch/stream use from any
+// number of goroutines.
+type Index struct {
+	ix *core.Index
+
+	// searchers pools per-query engines with full intra-query parallelism
+	// (shards fan out, and each shard tree applies its worker budget), so
+	// Search and SearchInto are both concurrent-safe and allocation-free in
+	// steady state.
+	searchers sync.Pool
+}
+
+// Build constructs an index over data using the paper's defaults, adjusted
+// by options. The collection should be z-normalized first
+// (data.ZNormalizeAll()): all similarity in this library is z-normalized
+// Euclidean distance, and queries are normalized internally under that
+// contract.
+//
+// Option validation failures return errors wrapping ErrBadConfig; an empty
+// collection returns ErrEmptyData.
+func Build(data *Matrix, opts ...Option) (*Index, error) {
+	if data == nil || data.Len() == 0 {
+		return nil, ErrEmptyData
+	}
+	var c config
+	for _, opt := range opts {
+		opt(&c)
+	}
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	ix, err := core.Build(data, c.cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	return newIndex(ix), nil
+}
+
+// newIndex wraps a built core index with the public searcher pooling.
+func newIndex(ix *core.Index) *Index {
+	x := &Index{ix: ix}
+	x.searchers.New = func() any { return ix.Collection().NewSearcher() }
+	return x
+}
+
+// Len returns the number of indexed series.
+func (x *Index) Len() int { return x.ix.Len() }
+
+// SeriesLen returns the length every indexed (and queried) series must have.
+func (x *Index) SeriesLen() int { return x.ix.SeriesLen() }
+
+// Shards returns the number of index shards.
+func (x *Index) Shards() int { return x.ix.Shards() }
+
+// Method reports whether this is a SOFA or MESSI index.
+func (x *Index) Method() Method { return x.ix.Method() }
+
+// BuildSeconds returns the total build time across the learn, transform and
+// tree phases.
+func (x *Index) BuildSeconds() float64 { return x.ix.BuildSeconds() }
+
+// Stats returns the aggregate tree-structure statistics across shards.
+func (x *Index) Stats() TreeStats { return x.ix.Stats() }
+
+// MeanSelectedCoefficient reports the mean index of the DFT coefficients
+// the learned SFA selection kept — the paper's diagnostic for how far
+// beyond the low-pass prefix variance selection reaches. ok is false for a
+// MESSI index, which has no learned selection.
+func (x *Index) MeanSelectedCoefficient() (mean float64, ok bool) {
+	q := x.ix.SFAQuantizer()
+	if q == nil {
+		return 0, false
+	}
+	return q.MeanCoefficientIndex(), true
+}
+
+// Insert adds one series to the index (z-normalized internally) and returns
+// its id. Not safe to run concurrently with searches or other inserts —
+// synchronize externally for mixed workloads. The series is summarized with
+// the index's existing learned quantization (bins are not re-learned).
+func (x *Index) Insert(series []float64) (int32, error) {
+	if len(series) != x.SeriesLen() {
+		return 0, fmt.Errorf("%w: series length %d, want %d", ErrBadSeriesLength, len(series), x.SeriesLen())
+	}
+	return x.ix.Insert(series)
+}
