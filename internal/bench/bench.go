@@ -84,6 +84,23 @@ func (c SuiteConfig) withDefaults() SuiteConfig {
 	return c
 }
 
+// snapshotData generates the benchmark snapshot dataset — the catalog's
+// first entry at the configured scale — shared by the qps and load
+// experiments and generated once per perf report. c must already be
+// defaulted (withDefaults).
+func snapshotData(c SuiteConfig) (dataset.Spec, *distance.Matrix, error) {
+	scaled := c.Datasets[0]
+	scaled.Count = int(float64(scaled.Count) * c.Scale)
+	if scaled.Count < 200 {
+		scaled.Count = 200
+	}
+	data, err := dataset.Generate(scaled, c.Seed)
+	if err != nil {
+		return scaled, nil, fmt.Errorf("generating %s: %w", scaled.Name, err)
+	}
+	return scaled, data, nil
+}
+
 // Quick returns a reduced configuration for smoke tests and testing.B
 // benchmarks: 5 representative datasets at 1/4 scale, 8 queries.
 func Quick() SuiteConfig {
@@ -216,6 +233,7 @@ func Experiments() []Experiment {
 		{"fig15", "Fig 15: critical-difference ranks (Wilcoxon-Holm)", RunFig15},
 		{"approx", "Extension: approximate and \u03b5-bounded search trade-offs (paper Sec VI future work)", RunApprox},
 		{"qps", "Extension: sharded and streaming batched-query throughput", RunQPS},
+		{"load", "Extension: index load time by container version (v2 rebuild vs v3 decode)", RunLoad},
 		{"report", "Extension: kernel + end-to-end perf snapshot (JSON via -json)", RunReport},
 	}
 }

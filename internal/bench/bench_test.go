@@ -66,8 +66,8 @@ func TestQuickConfig(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 17 {
-		t.Fatalf("%d experiments, want 17", len(exps))
+	if len(exps) != 18 {
+		t.Fatalf("%d experiments, want 18", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {
@@ -95,6 +95,21 @@ func TestRunQPS(t *testing.T) {
 	out := buf.String()
 	if !strings.Contains(out, "SOFA stream") || !strings.Contains(out, "flat batch") {
 		t.Errorf("unexpected output:\n%s", out)
+	}
+}
+
+func TestRunLoad(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tiny()
+	cfg.Shards = 2
+	if err := RunLoad(cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"v2", "v3", "re-splits", "v3 vs v2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("load output missing %q:\n%s", want, out)
+		}
 	}
 }
 
@@ -129,8 +144,14 @@ func TestRunReport(t *testing.T) {
 	if err := json.Unmarshal(blob, &rep); err != nil {
 		t.Fatalf("report JSON does not parse: %v", err)
 	}
-	if rep.PR != 3 || len(rep.Kernels) == 0 || len(rep.EndToEnd) == 0 {
+	if rep.PR != 5 || len(rep.Kernels) == 0 || len(rep.EndToEnd) == 0 {
 		t.Errorf("report incomplete: %+v", rep)
+	}
+	if len(rep.Load) != 2 || rep.Load[0].Version != 2 || rep.Load[1].Version != 3 {
+		t.Fatalf("report load rows incomplete: %+v", rep.Load)
+	}
+	if rep.Load[1].Splits != 0 {
+		t.Errorf("v3 load re-split %d leaves, want 0", rep.Load[1].Splits)
 	}
 	if rep.SIMD != "avx2" && rep.SIMD != "portable" {
 		t.Errorf("bad simd field %q", rep.SIMD)

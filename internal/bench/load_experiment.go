@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/distance"
+)
+
+// LoadRow is one container version's load-time measurement over the
+// benchmark snapshot (best of reps, to isolate the format cost from noise).
+type LoadRow struct {
+	Version       int     `json:"version"`
+	Bytes         int64   `json:"bytes"`
+	DecodeSeconds float64 `json:"decode_seconds"`
+	TreeSeconds   float64 `json:"tree_seconds"`
+	TotalSeconds  float64 `json:"total_seconds"`
+	// Splits is the number of leaf re-splits the load performed: the v2
+	// rebuild pays the full tree construction, the v3 direct decode none.
+	Splits int64 `json:"splits"`
+}
+
+// RunLoad measures cold-start cost by container version — the persistence
+// v3 experiment: the same built index (the qps snapshot's dataset at the
+// configured shard count) is saved as version 2 (words only; Load rebuilds
+// every shard tree) and version 3 (tree shape + leaf blocks; Load decodes),
+// and each container is loaded repeatedly from memory. With the file cached
+// in memory the comparison isolates what the format itself costs. Read the
+// columns honestly: at this reduced scale the total is dominated by data
+// decode (v3's raw-byte packing vs v2's gob per-element floats), while the
+// re-split column is the structural guarantee — pass a small -leaf to see
+// the v2 rebuild's split work grow the tree phase.
+func RunLoad(cfg SuiteConfig, w io.Writer) error {
+	c := cfg.withDefaults()
+	spec, data, err := snapshotData(c)
+	if err != nil {
+		return err
+	}
+	rows, buildSeconds, err := loadRows(c, data)
+	if err != nil {
+		return err
+	}
+	tw := newTable(w)
+	fmt.Fprintf(tw, "dataset\t%s\tseries\t%d\tlength\t%d\tshards\t%d\n",
+		spec.Name, spec.Count, spec.Length, c.Shards)
+	fmt.Fprintf(tw, "fresh build\t%.2fs\n", buildSeconds)
+	fmt.Fprintln(tw, "version\tMB\tdecode ms\ttree ms\ttotal ms\tre-splits")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "v%d\t%.1f\t%.1f\t%.1f\t%.1f\t%d\n",
+			r.Version, float64(r.Bytes)/(1<<20), r.DecodeSeconds*1e3, r.TreeSeconds*1e3,
+			r.TotalSeconds*1e3, r.Splits)
+	}
+	if len(rows) == 2 && rows[1].TotalSeconds > 0 {
+		fmt.Fprintf(tw, "v3 vs v2\ttotal %.2fx\ttree phase %.1fx\n",
+			rows[0].TotalSeconds/rows[1].TotalSeconds,
+			rows[0].TreeSeconds/max(rows[1].TreeSeconds, 1e-9))
+	}
+	return tw.Flush()
+}
+
+// loadRows builds the snapshot index once over the pre-generated data (see
+// snapshotData), serializes it as v2 and v3, and measures loading each
+// container (best of 3). The index is built with the default worker budget
+// — a deliberate mismatch with the qps experiment's core-swept build, since
+// load measures what a cold start on this machine would pay. c must already
+// be defaulted.
+func loadRows(c SuiteConfig, data *distance.Matrix) ([]LoadRow, float64, error) {
+	ix, err := core.Build(data, core.Config{
+		Method:       core.SOFA,
+		LeafCapacity: c.LeafCapacity,
+		Shards:       c.Shards,
+		SampleRate:   0.01,
+		Seed:         c.Seed,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	buildSeconds := ix.BuildSeconds()
+
+	versions := []int{2, 3}
+	bufs := make([]bytes.Buffer, len(versions))
+	for i, version := range versions {
+		if err := core.SaveVersion(ix, &bufs[i], version); err != nil {
+			return nil, 0, err
+		}
+	}
+	// Interleave the repetitions (warmup + best-of-3 per version, v2 and v3
+	// alternating) so heap and allocator state do not systematically favor
+	// whichever version is measured later.
+	const reps = 4
+	rows := make([]LoadRow, len(versions))
+	for r := 0; r < reps; r++ {
+		for i, version := range versions {
+			var st core.LoadStats
+			loaded, err := core.LoadWithStats(bytes.NewReader(bufs[i].Bytes()), &st)
+			if err != nil {
+				return nil, 0, err
+			}
+			if loaded.Len() != ix.Len() {
+				return nil, 0, fmt.Errorf("bench: v%d load returned %d series, want %d",
+					version, loaded.Len(), ix.Len())
+			}
+			if r == 0 {
+				continue // warmup round
+			}
+			row := LoadRow{
+				Version:       st.Version,
+				Bytes:         st.Bytes,
+				DecodeSeconds: st.DecodeSeconds,
+				TreeSeconds:   st.TreeSeconds,
+				TotalSeconds:  st.TotalSeconds,
+				Splits:        st.Splits,
+			}
+			if r == 1 || row.TotalSeconds < rows[i].TotalSeconds {
+				rows[i] = row
+			}
+		}
+	}
+	return rows, buildSeconds, nil
+}

@@ -33,7 +33,12 @@ type QPSRow struct {
 // All engines answer the identical query set exactly, so the column is a
 // like-for-like throughput comparison.
 func RunQPS(cfg SuiteConfig, w io.Writer) error {
-	rows, _, err := qpsRows(cfg)
+	c := cfg.withDefaults()
+	_, data, err := snapshotData(c)
+	if err != nil {
+		return err
+	}
+	rows, err := qpsRows(c, data)
 	if err != nil {
 		return err
 	}
@@ -45,23 +50,16 @@ func RunQPS(cfg SuiteConfig, w io.Writer) error {
 	return tw.Flush()
 }
 
-// qpsRows runs the throughput comparison and returns the raw rows plus the
-// scaled dataset spec they were measured on; RunQPS renders them as a table
-// and the perf report serializes both to JSON.
-func qpsRows(cfg SuiteConfig) ([]QPSRow, dataset.Spec, error) {
-	c := cfg.withDefaults()
+// qpsRows runs the throughput comparison over the pre-generated snapshot
+// data (see snapshotData) and returns the raw rows; RunQPS renders them as
+// a table and the perf report serializes them to JSON. c must already be
+// defaulted.
+func qpsRows(c SuiteConfig, data *distance.Matrix) ([]QPSRow, error) {
 	cores := c.CoreCounts[len(c.CoreCounts)-1]
 	const k = 10
 	spec := c.Datasets[0]
 	scaled := spec
-	scaled.Count = int(float64(spec.Count) * c.Scale)
-	if scaled.Count < 200 {
-		scaled.Count = 200
-	}
-	data, err := dataset.Generate(scaled, c.Seed)
-	if err != nil {
-		return nil, scaled, err
-	}
+	scaled.Count = data.Len()
 	// Throughput needs enough in-flight queries to saturate the workers.
 	nq := 4 * cores
 	if nq < 16 {
@@ -69,7 +67,7 @@ func qpsRows(cfg SuiteConfig) ([]QPSRow, dataset.Spec, error) {
 	}
 	queries, err := dataset.GenerateQueries(scaled, nq, c.Seed)
 	if err != nil {
-		return nil, scaled, err
+		return nil, err
 	}
 	const reps = 3
 
@@ -88,33 +86,33 @@ func qpsRows(cfg SuiteConfig) ([]QPSRow, dataset.Spec, error) {
 			Seed:         c.Seed,
 		})
 		if err != nil {
-			return nil, scaled, err
+			return nil, err
 		}
 		qps, err := timeBatchQPS(ix, queries, k, cores, reps)
 		if err != nil {
-			return nil, scaled, err
+			return nil, err
 		}
 		rows = append(rows, QPSRow{Engine: ix.Method().String() + " batch", Shards: shards, Workers: cores, QPS: qps})
 		qps, err = timeStreamQPS(ix, queries, k, cores, reps)
 		if err != nil {
-			return nil, scaled, err
+			return nil, err
 		}
 		rows = append(rows, QPSRow{Engine: ix.Method().String() + " stream", Shards: shards, Workers: cores, QPS: qps})
 
 		fl, err := flat.BuildSharded(data, shards, cores)
 		if err != nil {
-			return nil, scaled, err
+			return nil, err
 		}
 		start := time.Now()
 		for r := 0; r < reps; r++ {
 			if _, err := fl.SearchBatch(queries, k); err != nil {
-				return nil, scaled, err
+				return nil, err
 			}
 		}
 		rows = append(rows, QPSRow{Engine: "flat batch", Shards: shards, Workers: cores,
 			QPS: float64(reps*queries.Len()) / time.Since(start).Seconds()})
 	}
-	return rows, scaled, nil
+	return rows, nil
 }
 
 // timeBatchQPS measures repeated SearchBatch calls.

@@ -46,6 +46,12 @@ type PerfReport struct {
 	// SearchSteadyStateAllocs is allocations per exact Search call on a
 	// warmed pooled searcher (the PR-1 zero-allocation invariant).
 	SearchSteadyStateAllocs float64 `json:"search_steady_state_allocs"`
+
+	// Load: cold-start cost by container version on the same snapshot
+	// (Shards shards) — v2 rebuilds every shard tree from its words, v3
+	// decodes the serialized shape (zero re-splits).
+	LoadShards int       `json:"load_shards"`
+	Load       []LoadRow `json:"load"`
 }
 
 // KernelRow is one kernel variant's microbenchmark result.
@@ -73,6 +79,11 @@ func RunReport(cfg SuiteConfig, w io.Writer) error {
 		fmt.Fprintf(tw, "%s\t%d\t%d\t%.0f\n", r.Engine, r.Shards, r.Workers, r.QPS)
 	}
 	fmt.Fprintf(tw, "search steady-state allocs\t%.1f\n", rep.SearchSteadyStateAllocs)
+	fmt.Fprintf(tw, "load (S=%d)\tversion\tdecode ms\ttree ms\ttotal ms\tre-splits\n", rep.LoadShards)
+	for _, r := range rep.Load {
+		fmt.Fprintf(tw, "\tv%d\t%.1f\t%.1f\t%.1f\t%d\n",
+			r.Version, r.DecodeSeconds*1e3, r.TreeSeconds*1e3, r.TotalSeconds*1e3, r.Splits)
+	}
 	if err := tw.Flush(); err != nil {
 		return err
 	}
@@ -92,7 +103,7 @@ func RunReport(cfg SuiteConfig, w io.Writer) error {
 // BuildReport runs every measurement of the report.
 func BuildReport(cfg SuiteConfig) (*PerfReport, error) {
 	rep := &PerfReport{
-		PR:        3,
+		PR:        5,
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
@@ -101,7 +112,13 @@ func BuildReport(cfg SuiteConfig) (*PerfReport, error) {
 		SIMD:      simd.Impl(),
 	}
 	rep.Kernels = kernelRows()
-	rows, spec, err := qpsRows(cfg)
+	// The qps and load measurements share one generated snapshot dataset.
+	c := cfg.withDefaults()
+	spec, data, err := snapshotData(c)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := qpsRows(c, data)
 	if err != nil {
 		return nil, err
 	}
@@ -114,6 +131,12 @@ func BuildReport(cfg SuiteConfig) (*PerfReport, error) {
 		return nil, err
 	}
 	rep.SearchSteadyStateAllocs = allocs
+	loads, _, err := loadRows(c, data)
+	if err != nil {
+		return nil, err
+	}
+	rep.Load = loads
+	rep.LoadShards = c.Shards
 	return rep, nil
 }
 

@@ -244,6 +244,17 @@ func (c *Collection) Stats() index.Stats {
 	return agg
 }
 
+// SplitCount sums the leaf splits every shard tree has performed — zero for
+// a collection decoded from a version-3 container, the full build's count
+// otherwise. Surfaced through LoadStats as the no-re-split proof.
+func (c *Collection) SplitCount() int64 {
+	var n int64
+	for _, t := range c.shards {
+		n += t.SplitCount()
+	}
+	return n
+}
+
 // CheckInvariants verifies every shard tree's structural invariants.
 func (c *Collection) CheckInvariants() error {
 	for i, t := range c.shards {

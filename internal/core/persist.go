@@ -2,11 +2,14 @@ package core
 
 import (
 	"bufio"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"os"
+	"time"
 
 	"repro/internal/distance"
 	"repro/internal/index"
@@ -20,8 +23,15 @@ import (
 //
 // Version 1 stored a single word buffer (Words); version 2 stores the shard
 // count plus one word buffer per shard in shard-local row order, which lets
-// Load rebuild every shard tree in parallel. Version-1 files load as a
-// single-shard collection.
+// Load rebuild every shard tree in parallel; version 3 additionally stores
+// each shard's finalized tree shape and leaf refinement blocks, so Load
+// reconstructs every tree by direct decode — no re-bucketing, no
+// re-splitting — and re-encodes the bulk payloads (series data, shape
+// streams) as raw little-endian bytes, which gob transfers as single block
+// copies instead of per-element decodes. Version-1 files load as a
+// single-shard collection; version-2 files re-split from their words. All
+// three versions remain loadable (the compatibility promise the
+// persist-compat CI job enforces).
 type savedIndex struct {
 	Version      int
 	Method       Method
@@ -30,27 +40,187 @@ type savedIndex struct {
 	LeafCapacity int
 	SeriesLen    int
 	Count        int
-	Data         []float32
-	Words        []byte // version 1 only
+	Data         []float32 // versions 1-2; version 3 packs DataBytes instead
+	Words        []byte    // version 1 only
 	SFA          *sfa.State
 
 	// Version 2 fields.
 	Shards       int
 	ShardWords   [][]byte
 	NoLeafBlocks bool
+
+	// Version 3 fields.
+	DataBytes   []byte // raw little-endian float32, global id order
+	ShardShapes []packedShape
+	// Checksum is CRC-32C over every payload buffer (data, shard words,
+	// shape streams). gob framing only detects corruption that breaks its
+	// structure; the checksum catches bit flips inside the payloads, which
+	// would otherwise load cleanly and silently change query answers.
+	Checksum uint32
 }
 
-const savedIndexVersion = 2
+// payloadChecksum hashes everything the container stores except the
+// checksum itself, in fixed order: the header scalars (a flipped Method or
+// WordLength is as answer-corrupting as flipped data), the SFA learned
+// tables, and the payload buffers.
+func payloadChecksum(s *savedIndex) uint32 {
+	h := crc32.New(castagnoli)
+	var b [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+	put(uint64(s.Version))
+	put(uint64(s.Method))
+	put(uint64(s.WordLength))
+	put(uint64(s.Bits))
+	put(uint64(s.LeafCapacity))
+	put(uint64(s.SeriesLen))
+	put(uint64(s.Count))
+	put(uint64(s.Shards))
+	if s.NoLeafBlocks {
+		put(1)
+	} else {
+		put(0)
+	}
+	if s.SFA != nil {
+		put(uint64(s.SFA.N))
+		put(uint64(s.SFA.L))
+		put(uint64(s.SFA.Bits))
+		put(uint64(s.SFA.NCoeffs))
+		for _, v := range s.SFA.Indices {
+			put(uint64(v))
+		}
+		for _, v := range s.SFA.Variances {
+			put(math.Float64bits(v))
+		}
+		for _, v := range s.SFA.Weights {
+			put(math.Float64bits(v))
+		}
+		for _, bps := range s.SFA.Breakpoints {
+			put(uint64(len(bps)))
+			for _, v := range bps {
+				put(math.Float64bits(v))
+			}
+		}
+	}
+	h.Write(s.DataBytes)
+	for _, w := range s.ShardWords {
+		h.Write(w)
+	}
+	for _, p := range s.ShardShapes {
+		h.Write([]byte{p.RootBits})
+		h.Write(p.RootKeys)
+		h.Write(p.Splits)
+		h.Write(p.LeafCounts)
+		h.Write(p.LeafNoSplit)
+		h.Write(p.IDs)
+		h.Write(p.LeafBlocks)
+	}
+	return h.Sum32()
+}
 
-// Save serializes the index (summarization tables, per-shard words and
-// data) to w. The tree structures themselves are not stored: each shard is
-// rebuilt deterministically from its words on Load, in parallel across
-// shards, which is cheap relative to the transform.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// packedShape is an index.TreeShape with every stream packed into raw
+// little-endian bytes. gob decodes []byte with one block copy but pays a
+// per-element decode for typed slices — on a 20k-series container the
+// difference is what keeps the v3 load I/O-bound rather than gob-bound.
+type packedShape struct {
+	RootBits    uint8  // root fan-out width of the saved tree
+	RootKeys    []byte // 8 bytes per key
+	Splits      []byte // 2 bytes per node (int16)
+	LeafCounts  []byte // 4 bytes per leaf (int32)
+	LeafNoSplit []byte // 1 byte per leaf
+	IDs         []byte // 4 bytes per series (int32)
+	LeafBlocks  []byte // as in TreeShape; empty means no blocks
+}
+
+func packShape(s index.TreeShape) packedShape {
+	p := packedShape{
+		RootBits:    uint8(s.RootBits),
+		RootKeys:    make([]byte, 8*len(s.RootKeys)),
+		Splits:      make([]byte, 2*len(s.Splits)),
+		LeafCounts:  make([]byte, 4*len(s.LeafCounts)),
+		LeafNoSplit: make([]byte, len(s.LeafNoSplit)),
+		IDs:         make([]byte, 4*len(s.IDs)),
+		LeafBlocks:  s.LeafBlocks,
+	}
+	for i, k := range s.RootKeys {
+		binary.LittleEndian.PutUint64(p.RootKeys[8*i:], k)
+	}
+	for i, v := range s.Splits {
+		binary.LittleEndian.PutUint16(p.Splits[2*i:], uint16(v))
+	}
+	for i, v := range s.LeafCounts {
+		binary.LittleEndian.PutUint32(p.LeafCounts[4*i:], uint32(v))
+	}
+	for i, b := range s.LeafNoSplit {
+		if b {
+			p.LeafNoSplit[i] = 1
+		}
+	}
+	for i, v := range s.IDs {
+		binary.LittleEndian.PutUint32(p.IDs[4*i:], uint32(v))
+	}
+	return p
+}
+
+func unpackShape(p packedShape) (index.TreeShape, error) {
+	if len(p.RootKeys)%8 != 0 || len(p.Splits)%2 != 0 || len(p.LeafCounts)%4 != 0 || len(p.IDs)%4 != 0 {
+		return index.TreeShape{}, fmt.Errorf("core: misaligned packed tree shape")
+	}
+	s := index.TreeShape{
+		RootBits:    int(p.RootBits),
+		RootKeys:    make([]uint64, len(p.RootKeys)/8),
+		Splits:      make([]int16, len(p.Splits)/2),
+		LeafCounts:  make([]int32, len(p.LeafCounts)/4),
+		LeafNoSplit: make([]bool, len(p.LeafNoSplit)),
+		IDs:         make([]int32, len(p.IDs)/4),
+	}
+	if len(p.LeafBlocks) > 0 {
+		s.LeafBlocks = p.LeafBlocks
+	}
+	for i := range s.RootKeys {
+		s.RootKeys[i] = binary.LittleEndian.Uint64(p.RootKeys[8*i:])
+	}
+	for i := range s.Splits {
+		s.Splits[i] = int16(binary.LittleEndian.Uint16(p.Splits[2*i:]))
+	}
+	for i := range s.LeafCounts {
+		s.LeafCounts[i] = int32(binary.LittleEndian.Uint32(p.LeafCounts[4*i:]))
+	}
+	for i, b := range p.LeafNoSplit {
+		s.LeafNoSplit[i] = b != 0
+	}
+	for i := range s.IDs {
+		s.IDs[i] = int32(binary.LittleEndian.Uint32(p.IDs[4*i:]))
+	}
+	return s, nil
+}
+
+const savedIndexVersion = 3
+
+// Save serializes the index to w in the current container version (3):
+// summarization tables, per-shard words and data, plus each shard's
+// finalized tree shape and leaf blocks so Load is a direct decode.
 func Save(ix *Index, w io.Writer) error {
+	return SaveVersion(ix, w, savedIndexVersion)
+}
+
+// SaveVersion serializes the index in an explicit container version — 3
+// (the default: tree shapes included, O(read) load) or 2 (words only, Load
+// re-splits every shard tree). Writing old versions exists for the
+// compatibility fixtures and the load benchmark; new snapshots should use
+// Save.
+func SaveVersion(ix *Index, w io.Writer, version int) error {
+	if version != 2 && version != savedIndexVersion {
+		return fmt.Errorf("core: cannot write container version %d (supported: 2, %d)", version, savedIndexVersion)
+	}
 	col := ix.col
 	bw := bufio.NewWriterSize(w, 1<<20)
 	s := savedIndex{
-		Version:      savedIndexVersion,
+		Version:      version,
 		Method:       col.method,
 		WordLength:   col.cfg.WordLength,
 		Bits:         col.cfg.Bits,
@@ -64,16 +234,33 @@ func Save(ix *Index, w io.Writer) error {
 	for i, t := range col.shards {
 		s.ShardWords[i] = t.Words()
 	}
-	s.Data = make([]float32, col.Len()*col.SeriesLen())
-	for g := 0; g < col.Len(); g++ {
-		row := col.Row(g)
-		for j, v := range row {
-			s.Data[g*col.SeriesLen()+j] = float32(v)
+	if version >= 3 {
+		s.ShardShapes = make([]packedShape, col.Shards())
+		for i, t := range col.shards {
+			s.ShardShapes[i] = packShape(t.Shape())
+		}
+		s.DataBytes = make([]byte, col.Len()*col.SeriesLen()*4)
+		for g := 0; g < col.Len(); g++ {
+			base := g * col.SeriesLen() * 4
+			for j, v := range col.Row(g) {
+				binary.LittleEndian.PutUint32(s.DataBytes[base+4*j:], math.Float32bits(float32(v)))
+			}
+		}
+	} else {
+		s.Data = make([]float32, col.Len()*col.SeriesLen())
+		for g := 0; g < col.Len(); g++ {
+			row := col.Row(g)
+			for j, v := range row {
+				s.Data[g*col.SeriesLen()+j] = float32(v)
+			}
 		}
 	}
 	if col.sfaQ != nil {
 		st := col.sfaQ.State()
 		s.SFA = &st
+	}
+	if version >= 3 {
+		s.Checksum = payloadChecksum(&s)
 	}
 	if err := gob.NewEncoder(bw).Encode(&s); err != nil {
 		return fmt.Errorf("core: encoding index: %w", err)
@@ -94,34 +281,118 @@ func SaveFile(ix *Index, path string) error {
 	return f.Close()
 }
 
-// Load deserializes an index previously written by Save (either format
+// LoadStats reports where a Load spent its time — the introspection behind
+// the v3 "load is I/O + decode" contract.
+type LoadStats struct {
+	// Version is the container version of the loaded file.
+	Version int
+	// Bytes is the number of bytes read from the container.
+	Bytes int64
+	// DecodeSeconds covers gob decode, validation, and re-normalizing the
+	// float32 data into the per-shard matrices.
+	DecodeSeconds float64
+	// TreeSeconds is the wall-clock time of the parallel per-shard tree
+	// phase: shape decode for v3, full re-bucket + re-split for v1/v2.
+	TreeSeconds float64
+	// TotalSeconds is the whole Load call.
+	TotalSeconds float64
+	// Splits counts leaf splits performed while reconstructing the shard
+	// trees: zero for a v3 container (direct decode), the full build's
+	// split count for v1/v2 (re-split from words).
+	Splits int64
+}
+
+// countingReader counts bytes consumed from the underlying reader.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// Load deserializes an index previously written by Save (any container
 // version). The returned index answers queries identically to the one saved
 // (up to float32 round-trip of the underlying data, against which results
-// remain exact). Shard trees are rebuilt in parallel.
+// remain exact). Version-3 containers decode their shard trees directly;
+// older versions rebuild them from the saved words. Shard reconstruction is
+// parallel across shards either way.
 func Load(r io.Reader) (*Index, error) {
+	return LoadWithStats(r, nil)
+}
+
+// LoadWithStats is Load with phase timings: when st is non-nil it is filled
+// with the container version, byte count, decode/tree split and the number
+// of leaf re-splits the load performed (zero for v3).
+func LoadWithStats(r io.Reader, st *LoadStats) (*Index, error) {
+	start := time.Now()
+	cr := &countingReader{r: r}
+	br := bufio.NewReaderSize(cr, 1<<20)
 	var s savedIndex
-	if err := gob.NewDecoder(bufio.NewReaderSize(r, 1<<20)).Decode(&s); err != nil {
+	if err := gob.NewDecoder(br).Decode(&s); err != nil {
 		return nil, fmt.Errorf("core: decoding index: %w", err)
 	}
+	// Container size = bytes pulled from r minus bufio's unread read-ahead,
+	// so Bytes stays exact even when r carries trailing data (concatenated
+	// containers, network streams). gob itself consumes whole length-
+	// prefixed messages and reads no further.
+	containerBytes := cr.n - int64(br.Buffered())
 	switch s.Version {
 	case 1:
 		s.Shards = 1
 		s.ShardWords = [][]byte{s.Words}
-	case savedIndexVersion:
+	case 2, savedIndexVersion:
 		if s.Shards < 1 || len(s.ShardWords) != s.Shards {
 			return nil, fmt.Errorf("core: corrupt shard table (%d shards, %d word buffers)",
 				s.Shards, len(s.ShardWords))
 		}
+		if s.Version >= 3 && len(s.ShardShapes) != s.Shards {
+			return nil, fmt.Errorf("core: version %d container with %d tree shapes for %d shards",
+				s.Version, len(s.ShardShapes), s.Shards)
+		}
+		if s.Version >= 3 {
+			if got := payloadChecksum(&s); got != s.Checksum {
+				return nil, fmt.Errorf("core: payload checksum mismatch (%08x, header says %08x)", got, s.Checksum)
+			}
+		}
 	default:
 		return nil, fmt.Errorf("core: unsupported index version %d", s.Version)
 	}
-	if s.Count < 1 || s.SeriesLen < 1 {
-		return nil, fmt.Errorf("core: corrupt index header (%d series x %d)", s.Count, s.SeriesLen)
+	// Header sanity, before any size computation depends on it: each bound
+	// also keeps Count*SeriesLen and Count*WordLength inside int range, so a
+	// forged header cannot wrap a length check around integer overflow.
+	if s.Count < 1 || s.Count > math.MaxInt32 {
+		return nil, fmt.Errorf("core: corrupt series count %d", s.Count)
+	}
+	if s.SeriesLen < 1 {
+		return nil, fmt.Errorf("core: corrupt series length %d", s.SeriesLen)
+	}
+	if int64(s.Count)*int64(s.SeriesLen) > 1<<40 {
+		// Far beyond any container Save can produce in practice, yet small
+		// enough that every downstream size computation (x8 for float64,
+		// x4 for the packed bytes) stays inside int64.
+		return nil, fmt.Errorf("core: index dimensions %d x %d overflow", s.Count, s.SeriesLen)
+	}
+	if s.WordLength < 1 || s.WordLength > 64 {
+		return nil, fmt.Errorf("core: corrupt word length %d", s.WordLength)
+	}
+	if s.Bits < 1 || s.Bits > 8 {
+		return nil, fmt.Errorf("core: corrupt symbol bits %d", s.Bits)
+	}
+	if s.LeafCapacity < 1 {
+		return nil, fmt.Errorf("core: corrupt leaf capacity %d", s.LeafCapacity)
 	}
 	if s.Shards > s.Count {
 		return nil, fmt.Errorf("core: %d shards for %d series", s.Shards, s.Count)
 	}
-	if len(s.Data) != s.Count*s.SeriesLen {
+	if s.Version >= 3 {
+		if int64(len(s.DataBytes)) != int64(s.Count)*int64(s.SeriesLen)*4 {
+			return nil, fmt.Errorf("core: data length %d bytes, want %d", len(s.DataBytes), s.Count*s.SeriesLen*4)
+		}
+	} else if int64(len(s.Data)) != int64(s.Count)*int64(s.SeriesLen) {
 		return nil, fmt.Errorf("core: data length %d, want %d", len(s.Data), s.Count*s.SeriesLen)
 	}
 	for sh, words := range s.ShardWords {
@@ -147,12 +418,23 @@ func Load(r io.Reader) (*Index, error) {
 	}
 	for g := 0; g < s.Count; g++ {
 		row := sdata[g%s.Shards].Row(g / s.Shards)
-		src := s.Data[g*s.SeriesLen : (g+1)*s.SeriesLen]
-		for j, v := range src {
-			if f := float64(v); math.IsNaN(f) || math.IsInf(f, 0) {
-				return nil, fmt.Errorf("core: non-finite data value at offset %d", g*s.SeriesLen+j)
+		if s.Version >= 3 {
+			base := g * s.SeriesLen * 4
+			for j := 0; j < s.SeriesLen; j++ {
+				f := float64(math.Float32frombits(binary.LittleEndian.Uint32(s.DataBytes[base+4*j:])))
+				if math.IsNaN(f) || math.IsInf(f, 0) {
+					return nil, fmt.Errorf("core: non-finite data value at offset %d", g*s.SeriesLen+j)
+				}
+				row[j] = f
 			}
-			row[j] = float64(v)
+		} else {
+			src := s.Data[g*s.SeriesLen : (g+1)*s.SeriesLen]
+			for j, v := range src {
+				if f := float64(v); math.IsNaN(f) || math.IsInf(f, 0) {
+					return nil, fmt.Errorf("core: non-finite data value at offset %d", g*s.SeriesLen+j)
+				}
+				row[j] = float64(v)
+			}
 		}
 		distance.ZNormalize(row)
 	}
@@ -184,15 +466,39 @@ func Load(r io.Reader) (*Index, error) {
 		return nil, fmt.Errorf("core: unknown method %v in saved index", s.Method)
 	}
 	col.sum = sum
+	decodeSeconds := time.Since(start).Seconds()
 
-	// Rebuild every shard in parallel: re-bucket and re-split from the saved
-	// words, skipping the (expensive) summarization transform.
+	// Per-shard tree phase, parallel across shards: version 3 decodes the
+	// serialized shape directly (no splitting; the decoder re-verifies every
+	// structural invariant against the word buffer), older versions
+	// re-bucket and re-split from the saved words.
 	col.sdata = sdata
 	opts := col.shardOptions()
-	if err := col.buildShardTrees(func(i int) (*index.Tree, error) {
-		return index.BuildFromWords(col.sdata[i], sum, opts, s.ShardWords[i])
-	}); err != nil {
+	treeStart := time.Now()
+	var err error
+	if s.Version >= 3 {
+		err = col.buildShardTrees(func(i int) (*index.Tree, error) {
+			shape, err := unpackShape(s.ShardShapes[i])
+			if err != nil {
+				return nil, err
+			}
+			return index.FromShape(col.sdata[i], sum, opts, s.ShardWords[i], shape)
+		})
+	} else {
+		err = col.buildShardTrees(func(i int) (*index.Tree, error) {
+			return index.BuildFromWords(col.sdata[i], sum, opts, s.ShardWords[i])
+		})
+	}
+	if err != nil {
 		return nil, err
+	}
+	if st != nil {
+		st.Version = s.Version
+		st.Bytes = containerBytes
+		st.DecodeSeconds = decodeSeconds
+		st.TreeSeconds = time.Since(treeStart).Seconds()
+		st.TotalSeconds = time.Since(start).Seconds()
+		st.Splits = col.SplitCount()
 	}
 	return &Index{col: col, TreeSeconds: col.TreeSeconds}, nil
 }

@@ -45,7 +45,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 				t.Fatal(err)
 			}
 			for i := range a {
-				if a[i].ID != b[i].ID && math.Abs(a[i].Dist-b[i].Dist) > 1e-4*(a[i].Dist+1) {
+				if math.Abs(a[i].Dist-b[i].Dist) > 1e-4*(a[i].Dist+1) {
 					t.Fatalf("%v query %d rank %d: %+v vs %+v", method, qi, i, a[i], b[i])
 				}
 			}
@@ -102,7 +102,7 @@ func TestSaveLoadSharded(t *testing.T) {
 				t.Fatal(err)
 			}
 			for i := range a {
-				if a[i].ID != b[i].ID && math.Abs(a[i].Dist-b[i].Dist) > 1e-4*(a[i].Dist+1) {
+				if math.Abs(a[i].Dist-b[i].Dist) > 1e-4*(a[i].Dist+1) {
 					t.Fatalf("%v query %d rank %d: %+v vs %+v", method, qi, i, a[i], b[i])
 				}
 			}

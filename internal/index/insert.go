@@ -101,6 +101,9 @@ func (t *Tree) CheckInvariants() error {
 					return fmt.Errorf("leaf block has %d bytes, want %d", len(n.words), len(n.ids)*t.l)
 				}
 				for i, id := range n.ids {
+					if id < 0 || int(id) >= t.data.Len() {
+						return fmt.Errorf("leaf id %d out of range", id)
+					}
 					blockRow := n.words[i*t.l : (i+1)*t.l]
 					globalRow := t.words[int(id)*t.l : (int(id)+1)*t.l]
 					for j := range blockRow {

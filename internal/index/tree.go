@@ -86,14 +86,22 @@ type Tree struct {
 	// reuse per-worker scratch.
 	searchers sync.Pool
 
+	// splits counts successful leaf splits over the tree's lifetime (build,
+	// load, inserts). A tree decoded via FromShape performs none — the
+	// persistence v3 guarantee tests pin with SplitCount.
+	splits atomic.Int64
+
 	// BuildBreakdown records the two build phases for Fig. 7.
 	TransformSeconds float64
 	TreeSeconds      float64
 }
 
-// Build constructs the index over data (which must already be z-normalized;
-// Build does not modify it) using the given summarization.
-func Build(data *distance.Matrix, sum Summarization, opts Options) (*Tree, error) {
+// newTree validates the constructor contract shared by Build,
+// BuildFromWords and FromShape, and allocates the tree skeleton they fill.
+// words is the full-cardinality word matrix to retain (row-major,
+// data.Len() x segments); nil allocates an empty one for Build to compute
+// into.
+func newTree(data *distance.Matrix, sum Summarization, opts Options, words []byte) (*Tree, error) {
 	if data == nil || data.Len() == 0 {
 		return nil, fmt.Errorf("index: cannot build over empty data")
 	}
@@ -105,16 +113,30 @@ func Build(data *distance.Matrix, sum Summarization, opts Options) (*Tree, error
 	if o.LeafCapacity < 1 {
 		return nil, fmt.Errorf("index: leaf capacity must be >= 1, got %d", o.LeafCapacity)
 	}
-	t := &Tree{
+	if words == nil {
+		words = make([]byte, data.Len()*l)
+	} else if len(words) != data.Len()*l {
+		return nil, fmt.Errorf("index: words length %d, want %d", len(words), data.Len()*l)
+	}
+	return &Tree{
 		sum:      sum,
 		opts:     o,
 		data:     data,
-		words:    make([]byte, data.Len()*l),
+		words:    words,
 		l:        l,
 		maxBits:  sum.MaxBits(),
 		rootBits: rootFanoutBits(data.Len(), o.LeafCapacity, l),
 		root:     make(map[uint64]*node),
 		gather:   newGatherTables(sum),
+	}, nil
+}
+
+// Build constructs the index over data (which must already be z-normalized;
+// Build does not modify it) using the given summarization.
+func Build(data *distance.Matrix, sum Summarization, opts Options) (*Tree, error) {
+	t, err := newTree(data, sum, opts, nil)
+	if err != nil {
+		return nil, err
 	}
 	start := time.Now()
 	if err := t.buildWords(); err != nil {
@@ -364,8 +386,14 @@ func (t *Tree) split(leaf *node) bool {
 	leaf.children = [2]*node{kids[0], kids[1]}
 	leaf.ids = nil
 	leaf.words = nil
+	t.splits.Add(1)
 	return true
 }
+
+// SplitCount reports how many leaf splits the tree has performed since it
+// was created — the test hook behind the persistence contract that a
+// shape-decoded load (FromShape) re-splits nothing.
+func (t *Tree) SplitCount() int64 { return t.splits.Load() }
 
 // Len returns the number of indexed series.
 func (t *Tree) Len() int { return t.data.Len() }
@@ -420,35 +448,17 @@ func (t *Tree) Stats() Stats {
 // which is deterministic given the words and options. words is row-major
 // (data.Len() x sum.Segments()) and is retained by the tree.
 func BuildFromWords(data *distance.Matrix, sum Summarization, opts Options, words []byte) (*Tree, error) {
-	if data == nil || data.Len() == 0 {
-		return nil, fmt.Errorf("index: cannot build over empty data")
+	if words == nil {
+		return nil, fmt.Errorf("index: words must not be nil")
 	}
-	o := opts.withDefaults()
-	l := sum.Segments()
-	if l > 64 {
-		return nil, fmt.Errorf("index: word length %d exceeds 64 (root fan-out key)", l)
-	}
-	if o.LeafCapacity < 1 {
-		return nil, fmt.Errorf("index: leaf capacity must be >= 1, got %d", o.LeafCapacity)
-	}
-	if len(words) != data.Len()*l {
-		return nil, fmt.Errorf("index: words length %d, want %d", len(words), data.Len()*l)
-	}
-	t := &Tree{
-		sum:      sum,
-		opts:     o,
-		data:     data,
-		words:    words,
-		l:        l,
-		maxBits:  sum.MaxBits(),
-		rootBits: rootFanoutBits(data.Len(), o.LeafCapacity, l),
-		root:     make(map[uint64]*node),
-		gather:   newGatherTables(sum),
+	t, err := newTree(data, sum, opts, words)
+	if err != nil {
+		return nil, err
 	}
 	start := time.Now()
 	buckets := make(map[uint64][]int32)
 	for i := 0; i < data.Len(); i++ {
-		key := t.rootKey(t.words[i*l : (i+1)*l])
+		key := t.rootKey(t.words[i*t.l : (i+1)*t.l])
 		buckets[key] = append(buckets[key], int32(i))
 	}
 	t.rootKeys = make([]uint64, 0, len(buckets))

@@ -2,23 +2,51 @@ package sofa
 
 import (
 	"io"
+	"os"
 
 	"repro/internal/core"
 )
 
-// Save writes the index to w in the versioned container format: float32
-// series data in id order, the learned summarization state, and one word
-// buffer per shard (so Load rebuilds all shard trees in parallel without
-// re-transforming).
+// LoadStats reports where a Load spent its time and what it did — the
+// persistence counterpart of the WithStats query option. DecodeSeconds
+// covers container decode and data re-normalization; TreeSeconds is the
+// parallel per-shard tree phase, which for a version-3 container is a
+// direct shape decode (Splits == 0) rather than a rebuild.
+type LoadStats = core.LoadStats
+
+// LoadOption configures Load/LoadFile.
+type LoadOption func(*loadConfig)
+
+type loadConfig struct {
+	stats *LoadStats
+}
+
+// WithLoadStats records the load's phase timings, container version, byte
+// count and re-split count into dst.
+func WithLoadStats(dst *LoadStats) LoadOption {
+	return func(c *loadConfig) { c.stats = dst }
+}
+
+// Save writes the index to w in the versioned container format (currently
+// version 3): float32 series data in id order, the learned summarization
+// state, one word buffer per shard, and each shard's finalized tree shape
+// with its leaf refinement blocks — so Load reconstructs every shard tree
+// by direct decode instead of rebuilding it.
 func Save(x *Index, w io.Writer) error { return core.Save(x.ix, w) }
 
 // SaveFile writes the index to a file; see Save.
 func SaveFile(x *Index, path string) error { return core.SaveFile(x.ix, path) }
 
-// Load reads an index previously written by Save. The shard count is part
-// of the saved index.
-func Load(r io.Reader) (*Index, error) {
-	ix, err := core.Load(r)
+// Load reads an index previously written by Save. All container versions
+// load: version 3 by direct tree decode, versions 1 and 2 by rebuilding
+// shard trees from their saved words. The shard count is part of the saved
+// index. Pass WithLoadStats to observe the load's phase breakdown.
+func Load(r io.Reader, opts ...LoadOption) (*Index, error) {
+	var c loadConfig
+	for _, opt := range opts {
+		opt(&c)
+	}
+	ix, err := core.LoadWithStats(r, c.stats)
 	if err != nil {
 		return nil, err
 	}
@@ -26,10 +54,11 @@ func Load(r io.Reader) (*Index, error) {
 }
 
 // LoadFile reads an index from a file; see Load.
-func LoadFile(path string) (*Index, error) {
-	ix, err := core.LoadFile(path)
+func LoadFile(path string, opts ...LoadOption) (*Index, error) {
+	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	return newIndex(ix), nil
+	defer f.Close()
+	return Load(f, opts...)
 }
