@@ -234,6 +234,7 @@ func Experiments() []Experiment {
 		{"approx", "Extension: approximate and \u03b5-bounded search trade-offs (paper Sec VI future work)", RunApprox},
 		{"qps", "Extension: sharded and streaming batched-query throughput", RunQPS},
 		{"load", "Extension: index load time by container version (v2 rebuild vs v3 decode)", RunLoad},
+		{"chaos", "Extension: degraded-mode throughput, top-k coverage and ε certificates with one shard quarantined", RunChaos},
 		{"report", "Extension: kernel + end-to-end perf snapshot (JSON via -json)", RunReport},
 	}
 }

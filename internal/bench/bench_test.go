@@ -66,8 +66,8 @@ func TestQuickConfig(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 18 {
-		t.Fatalf("%d experiments, want 18", len(exps))
+	if len(exps) != 19 {
+		t.Fatalf("%d experiments, want 19", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {
@@ -113,6 +113,21 @@ func TestRunLoad(t *testing.T) {
 	}
 }
 
+func TestRunChaos(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tiny()
+	cfg.Shards = 2
+	if err := RunChaos(cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"degraded (AllowPartial)", "top-k coverage", "ε certificates"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chaos output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestRunReport(t *testing.T) {
 	// Shrink testing.Benchmark's target time so the ten kernel
 	// microbenchmarks don't dominate the test suite; restore whatever the
@@ -144,8 +159,13 @@ func TestRunReport(t *testing.T) {
 	if err := json.Unmarshal(blob, &rep); err != nil {
 		t.Fatalf("report JSON does not parse: %v", err)
 	}
-	if rep.PR != 5 || len(rep.Kernels) == 0 || len(rep.EndToEnd) == 0 {
+	if rep.PR != 6 || len(rep.Kernels) == 0 || len(rep.EndToEnd) == 0 {
 		t.Errorf("report incomplete: %+v", rep)
+	}
+	if rep.Chaos == nil || rep.Chaos.Queries == 0 || rep.Chaos.HealthyQPS <= 0 || rep.Chaos.DegradedQPS <= 0 {
+		t.Errorf("report chaos section incomplete: %+v", rep.Chaos)
+	} else if got := rep.Chaos.EpsilonZero + rep.Chaos.EpsilonFinite + rep.Chaos.EpsilonInf; got != rep.Chaos.Queries {
+		t.Errorf("chaos ε counts sum to %d, want %d", got, rep.Chaos.Queries)
 	}
 	if len(rep.Load) != 2 || rep.Load[0].Version != 2 || rep.Load[1].Version != 3 {
 		t.Fatalf("report load rows incomplete: %+v", rep.Load)

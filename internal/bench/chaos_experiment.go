@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/distance"
+)
+
+// ChaosReport quantifies degraded-mode operation: the same snapshot index
+// answering the same query set healthy and with one shard quarantined
+// (the operational stand-in for a shard lost to repeated faults — the
+// fault-injection harness itself is a build-tag-gated test facility and
+// never ships in this binary). Degraded queries run under AllowPartial, so
+// the interesting columns are what that costs: throughput of the surviving
+// shards, how much of the true top-k the partial answers retain, and the
+// distribution of the live ε certificates they come with.
+type ChaosReport struct {
+	Shards           int `json:"shards"`
+	QuarantinedShard int `json:"quarantined_shard"`
+	Queries          int `json:"queries"`
+	K                int `json:"k"`
+
+	// Sustained batch throughput, healthy vs one shard down (AllowPartial).
+	HealthyQPS  float64 `json:"healthy_qps"`
+	DegradedQPS float64 `json:"degraded_qps"`
+
+	// Coverage is the fraction of the healthy top-k ids each partial answer
+	// retains (1.0 = the lost shard held none of this query's neighbors).
+	CoverageMean float64 `json:"coverage_mean"`
+	CoverageMin  float64 `json:"coverage_min"`
+
+	// The ε certificate distribution across the degraded queries: exact
+	// (ε = 0: the lost shard provably held no closer neighbor), finitely
+	// bounded, and unbounded (ε = +Inf: the lost shard's root bound cannot
+	// exclude a better neighbor). Mean/max cover the finite non-zero tail.
+	EpsilonZero       int     `json:"epsilon_zero"`
+	EpsilonFinite     int     `json:"epsilon_finite"`
+	EpsilonInf        int     `json:"epsilon_inf"`
+	EpsilonMeanFinite float64 `json:"epsilon_mean_finite"`
+	EpsilonMaxFinite  float64 `json:"epsilon_max_finite"`
+}
+
+// RunChaos measures the degraded-mode extension: quarantine one shard of
+// the snapshot index and compare AllowPartial operation against healthy
+// operation on identical queries.
+func RunChaos(cfg SuiteConfig, w io.Writer) error {
+	c := cfg.withDefaults()
+	_, data, err := snapshotData(c)
+	if err != nil {
+		return err
+	}
+	rep, err := chaosReport(c, data)
+	if err != nil {
+		return err
+	}
+	tw := newTable(w)
+	fmt.Fprintf(tw, "shards\t%d\tquarantined\tshard %d\tqueries\t%d\tk\t%d\n",
+		rep.Shards, rep.QuarantinedShard, rep.Queries, rep.K)
+	fmt.Fprintf(tw, "batch queries/s\thealthy\t%.0f\tdegraded (AllowPartial)\t%.0f\t(%.2fx)\n",
+		rep.HealthyQPS, rep.DegradedQPS, rep.DegradedQPS/math.Max(rep.HealthyQPS, 1e-9))
+	fmt.Fprintf(tw, "top-k coverage\tmean\t%.3f\tmin\t%.3f\n", rep.CoverageMean, rep.CoverageMin)
+	fmt.Fprintf(tw, "ε certificates\texact (ε=0)\t%d\tfinite\t%d\tunbounded (+Inf)\t%d\n",
+		rep.EpsilonZero, rep.EpsilonFinite, rep.EpsilonInf)
+	if rep.EpsilonFinite > 0 {
+		fmt.Fprintf(tw, "finite ε\tmean\t%.4f\tmax\t%.4f\n", rep.EpsilonMeanFinite, rep.EpsilonMaxFinite)
+	}
+	return tw.Flush()
+}
+
+// chaosReport runs the measurement over pre-generated snapshot data; c must
+// already be defaulted. Shared by RunChaos and the perf report.
+func chaosReport(c SuiteConfig, data *distance.Matrix) (*ChaosReport, error) {
+	cores := c.CoreCounts[len(c.CoreCounts)-1]
+	const k = 10
+	shards := c.Shards
+	if shards < 2 {
+		// Degraded mode needs survivors; a single-shard index has none.
+		shards = 4
+	}
+	spec := c.Datasets[0]
+	spec.Count = data.Len()
+	nq := 4 * cores
+	if nq < 16 {
+		nq = 16
+	}
+	queries, err := dataset.GenerateQueries(spec, nq, c.Seed)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := core.Build(data, core.Config{
+		Method:       core.SOFA,
+		LeafCapacity: c.LeafCapacity,
+		Workers:      cores,
+		Shards:       shards,
+		SampleRate:   0.01,
+		Seed:         c.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	const reps = 3
+	rep := &ChaosReport{Shards: shards, Queries: queries.Len(), K: k}
+
+	// Healthy baseline: batch throughput plus each query's true top-k ids
+	// (SearchBatch results are caller-owned copies).
+	healthy, err := ix.SearchBatch(queries, k, cores)
+	if err != nil {
+		return nil, err
+	}
+	rep.HealthyQPS, err = timeBatchQPS(ix, queries, k, cores, reps)
+	if err != nil {
+		return nil, err
+	}
+
+	// Lose one shard. Shard 0 always exists; which shard goes down does not
+	// change what the experiment measures.
+	col := ix.Collection()
+	if err := col.Quarantine(0); err != nil {
+		return nil, err
+	}
+
+	pqs := make([]core.PlanQuery, queries.Len())
+	for i := range pqs {
+		pqs[i] = core.PlanQuery{Series: queries.Row(i), Plan: core.Plan{K: k, AllowPartial: true}}
+	}
+	start := time.Now()
+	for r := 0; r < reps; r++ {
+		if _, err := col.SearchBatchPlan(context.Background(), pqs, cores); err != nil {
+			return nil, err
+		}
+	}
+	rep.DegradedQPS = float64(reps*queries.Len()) / time.Since(start).Seconds()
+
+	// Per-query certificates and coverage need the searcher's query meta,
+	// so this pass runs serially on one searcher.
+	s := col.NewSearcher()
+	var covSum float64
+	rep.CoverageMin = 1
+	var epsSum float64
+	for i := 0; i < queries.Len(); i++ {
+		res, err := s.SearchPlan(context.Background(), queries.Row(i), core.Plan{K: k, AllowPartial: true}, nil)
+		if err != nil {
+			return nil, fmt.Errorf("degraded query %d: %w", i, err)
+		}
+		truth := map[int32]bool{}
+		for _, r := range healthy[i] {
+			truth[r.ID] = true
+		}
+		kept := 0
+		for _, r := range res {
+			if truth[r.ID] {
+				kept++
+			}
+		}
+		cov := float64(kept) / float64(len(healthy[i]))
+		covSum += cov
+		rep.CoverageMin = math.Min(rep.CoverageMin, cov)
+		switch eps := s.LastMeta().EpsilonBound; {
+		case eps == 0:
+			rep.EpsilonZero++
+		case math.IsInf(eps, 1):
+			rep.EpsilonInf++
+		default:
+			rep.EpsilonFinite++
+			epsSum += eps
+			rep.EpsilonMaxFinite = math.Max(rep.EpsilonMaxFinite, eps)
+		}
+	}
+	rep.CoverageMean = covSum / float64(queries.Len())
+	if rep.EpsilonFinite > 0 {
+		rep.EpsilonMeanFinite = epsSum / float64(rep.EpsilonFinite)
+	}
+	return rep, nil
+}

@@ -52,6 +52,11 @@ type PerfReport struct {
 	// decodes the serialized shape (zero re-splits).
 	LoadShards int       `json:"load_shards"`
 	Load       []LoadRow `json:"load"`
+
+	// Chaos: degraded-mode operation on the same snapshot with one shard
+	// quarantined — AllowPartial throughput, top-k coverage and the ε
+	// certificate distribution.
+	Chaos *ChaosReport `json:"chaos"`
 }
 
 // KernelRow is one kernel variant's microbenchmark result.
@@ -84,6 +89,11 @@ func RunReport(cfg SuiteConfig, w io.Writer) error {
 		fmt.Fprintf(tw, "\tv%d\t%.1f\t%.1f\t%.1f\t%d\n",
 			r.Version, r.DecodeSeconds*1e3, r.TreeSeconds*1e3, r.TotalSeconds*1e3, r.Splits)
 	}
+	if ch := rep.Chaos; ch != nil {
+		fmt.Fprintf(tw, "chaos (S=%d, shard %d down)\tqps %.0f → %.0f\tcoverage mean %.3f\tε: %d exact / %d finite / %d unbounded\n",
+			ch.Shards, ch.QuarantinedShard, ch.HealthyQPS, ch.DegradedQPS,
+			ch.CoverageMean, ch.EpsilonZero, ch.EpsilonFinite, ch.EpsilonInf)
+	}
 	if err := tw.Flush(); err != nil {
 		return err
 	}
@@ -103,7 +113,7 @@ func RunReport(cfg SuiteConfig, w io.Writer) error {
 // BuildReport runs every measurement of the report.
 func BuildReport(cfg SuiteConfig) (*PerfReport, error) {
 	rep := &PerfReport{
-		PR:        5,
+		PR:        6,
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
@@ -137,6 +147,10 @@ func BuildReport(cfg SuiteConfig) (*PerfReport, error) {
 	}
 	rep.Load = loads
 	rep.LoadShards = c.Shards
+	rep.Chaos, err = chaosReport(c, data)
+	if err != nil {
+		return nil, err
+	}
 	return rep, nil
 }
 

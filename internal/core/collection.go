@@ -2,7 +2,9 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -42,6 +44,13 @@ type Collection struct {
 	sdata  []*distance.Matrix // per-shard matrices (shard s holds global ids ≡ s mod S)
 	total  int                // series across all shards
 	stride int
+
+	// health tracks per-shard fault state (panic counts, quarantine); see
+	// fault.go. len(health) == len(shards) always. A shard may have a nil
+	// tree when it was quarantined at load time (corrupt payload under
+	// LoadOptions.QuarantineCorruptShards); such shards are permanently
+	// quarantined and untrusted.
+	health []shardHealth
 
 	insertEnc index.Encoder
 
@@ -168,6 +177,7 @@ func (c *Collection) shardOptions() index.Options {
 // and Load (rebuild from saved words).
 func (c *Collection) buildShardTrees(build func(i int) (*index.Tree, error)) error {
 	c.shards = make([]*index.Tree, len(c.sdata))
+	c.health = make([]shardHealth, len(c.sdata))
 	errs := make([]error, len(c.sdata))
 	var wg sync.WaitGroup
 	for i := range c.sdata {
@@ -183,7 +193,15 @@ func (c *Collection) buildShardTrees(build func(i int) (*index.Tree, error)) err
 			return err
 		}
 	}
-	for _, t := range c.shards {
+	for i, t := range c.shards {
+		if t == nil {
+			// The build callback quarantined this shard (corrupt payload
+			// under LoadOptions.QuarantineCorruptShards): no tree, no
+			// certificate, permanently skipped.
+			c.health[i].quarantined.Store(true)
+			c.health[i].untrusted.Store(true)
+			continue
+		}
 		if t.TransformSeconds > c.TransformSeconds {
 			c.TransformSeconds = t.TransformSeconds
 		}
@@ -227,6 +245,9 @@ func (c *Collection) Stats() index.Stats {
 	var agg index.Stats
 	var depthSum, sizeSum float64
 	for _, t := range c.shards {
+		if t == nil {
+			continue
+		}
 		st := t.Stats()
 		agg.Series += st.Series
 		agg.Subtrees += st.Subtrees
@@ -250,14 +271,22 @@ func (c *Collection) Stats() index.Stats {
 func (c *Collection) SplitCount() int64 {
 	var n int64
 	for _, t := range c.shards {
+		if t == nil {
+			continue
+		}
 		n += t.SplitCount()
 	}
 	return n
 }
 
 // CheckInvariants verifies every shard tree's structural invariants.
+// Shards quarantined at load time have no tree and are skipped: the
+// collection is valid as the degraded collection it declared itself to be.
 func (c *Collection) CheckInvariants() error {
 	for i, t := range c.shards {
+		if t == nil {
+			continue
+		}
 		if err := t.CheckInvariants(); err != nil {
 			return fmt.Errorf("shard %d: %w", i, err)
 		}
@@ -270,11 +299,17 @@ func (c *Collection) CheckInvariants() error {
 // id mapping the searchers invert. Not safe to run concurrently with
 // searches or other inserts.
 func (c *Collection) Insert(series []float64) (int32, error) {
-	if c.insertEnc == nil {
-		c.insertEnc = c.shards[0].Encoder()
-	}
 	s := len(c.shards)
 	shard := c.total % s
+	// Inserting into a quarantined shard would strand the series in a tree
+	// searches skip (silent data loss); refuse instead. The round-robin id
+	// mapping cannot redirect the series elsewhere.
+	if err := c.shardGate(shard); err != nil {
+		return 0, err
+	}
+	if c.insertEnc == nil {
+		c.insertEnc = c.shards[shard].Encoder()
+	}
 	local, err := c.shards[shard].Insert(distance.ZNormalized(series), c.insertEnc)
 	if err != nil {
 		return 0, err
@@ -296,7 +331,19 @@ type Searcher struct {
 	// a single shard, where searches delegate to the tree engine directly).
 	kn     index.KNNCollector
 	resBuf []index.Result
-	errs   []error // per-shard error scratch for the parallel fan-out
+	errs   []error // per-shard fault scratch: errs[i] != nil when shard i failed
+	seeded []bool  // per-shard scratch: shard i's seed phase completed
+
+	// meta describes the last query's execution (see LastMeta).
+	meta QueryMeta
+
+	// Certificate scratch for degraded queries, lazily allocated on the
+	// first fault so healthy steady-state searches stay allocation-free. The
+	// representation is recomputed here rather than borrowed from a shard
+	// searcher, whose scratch a panic may have corrupted.
+	certEnc index.Encoder
+	certBuf []float64
+	certQR  []float64
 
 	// serial runs the shards sequentially on the calling goroutine (each
 	// shard searcher is single-threaded too); used by SearchBatch workers
@@ -309,8 +356,16 @@ type Searcher struct {
 // fans out across shards and, within each shard, across the tree's
 // configured workers.
 func (c *Collection) NewSearcher() *Searcher {
-	s := &Searcher{c: c, ss: make([]*index.Searcher, len(c.shards))}
+	s := &Searcher{
+		c:      c,
+		ss:     make([]*index.Searcher, len(c.shards)),
+		errs:   make([]error, len(c.shards)),
+		seeded: make([]bool, len(c.shards)),
+	}
 	for i, t := range c.shards {
+		if t == nil {
+			continue // quarantined at load: no tree to search
+		}
 		s.ss[i] = t.NewSearcher()
 	}
 	return s
@@ -318,11 +373,37 @@ func (c *Collection) NewSearcher() *Searcher {
 
 // newSerialSearcher creates a fully single-threaded collection searcher.
 func (c *Collection) newSerialSearcher() *Searcher {
-	s := &Searcher{c: c, ss: make([]*index.Searcher, len(c.shards)), serial: true}
+	s := &Searcher{
+		c:      c,
+		ss:     make([]*index.Searcher, len(c.shards)),
+		errs:   make([]error, len(c.shards)),
+		seeded: make([]bool, len(c.shards)),
+		serial: true,
+	}
 	for i, t := range c.shards {
+		if t == nil {
+			continue
+		}
 		s.ss[i] = t.NewSerialSearcher()
 	}
 	return s
+}
+
+// respawnShard replaces shard i's searcher after a panic: the old one's
+// scratch (queues, collector registration, tables) is in an undefined state,
+// so it is discarded rather than reused — the price of a fault, not of the
+// steady state.
+func (s *Searcher) respawnShard(i int) {
+	t := s.c.shards[i]
+	if t == nil {
+		s.ss[i] = nil
+		return
+	}
+	if s.serial {
+		s.ss[i] = t.NewSerialSearcher()
+	} else {
+		s.ss[i] = t.NewSearcher()
+	}
 }
 
 // serialSearcher checks a serial searcher out of the collection's pool.
@@ -360,6 +441,15 @@ type Plan struct {
 	// once passed. Checked at shard granularity, so an expired query stops
 	// between shard stages instead of running to completion.
 	Deadline time.Time
+	// AllowPartial accepts degraded answers: when one or more shards fail
+	// (panic, fault, or quarantine), the query returns the merged results of
+	// the surviving shards with nil error instead of failing, and
+	// Searcher.LastMeta carries the shard counts plus the ε certificate
+	// bounding the degradation. A degraded query that would return zero
+	// results still fails (with an error wrapping ErrDegraded): an empty
+	// answer certifies nothing. Cancellation and deadline expiry remain
+	// errors regardless — the caller asked the query to stop.
+	AllowPartial bool
 }
 
 // queryErr reports why in-flight query work must stop: context cancellation
@@ -392,6 +482,9 @@ func (s *Searcher) SearchPlan(ctx context.Context, query []float64, p Plan, dst 
 	if p.Epsilon < 0 {
 		return nil, fmt.Errorf("core: epsilon must be >= 0, got %v", p.Epsilon)
 	}
+	if len(query) != s.c.stride {
+		return nil, fmt.Errorf("core: query length %d, want %d", len(query), s.c.stride)
+	}
 	if err := queryErr(ctx, p.Deadline); err != nil {
 		return nil, err
 	}
@@ -399,16 +492,17 @@ func (s *Searcher) SearchPlan(ctx context.Context, query []float64, p Plan, dst 
 	if p.Approximate {
 		epsilon = 0
 	}
-	if err := s.searchShardsCtx(ctx, p.Deadline, query, p.K, epsilon, p.Approximate); err != nil {
+	if err := s.searchShardsCtx(ctx, p.Deadline, query, p.K, epsilon, p.Approximate, p.AllowPartial); err != nil {
 		return nil, err
 	}
 	return s.kn.ResultsAppend(dst), nil
 }
 
 // searchShards runs one query across every shard with no cancellation
-// point — the legacy entry kept for the context-free Search* wrappers.
+// point — the legacy entry kept for the context-free Search* wrappers, which
+// predate partial results and stay fail-fast.
 func (s *Searcher) searchShards(query []float64, k int, epsilon float64, seedOnly bool) error {
-	return s.searchShardsCtx(context.Background(), time.Time{}, query, k, epsilon, seedOnly)
+	return s.searchShardsCtx(context.Background(), time.Time{}, query, k, epsilon, seedOnly, false)
 }
 
 // searchShardsCtx runs one query across every shard: a seeding phase first
@@ -419,36 +513,52 @@ func (s *Searcher) searchShards(query []float64, k int, epsilon float64, seedOnl
 // shard the tree applies its own worker fan-out. Cancellation (ctx or
 // deadline) is checked before every per-shard stage, so a cancelled query
 // stops between shards rather than running every stage to completion.
-func (s *Searcher) searchShardsCtx(ctx context.Context, deadline time.Time, query []float64, k int, epsilon float64, seedOnly bool) error {
+//
+// Faults are contained at shard granularity: a panic or engine error inside
+// one shard's stage is recorded in s.errs[i] (and fed to the health policy —
+// see fault.go) without touching the other shards, and resolveFaults decides
+// afterwards whether the query fails (the default) or returns the
+// survivors' partial answer with an ε certificate (allowPartial).
+// Cancellation errors are never shard faults; they abort the query as
+// before.
+func (s *Searcher) searchShardsCtx(ctx context.Context, deadline time.Time, query []float64, k int, epsilon float64, seedOnly, allowPartial bool) error {
+	if len(query) != s.c.stride {
+		return fmt.Errorf("core: query length %d, want %d", len(query), s.c.stride)
+	}
 	s.kn.Reset(k)
+	s.meta = QueryMeta{}
 	if s.serial || len(s.ss) == 1 {
 		for i, sub := range s.ss {
+			s.seeded[i] = false
+			if s.errs[i] = s.c.shardGate(i); s.errs[i] != nil {
+				continue
+			}
 			if err := queryErr(ctx, deadline); err != nil {
 				return err
 			}
-			if err := sub.SeedShard(query, k, s.shardQuery(i, epsilon)); err != nil {
-				return err
+			s.errs[i] = s.seedShardSafe(i, sub, query, k, epsilon)
+			s.seeded[i] = s.errs[i] == nil
+		}
+		if !seedOnly {
+			for i, sub := range s.ss {
+				if !s.seeded[i] {
+					continue
+				}
+				if err := queryErr(ctx, deadline); err != nil {
+					return err
+				}
+				s.errs[i] = s.finishShardSafe(i, sub)
 			}
 		}
-		if seedOnly {
-			return nil
-		}
-		for _, sub := range s.ss {
-			if err := queryErr(ctx, deadline); err != nil {
-				return err
-			}
-			if err := sub.FinishShard(); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	if s.errs == nil {
-		s.errs = make([]error, len(s.ss))
+		return s.resolveFaults(query, allowPartial)
 	}
 	errs := s.errs
 	var wg sync.WaitGroup
 	for i, sub := range s.ss {
+		s.seeded[i] = false
+		if errs[i] = s.c.shardGate(i); errs[i] != nil {
+			continue
+		}
 		wg.Add(1)
 		go func(i int, sub *index.Searcher) {
 			defer wg.Done()
@@ -456,36 +566,103 @@ func (s *Searcher) searchShardsCtx(ctx context.Context, deadline time.Time, quer
 				errs[i] = err
 				return
 			}
-			errs[i] = sub.SeedShard(query, k, s.shardQuery(i, epsilon))
+			errs[i] = s.seedShardSafe(i, sub, query, k, epsilon)
+			s.seeded[i] = errs[i] == nil
 		}(i, sub)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
+	if !seedOnly {
+		var wg2 sync.WaitGroup
+		for i, sub := range s.ss {
+			if !s.seeded[i] {
+				continue
+			}
+			wg2.Add(1)
+			go func(i int, sub *index.Searcher) {
+				defer wg2.Done()
+				if err := queryErr(ctx, deadline); err != nil {
+					errs[i] = err
+					return
+				}
+				errs[i] = s.finishShardSafe(i, sub)
+			}(i, sub)
+		}
+		wg2.Wait()
+	}
+	return s.resolveFaults(query, allowPartial)
+}
+
+// seedShardSafe runs shard i's seeding stage with panic containment: a
+// panic in the engine (or one of its internal worker goroutines, which
+// forward theirs) comes back as a *PanicError, feeds the quarantine policy,
+// and costs this searcher's shard-i searcher (respawned fresh — its scratch
+// is unsafe to reuse). Engine errors are attributed to the shard. The
+// deferred recover is open-coded by the compiler, preserving the
+// allocation-free healthy path.
+func (s *Searcher) seedShardSafe(i int, sub *index.Searcher, query []float64, k int, epsilon float64) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = s.c.recordShardPanic(i, r)
+			s.respawnShard(i)
+		}
+	}()
+	if err := sub.SeedShard(query, k, s.shardQuery(i, epsilon)); err != nil {
+		return &ShardError{Shard: i, Err: err}
+	}
+	return nil
+}
+
+// finishShardSafe runs shard i's exact stage under the same containment
+// contract as seedShardSafe; a fully completed shard resets its
+// consecutive-panic count.
+func (s *Searcher) finishShardSafe(i int, sub *index.Searcher) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = s.c.recordShardPanic(i, r)
+			s.respawnShard(i)
+		}
+	}()
+	if err := sub.FinishShard(); err != nil {
+		return &ShardError{Shard: i, Err: err}
+	}
+	s.c.health[i].panics.Store(0)
+	return nil
+}
+
+// resolveFaults inspects the per-shard outcomes recorded by searchShardsCtx
+// and settles the query: cancellation errors abort it unchanged; shard
+// faults either fail it (fail-fast, the default) or are absorbed into a
+// degraded answer with meta and certificate (allowPartial) — unless nothing
+// survived, in which case the partial answer would be empty and the query
+// fails even under allowPartial.
+func (s *Searcher) resolveFaults(query []float64, allowPartial bool) error {
+	var firstFault error
+	failed := 0
+	for i := range s.ss {
+		err := s.errs[i]
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			return err
 		}
+		failed++
+		if firstFault == nil {
+			firstFault = err
+		}
 	}
-	if seedOnly {
+	s.meta.ShardsSearched = len(s.ss) - failed
+	s.meta.ShardsFailed = failed
+	if failed == 0 {
 		return nil
 	}
-	var wg2 sync.WaitGroup
-	for i, sub := range s.ss {
-		wg2.Add(1)
-		go func(i int, sub *index.Searcher) {
-			defer wg2.Done()
-			if err := queryErr(ctx, deadline); err != nil {
-				errs[i] = err
-				return
-			}
-			errs[i] = sub.FinishShard()
-		}(i, sub)
+	if !allowPartial {
+		return firstFault
 	}
-	wg2.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
+	if s.kn.Len() == 0 {
+		return firstFault
 	}
+	s.meta.EpsilonBound = s.certificate(query)
 	return nil
 }
 
@@ -503,12 +680,48 @@ func (s *Searcher) finishResults() []index.Result {
 // one collector and prune against each other's best-so-far.
 func (s *Searcher) Search(query []float64, k int) ([]index.Result, error) {
 	if len(s.ss) == 1 {
-		return s.ss[0].Search(query, k)
+		return s.searchSingleSafe(query, k, 0, false)
 	}
 	if err := s.searchShards(query, k, 0, false); err != nil {
 		return nil, err
 	}
 	return s.finishResults(), nil
+}
+
+// searchSingleSafe is the single-shard legacy fast path — a direct
+// delegation to the tree engine, skipping the cross-shard collector — under
+// the same containment contract as the sharded path: quarantine is checked
+// up front, a panic comes back as a *PanicError (feeding the health policy
+// and respawning the shard searcher), and LastMeta reflects the outcome.
+// With one shard there are no survivors to return, so every fault is an
+// error regardless of AllowPartial. The deferred recover is open-coded,
+// preserving the zero-allocation steady state.
+func (s *Searcher) searchSingleSafe(query []float64, k int, epsilon float64, approx bool) (res []index.Result, err error) {
+	if err := s.c.shardGate(0); err != nil {
+		s.meta = QueryMeta{ShardsFailed: 1, EpsilonBound: math.Inf(1)}
+		return nil, err
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			err = s.c.recordShardPanic(0, r)
+			s.respawnShard(0)
+			s.meta = QueryMeta{ShardsFailed: 1, EpsilonBound: math.Inf(1)}
+		}
+	}()
+	s.meta = QueryMeta{ShardsSearched: 1}
+	switch {
+	case approx:
+		return s.ss[0].SearchApproximate(query, k)
+	case epsilon > 0:
+		return s.ss[0].SearchEpsilon(query, k, epsilon)
+	default:
+		res, err = s.ss[0].Search(query, k)
+		if err == nil {
+			s.c.health[0].panics.Store(0)
+		}
+		return res, err
+	}
 }
 
 // Search1 returns the exact nearest neighbor.
@@ -526,7 +739,7 @@ func (s *Searcher) Search1(query []float64) (index.Result, error) {
 // upper-bound the true k-NN distances.
 func (s *Searcher) SearchApproximate(query []float64, k int) ([]index.Result, error) {
 	if len(s.ss) == 1 {
-		return s.ss[0].SearchApproximate(query, k)
+		return s.searchSingleSafe(query, k, 0, true)
 	}
 	if err := s.searchShards(query, k, 0, true); err != nil {
 		return nil, err
@@ -537,11 +750,11 @@ func (s *Searcher) SearchApproximate(query []float64, k int) ([]index.Result, er
 // SearchEpsilon returns k neighbors guaranteed within a (1+epsilon) factor
 // of the exact k-NN distances. epsilon = 0 is exact search.
 func (s *Searcher) SearchEpsilon(query []float64, k int, epsilon float64) ([]index.Result, error) {
-	if len(s.ss) == 1 {
-		return s.ss[0].SearchEpsilon(query, k, epsilon)
-	}
 	if epsilon < 0 {
 		return nil, fmt.Errorf("core: epsilon must be >= 0, got %v", epsilon)
+	}
+	if len(s.ss) == 1 {
+		return s.searchSingleSafe(query, k, epsilon, false)
 	}
 	if err := s.searchShards(query, k, epsilon, false); err != nil {
 		return nil, err
@@ -554,6 +767,9 @@ func (s *Searcher) SearchEpsilon(query []float64, k int, epsilon float64) ([]ind
 func (s *Searcher) LastStats() index.SearchStats {
 	var agg index.SearchStats
 	for _, sub := range s.ss {
+		if sub == nil {
+			continue
+		}
 		st := sub.LastStats()
 		agg.NodesVisited += st.NodesVisited
 		agg.LeavesRefined += st.LeavesRefined

@@ -83,6 +83,12 @@ type Config struct {
 	// memory-constrained builds (e.g. many shards per machine).
 	NoLeafBlocks bool
 
+	// QuarantineAfter is how many consecutive panicking queries quarantine a
+	// shard (default 3). A shard whose tree fails its invariant check after
+	// a panic is quarantined immediately regardless. See Collection's fault
+	// isolation contract (fault.go) and Plan.AllowPartial.
+	QuarantineAfter int
+
 	// SFA-only knobs (ignored for MESSI).
 	Binning    sfa.Binning   // default EquiWidth
 	Selection  sfa.Selection // default HighestVariance

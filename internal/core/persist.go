@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/distance"
+	"repro/internal/faultinject"
 	"repro/internal/index"
 	"repro/internal/sfa"
 )
@@ -28,10 +30,15 @@ import (
 // reconstructs every tree by direct decode — no re-bucketing, no
 // re-splitting — and re-encodes the bulk payloads (series data, shape
 // streams) as raw little-endian bytes, which gob transfers as single block
-// copies instead of per-element decodes. Version-1 files load as a
-// single-shard collection; version-2 files re-split from their words. All
-// three versions remain loadable (the compatibility promise the
-// persist-compat CI job enforces).
+// copies instead of per-element decodes. Version 4 restructures the
+// checksums for shard-granular fault isolation: the global checksum covers
+// only the header, the SFA tables and the series data, while each shard's
+// words + shape stream carries its own CRC — so one corrupt shard payload is
+// attributable to that shard, and LoadOptions.QuarantineCorruptShards can
+// load the healthy rest as a degraded collection instead of losing the whole
+// container. Version-1 files load as a single-shard collection; version-2
+// files re-split from their words. All four versions remain loadable (the
+// compatibility promise the persist-compat CI job enforces).
 type savedIndex struct {
 	Version      int
 	Method       Method
@@ -52,11 +59,20 @@ type savedIndex struct {
 	// Version 3 fields.
 	DataBytes   []byte // raw little-endian float32, global id order
 	ShardShapes []packedShape
-	// Checksum is CRC-32C over every payload buffer (data, shard words,
-	// shape streams). gob framing only detects corruption that breaks its
-	// structure; the checksum catches bit flips inside the payloads, which
-	// would otherwise load cleanly and silently change query answers.
+	// Checksum is CRC-32C over the payloads. gob framing only detects
+	// corruption that breaks its structure; the checksum catches bit flips
+	// inside the payloads, which would otherwise load cleanly and silently
+	// change query answers. Version 3 hashes every payload buffer (data,
+	// shard words, shape streams); version 4 hashes the header, SFA tables
+	// and data only — the per-shard payloads move to ShardChecksums so a
+	// flipped bit indicts one shard, not the container.
 	Checksum uint32
+
+	// Version 4 fields.
+	// ShardChecksums[i] is CRC-32C over shard i's words and packed shape
+	// stream, enabling shard-granular corruption attribution (and optional
+	// quarantine) at load.
+	ShardChecksums []uint32
 }
 
 // payloadChecksum hashes everything the container stores except the
@@ -105,18 +121,38 @@ func payloadChecksum(s *savedIndex) uint32 {
 		}
 	}
 	h.Write(s.DataBytes)
-	for _, w := range s.ShardWords {
-		h.Write(w)
+	// Version 4 moves the per-shard payloads out of the global hash and into
+	// ShardChecksums: a flipped bit in one shard's words must fail that
+	// shard's checksum, not the container's.
+	if s.Version < 4 {
+		for _, w := range s.ShardWords {
+			h.Write(w)
+		}
+		for _, p := range s.ShardShapes {
+			writeShapeHash(h, p)
+		}
 	}
-	for _, p := range s.ShardShapes {
-		h.Write([]byte{p.RootBits})
-		h.Write(p.RootKeys)
-		h.Write(p.Splits)
-		h.Write(p.LeafCounts)
-		h.Write(p.LeafNoSplit)
-		h.Write(p.IDs)
-		h.Write(p.LeafBlocks)
-	}
+	return h.Sum32()
+}
+
+// writeShapeHash feeds one packed shape's streams into a running hash in
+// fixed order (shared by the v3 global checksum and the v4 per-shard ones).
+func writeShapeHash(h io.Writer, p packedShape) {
+	h.Write([]byte{p.RootBits})
+	h.Write(p.RootKeys)
+	h.Write(p.Splits)
+	h.Write(p.LeafCounts)
+	h.Write(p.LeafNoSplit)
+	h.Write(p.IDs)
+	h.Write(p.LeafBlocks)
+}
+
+// shardChecksum is the version-4 per-shard CRC: shard i's word buffer plus
+// its packed shape stream.
+func shardChecksum(words []byte, p packedShape) uint32 {
+	h := crc32.New(castagnoli)
+	h.Write(words)
+	writeShapeHash(h, p)
 	return h.Sum32()
 }
 
@@ -199,25 +235,35 @@ func unpackShape(p packedShape) (index.TreeShape, error) {
 	return s, nil
 }
 
-const savedIndexVersion = 3
+const savedIndexVersion = 4
 
-// Save serializes the index to w in the current container version (3):
-// summarization tables, per-shard words and data, plus each shard's
-// finalized tree shape and leaf blocks so Load is a direct decode.
+// Save serializes the index to w in the current container version (4):
+// summarization tables, per-shard words and data, each shard's finalized
+// tree shape and leaf blocks so Load is a direct decode, and per-shard
+// payload checksums so load-time corruption is attributable to (and
+// optionally quarantined at) shard granularity.
 func Save(ix *Index, w io.Writer) error {
 	return SaveVersion(ix, w, savedIndexVersion)
 }
 
-// SaveVersion serializes the index in an explicit container version — 3
-// (the default: tree shapes included, O(read) load) or 2 (words only, Load
-// re-splits every shard tree). Writing old versions exists for the
-// compatibility fixtures and the load benchmark; new snapshots should use
-// Save.
+// SaveVersion serializes the index in an explicit container version — 4
+// (the default: tree shapes and per-shard checksums), 3 (tree shapes, one
+// global checksum) or 2 (words only, Load re-splits every shard tree).
+// Writing old versions exists for the compatibility fixtures and the load
+// benchmark; new snapshots should use Save.
 func SaveVersion(ix *Index, w io.Writer, version int) error {
-	if version != 2 && version != savedIndexVersion {
-		return fmt.Errorf("core: cannot write container version %d (supported: 2, %d)", version, savedIndexVersion)
+	if version != 2 && version != 3 && version != savedIndexVersion {
+		return fmt.Errorf("core: cannot write container version %d (supported: 2, 3, %d)", version, savedIndexVersion)
 	}
 	col := ix.col
+	for i, t := range col.shards {
+		if t == nil {
+			// A load-quarantined shard has no tree (and its saved words were
+			// corrupt): a container written without it would silently drop
+			// 1/S of the collection under healthy-looking checksums.
+			return fmt.Errorf("core: cannot save: %w", &ShardError{Shard: i, Err: ErrShardQuarantined})
+		}
+	}
 	bw := bufio.NewWriterSize(w, 1<<20)
 	s := savedIndex{
 		Version:      version,
@@ -259,6 +305,12 @@ func SaveVersion(ix *Index, w io.Writer, version int) error {
 		st := col.sfaQ.State()
 		s.SFA = &st
 	}
+	if version >= 4 {
+		s.ShardChecksums = make([]uint32, col.Shards())
+		for i := range s.ShardChecksums {
+			s.ShardChecksums[i] = shardChecksum(s.ShardWords[i], s.ShardShapes[i])
+		}
+	}
 	if version >= 3 {
 		s.Checksum = payloadChecksum(&s)
 	}
@@ -297,9 +349,25 @@ type LoadStats struct {
 	// TotalSeconds is the whole Load call.
 	TotalSeconds float64
 	// Splits counts leaf splits performed while reconstructing the shard
-	// trees: zero for a v3 container (direct decode), the full build's
+	// trees: zero for a v3+ container (direct decode), the full build's
 	// split count for v1/v2 (re-split from words).
 	Splits int64
+	// QuarantinedShards lists the shards whose payloads failed their
+	// checksums and were quarantined under
+	// LoadOptions.QuarantineCorruptShards (nil for a clean load).
+	QuarantinedShards []int
+}
+
+// LoadOptions controls degraded-mode loading.
+type LoadOptions struct {
+	// QuarantineCorruptShards accepts a version-4 container with corrupt
+	// per-shard payloads as a degraded collection: shards whose checksum
+	// fails load with no tree, permanently quarantined (searches skip them,
+	// partial-result queries report them failed with an unbounded ε, Insert
+	// and Save refuse them), while every healthy shard loads normally. The
+	// default (false) fails the whole load on any corruption, like version 3.
+	// A container whose every shard is corrupt fails to load regardless.
+	QuarantineCorruptShards bool
 }
 
 // countingReader counts bytes consumed from the underlying reader.
@@ -314,23 +382,78 @@ func (c *countingReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
+// maxReadRetries bounds the retry budget of retryReader: transient storage
+// hiccups clear within a few attempts; anything that survives the budget is
+// a real failure and must surface.
+const maxReadRetries = 3
+
+// retryReader retries reads that fail with a transient error (the net-style
+// Temporary contract, or an injected transient fault in chaos builds) under
+// a bounded exponential backoff — 1ms, 2ms, 4ms — then gives up. Reads that
+// return data alongside an error pass through untouched: io.Reader
+// semantics deliver the bytes first and the error on the next call.
+type retryReader struct {
+	r io.Reader
+}
+
+func (rr *retryReader) Read(p []byte) (int, error) {
+	delay := time.Millisecond
+	for attempt := 0; ; attempt++ {
+		if faultinject.Enabled {
+			if err := faultinject.Hook(faultinject.SitePersistRead); err != nil {
+				if faultinject.IsTransient(err) && attempt < maxReadRetries {
+					time.Sleep(delay)
+					delay *= 2
+					continue
+				}
+				return 0, err
+			}
+		}
+		n, err := rr.r.Read(p)
+		if n > 0 || err == nil || err == io.EOF {
+			return n, err
+		}
+		if !isTransientRead(err) || attempt >= maxReadRetries {
+			return n, err
+		}
+		time.Sleep(delay)
+		delay *= 2
+	}
+}
+
+// isTransientRead reports whether a read error advertises itself as worth
+// retrying.
+func isTransientRead(err error) bool {
+	var t interface{ Temporary() bool }
+	return errors.As(err, &t) && t.Temporary()
+}
+
 // Load deserializes an index previously written by Save (any container
 // version). The returned index answers queries identically to the one saved
 // (up to float32 round-trip of the underlying data, against which results
-// remain exact). Version-3 containers decode their shard trees directly;
+// remain exact). Version-3+ containers decode their shard trees directly;
 // older versions rebuild them from the saved words. Shard reconstruction is
-// parallel across shards either way.
+// parallel across shards either way. Transient read errors from r (the
+// net-style Temporary contract) are retried under a bounded backoff before
+// the load fails.
 func Load(r io.Reader) (*Index, error) {
 	return LoadWithStats(r, nil)
 }
 
 // LoadWithStats is Load with phase timings: when st is non-nil it is filled
 // with the container version, byte count, decode/tree split and the number
-// of leaf re-splits the load performed (zero for v3).
+// of leaf re-splits the load performed (zero for v3+).
 func LoadWithStats(r io.Reader, st *LoadStats) (*Index, error) {
+	return LoadWithOptions(r, LoadOptions{}, st)
+}
+
+// LoadWithOptions is LoadWithStats with degraded-mode control: see
+// LoadOptions.QuarantineCorruptShards for loading a partially corrupt
+// version-4 container as a degraded collection. st may be nil.
+func LoadWithOptions(r io.Reader, opts LoadOptions, st *LoadStats) (*Index, error) {
 	start := time.Now()
 	cr := &countingReader{r: r}
-	br := bufio.NewReaderSize(cr, 1<<20)
+	br := bufio.NewReaderSize(&retryReader{r: cr}, 1<<20)
 	var s savedIndex
 	if err := gob.NewDecoder(br).Decode(&s); err != nil {
 		return nil, fmt.Errorf("core: decoding index: %w", err)
@@ -340,11 +463,15 @@ func LoadWithStats(r io.Reader, st *LoadStats) (*Index, error) {
 	// containers, network streams). gob itself consumes whole length-
 	// prefixed messages and reads no further.
 	containerBytes := cr.n - int64(br.Buffered())
+	// corrupt marks version-4 shards whose payload checksum failed and that
+	// LoadOptions.QuarantineCorruptShards converts into load-time quarantine
+	// instead of load failure. nil for clean loads and older versions.
+	var corrupt []bool
 	switch s.Version {
 	case 1:
 		s.Shards = 1
 		s.ShardWords = [][]byte{s.Words}
-	case 2, savedIndexVersion:
+	case 2, 3, savedIndexVersion:
 		if s.Shards < 1 || len(s.ShardWords) != s.Shards {
 			return nil, fmt.Errorf("core: corrupt shard table (%d shards, %d word buffers)",
 				s.Shards, len(s.ShardWords))
@@ -353,9 +480,35 @@ func LoadWithStats(r io.Reader, st *LoadStats) (*Index, error) {
 			return nil, fmt.Errorf("core: version %d container with %d tree shapes for %d shards",
 				s.Version, len(s.ShardShapes), s.Shards)
 		}
+		if s.Version >= 4 && len(s.ShardChecksums) != s.Shards {
+			return nil, fmt.Errorf("core: version %d container with %d shard checksums for %d shards",
+				s.Version, len(s.ShardChecksums), s.Shards)
+		}
 		if s.Version >= 3 {
+			// For v3 this covers every payload; for v4 the header, SFA tables
+			// and data — the per-shard payloads are checked shard by shard
+			// below, which is what makes quarantine attributable.
 			if got := payloadChecksum(&s); got != s.Checksum {
 				return nil, fmt.Errorf("core: payload checksum mismatch (%08x, header says %08x)", got, s.Checksum)
+			}
+		}
+		if s.Version >= 4 {
+			nCorrupt := 0
+			for i := range s.ShardChecksums {
+				if shardChecksum(s.ShardWords[i], s.ShardShapes[i]) == s.ShardChecksums[i] {
+					continue
+				}
+				if !opts.QuarantineCorruptShards {
+					return nil, fmt.Errorf("core: shard %d payload checksum mismatch (load with QuarantineCorruptShards to keep the healthy shards)", i)
+				}
+				if corrupt == nil {
+					corrupt = make([]bool, s.Shards)
+				}
+				corrupt[i] = true
+				nCorrupt++
+			}
+			if nCorrupt == s.Shards {
+				return nil, fmt.Errorf("core: every shard payload failed its checksum; nothing to load")
 			}
 		}
 	default:
@@ -396,6 +549,9 @@ func LoadWithStats(r io.Reader, st *LoadStats) (*Index, error) {
 		return nil, fmt.Errorf("core: data length %d, want %d", len(s.Data), s.Count*s.SeriesLen)
 	}
 	for sh, words := range s.ShardWords {
+		if corrupt != nil && corrupt[sh] {
+			continue // quarantined payload: its bytes are not trusted enough to validate
+		}
 		shardCount := (s.Count - sh + s.Shards - 1) / s.Shards
 		if len(words) != shardCount*s.WordLength {
 			return nil, fmt.Errorf("core: shard %d words length %d, want %d",
@@ -473,20 +629,25 @@ func LoadWithStats(r io.Reader, st *LoadStats) (*Index, error) {
 	// structural invariant against the word buffer), older versions
 	// re-bucket and re-split from the saved words.
 	col.sdata = sdata
-	opts := col.shardOptions()
+	treeOpts := col.shardOptions()
 	treeStart := time.Now()
 	var err error
 	if s.Version >= 3 {
 		err = col.buildShardTrees(func(i int) (*index.Tree, error) {
+			if corrupt != nil && corrupt[i] {
+				// Quarantined at load: no tree. buildShardTrees marks the
+				// shard quarantined and untrusted.
+				return nil, nil
+			}
 			shape, err := unpackShape(s.ShardShapes[i])
 			if err != nil {
 				return nil, err
 			}
-			return index.FromShape(col.sdata[i], sum, opts, s.ShardWords[i], shape)
+			return index.FromShape(col.sdata[i], sum, treeOpts, s.ShardWords[i], shape)
 		})
 	} else {
 		err = col.buildShardTrees(func(i int) (*index.Tree, error) {
-			return index.BuildFromWords(col.sdata[i], sum, opts, s.ShardWords[i])
+			return index.BuildFromWords(col.sdata[i], sum, treeOpts, s.ShardWords[i])
 		})
 	}
 	if err != nil {
@@ -499,6 +660,7 @@ func LoadWithStats(r io.Reader, st *LoadStats) (*Index, error) {
 		st.TreeSeconds = time.Since(treeStart).Seconds()
 		st.TotalSeconds = time.Since(start).Seconds()
 		st.Splits = col.SplitCount()
+		st.QuarantinedShards = col.Quarantined()
 	}
 	return &Index{col: col, TreeSeconds: col.TreeSeconds}, nil
 }

@@ -23,7 +23,7 @@ func fuzzSeedContainers(tb testing.TB) [][]byte {
 		if err != nil {
 			tb.Fatal(err)
 		}
-		for _, v := range []int{2, 3} {
+		for _, v := range []int{2, 3, 4} {
 			var buf bytes.Buffer
 			if err := SaveVersion(ix, &buf, v); err != nil {
 				tb.Fatal(err)

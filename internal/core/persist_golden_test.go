@@ -15,7 +15,7 @@ import (
 	"repro/internal/distance"
 )
 
-// The persist-compat golden suite: small v1, v2 and v3 containers checked
+// The persist-compat golden suite: small v1–v4 containers checked
 // in under testdata/ together with the query answers they must keep
 // producing. TestPersistCompatGolden is the CI gate — it fails on any
 // format drift (a fixture stops loading) or result drift (a fixture loads
@@ -82,6 +82,7 @@ func goldenFixtureSpecs() []goldenFixtureSpec {
 		{"golden_v2.sofa", 2, Config{Method: SOFA, LeafCapacity: 16, SampleRate: 0.25, Shards: 2}},
 		{"golden_v3.sofa", 3, Config{Method: SOFA, LeafCapacity: 16, SampleRate: 0.25, Shards: 2}},
 		{"golden_v3_noblocks.sofa", 3, Config{Method: SOFA, LeafCapacity: 16, SampleRate: 0.25, NoLeafBlocks: true}},
+		{"golden_v4.sofa", 4, Config{Method: SOFA, LeafCapacity: 16, SampleRate: 0.25, Shards: 2}},
 	}
 }
 

@@ -29,7 +29,7 @@ func TestLoadV3DirectDecode(t *testing.T) {
 			if err := SaveVersion(orig, &v2buf, 2); err != nil {
 				t.Fatal(err)
 			}
-			if err := Save(orig, &v3buf); err != nil {
+			if err := SaveVersion(orig, &v3buf, 3); err != nil {
 				t.Fatal(err)
 			}
 			// v3 packs the series data as raw float32 bytes, which undercuts
@@ -263,7 +263,7 @@ func TestSaveVersionValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, v := range []int{0, 1, 4} {
+	for _, v := range []int{0, 1, 5} {
 		if err := SaveVersion(ix, &bytes.Buffer{}, v); err == nil {
 			t.Errorf("SaveVersion accepted version %d", v)
 		}

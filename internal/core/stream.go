@@ -5,9 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/index"
 )
 
@@ -48,10 +51,33 @@ type Stream struct {
 
 	nextID atomic.Uint64
 
+	// watchdog bounds how long a Submit may wait on a full channel before
+	// concluding the workers are stuck (nanoseconds; 0 blocks forever). See
+	// SetWatchdog.
+	watchdog atomic.Int64
+
 	// mu guards the closed transition: Submit holds it shared while sending
 	// so Close cannot close the channel under an in-flight send.
 	mu     sync.RWMutex
 	closed bool
+}
+
+// defaultWatchdog is the submit-side stall deadline streams start with:
+// long enough that no healthy query path ever trips it, short enough that a
+// deadlocked worker pool surfaces as ErrStreamStalled rather than a hung
+// submitter.
+const defaultWatchdog = 30 * time.Second
+
+// SetWatchdog sets how long Submit/SubmitPlan may wait for a worker to
+// accept a query once the bounded channel is full before failing with
+// ErrStreamStalled. d = 0 disables the watchdog (block indefinitely — the
+// pre-fault-isolation behaviour). Safe to call concurrently with submits;
+// in-flight waits keep the deadline they started with.
+func (st *Stream) SetWatchdog(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	st.watchdog.Store(int64(d))
 }
 
 // streamJob is one enqueued query: the id returned by Submit, a pooled copy
@@ -93,6 +119,7 @@ func (c *Collection) NewStream(k, workers int, handle func(qid uint64, res []ind
 		handle: handle,
 		jobs:   make(chan streamJob, 2*workers),
 	}
+	st.watchdog.Store(int64(defaultWatchdog))
 	st.bufs.New = func() any {
 		buf := make([]float64, c.stride)
 		return &buf
@@ -111,15 +138,44 @@ func (c *Collection) NewStream(k, workers int, handle func(qid uint64, res []ind
 func (st *Stream) worker() {
 	defer st.wg.Done()
 	s := st.c.serialSearcher()
-	defer st.c.searchers.Put(s)
+	// Deferred closure rather than a direct Put: answer replaces s after a
+	// recovered panic, and the pool must receive the replacement, never the
+	// searcher whose scratch the panic corrupted.
+	defer func() { st.c.searchers.Put(s) }()
 	for job := range st.jobs {
-		res, err := s.SearchPlan(context.Background(), *job.q, job.plan, s.resBuf[:0])
-		if err == nil {
-			s.resBuf = res
-		}
+		res, err := st.answer(&s, job)
 		st.handle(job.id, res, err)
 		st.bufs.Put(job.q)
 	}
+}
+
+// answer executes one stream job with panic containment: shard-level faults
+// are already absorbed inside SearchPlan, and anything that still escapes —
+// a fault outside any shard stage — is converted to a *PanicError delivered
+// through the stream's normal error callback, with the worker's searcher
+// respawned fresh. The worker itself never dies: a panicking query costs
+// that query, not the stream. Panics in the user's handle callback are
+// outside this contract and remain fatal (they are caller bugs, and
+// swallowing them would hide them).
+func (st *Stream) answer(s **Searcher, job streamJob) (res []index.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			err = &PanicError{Shard: -1, Value: r, Stack: debug.Stack()}
+			*s = st.c.newSerialSearcher()
+		}
+	}()
+	if faultinject.Enabled {
+		if err := faultinject.Hook(faultinject.SiteStreamWorker); err != nil {
+			return nil, err
+		}
+	}
+	sr := *s
+	res, err = sr.SearchPlan(context.Background(), *job.q, job.plan, sr.resBuf[:0])
+	if err == nil {
+		sr.resBuf = res
+	}
+	return res, err
 }
 
 // Submit enqueues one query under the stream's default k. The query is
@@ -144,6 +200,11 @@ func (st *Stream) SubmitPlan(query []float64, p Plan) (uint64, error) {
 	if p.Epsilon < 0 {
 		return 0, fmt.Errorf("core: epsilon must be >= 0, got %v", p.Epsilon)
 	}
+	if faultinject.Enabled {
+		if err := faultinject.Hook(faultinject.SiteStreamSubmit); err != nil {
+			return 0, err
+		}
+	}
 	buf := st.bufs.Get().(*[]float64)
 	copy(*buf, query)
 	id := st.nextID.Add(1) - 1
@@ -154,8 +215,33 @@ func (st *Stream) SubmitPlan(query []float64, p Plan) (uint64, error) {
 		st.bufs.Put(buf)
 		return 0, ErrStreamClosed
 	}
-	st.jobs <- streamJob{id: id, q: buf, plan: p}
-	return id, nil
+	job := streamJob{id: id, q: buf, plan: p}
+	// Fast path: channel has room — no timer, no allocations, nothing new on
+	// the steady-state submit path.
+	select {
+	case st.jobs <- job:
+		return id, nil
+	default:
+	}
+	wd := time.Duration(st.watchdog.Load())
+	if wd == 0 {
+		st.jobs <- job
+		return id, nil
+	}
+	// Slow path: the channel is full, meaning every worker is busy and the
+	// backlog is at capacity. Healthy backpressure clears in the time of one
+	// query; a stalled worker pool (hung shard, livelocked callback) never
+	// clears, and without a deadline the stall would propagate to the
+	// submitter. The timer costs an allocation only on this path.
+	timer := time.NewTimer(wd)
+	defer timer.Stop()
+	select {
+	case st.jobs <- job:
+		return id, nil
+	case <-timer.C:
+		st.bufs.Put(buf)
+		return 0, ErrStreamStalled
+	}
 }
 
 // Close stops accepting submissions, waits for every in-flight query's

@@ -1,0 +1,220 @@
+//go:build faultinject
+
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Enabled is true under the faultinject build tag: Hook consults the armed
+// plans and fires faults.
+const Enabled = true
+
+// Mode selects what an armed trigger does when it fires.
+type Mode int
+
+const (
+	// ModeError makes Hook return an *InjectedError.
+	ModeError Mode = iota
+	// ModeTransient makes Hook return an *InjectedError marked transient,
+	// modelling a fault a bounded retry is expected to clear (the trigger
+	// keeps firing, so a retry budget smaller than the remaining trigger
+	// count still fails).
+	ModeTransient
+	// ModePanic makes Hook panic with a Panic value.
+	ModePanic
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeError:
+		return "error"
+	case ModeTransient:
+		return "transient"
+	case ModePanic:
+		return "panic"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Trigger describes when and how one hook site fires. Exactly one of
+// OnCall/EveryN/Prob selects the schedule:
+//
+//   - OnCall n (1-based): fire on the nth Hook call at the site, once.
+//   - EveryN n: fire on every nth call (n, 2n, 3n, ...).
+//   - Prob p with Seed: fire each call independently with probability p,
+//     driven by a seeded splitmix64 stream — the same seed always yields
+//     the same firing pattern, which is what makes chaos runs replayable.
+//
+// Count bounds the total number of firings (0 = unbounded).
+type Trigger struct {
+	Mode   Mode
+	OnCall uint64
+	EveryN uint64
+	Prob   float64
+	Seed   uint64
+	Count  uint64
+}
+
+// Panic is the value injected panics carry, so recovery layers and tests
+// can tell an injected panic from a genuine engine bug.
+type Panic struct {
+	Site string
+}
+
+func (p Panic) String() string { return "faultinject: injected panic at " + p.Site }
+
+// InjectedError is the error returned by error-mode triggers.
+type InjectedError struct {
+	Site      string
+	Transient bool
+}
+
+func (e *InjectedError) Error() string {
+	kind := "injected error"
+	if e.Transient {
+		kind = "injected transient error"
+	}
+	return "faultinject: " + kind + " at " + e.Site
+}
+
+// IsInjected reports whether err was produced by an armed fault.
+func IsInjected(err error) bool {
+	var ie *InjectedError
+	return errors.As(err, &ie)
+}
+
+// IsTransient reports whether err is an injected transient fault.
+func IsTransient(err error) bool {
+	var ie *InjectedError
+	return errors.As(err, &ie) && ie.Transient
+}
+
+// plan is one armed site: its trigger plus mutable firing state.
+type plan struct {
+	trig  Trigger
+	calls atomic.Uint64
+	fired atomic.Uint64
+	rng   atomic.Uint64 // splitmix64 state for Prob triggers
+}
+
+var (
+	mu    sync.RWMutex
+	plans = map[string]*plan{}
+)
+
+// validSite reports whether site is in the allowlist.
+func validSite(site string) bool {
+	for _, s := range siteList() {
+		if s == site {
+			return true
+		}
+	}
+	return false
+}
+
+// Arm installs a trigger at a hook site, replacing any previous plan for
+// that site and resetting its call counters. It panics on a site name
+// outside the allowlist — armed-but-never-reached plans are silent holes in
+// a chaos schedule.
+func Arm(site string, t Trigger) {
+	if !validSite(site) {
+		panic("faultinject: unknown hook site " + site)
+	}
+	p := &plan{trig: t}
+	p.rng.Store(t.Seed)
+	mu.Lock()
+	plans[site] = p
+	mu.Unlock()
+}
+
+// Disarm removes the plan for one site.
+func Disarm(site string) {
+	mu.Lock()
+	delete(plans, site)
+	mu.Unlock()
+}
+
+// Reset disarms every site.
+func Reset() {
+	mu.Lock()
+	plans = map[string]*plan{}
+	mu.Unlock()
+}
+
+// Calls returns how many times the site's hook has been reached since it
+// was armed (0 if not armed).
+func Calls(site string) uint64 {
+	mu.RLock()
+	p := plans[site]
+	mu.RUnlock()
+	if p == nil {
+		return 0
+	}
+	return p.calls.Load()
+}
+
+// Fired returns how many faults the site has injected since it was armed.
+func Fired(site string) uint64 {
+	mu.RLock()
+	p := plans[site]
+	mu.RUnlock()
+	if p == nil {
+		return 0
+	}
+	return p.fired.Load()
+}
+
+// splitmix64 advances the per-plan RNG state; the returned value is
+// uniformly distributed and the sequence is a pure function of the seed.
+func splitmix64(state *atomic.Uint64) uint64 {
+	z := state.Add(0x9e3779b97f4a7c15)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Hook is called at every instrumented site. It returns an *InjectedError
+// or panics with a Panic value when the site's armed trigger fires, and
+// returns nil otherwise. Safe for concurrent use; nth-call triggers are
+// exact under concurrency (each call observes a unique call number).
+func Hook(site string) error {
+	mu.RLock()
+	p := plans[site]
+	mu.RUnlock()
+	if p == nil {
+		return nil
+	}
+	n := p.calls.Add(1)
+	t := &p.trig
+	fire := false
+	switch {
+	case t.OnCall > 0:
+		fire = n == t.OnCall
+	case t.EveryN > 0:
+		fire = n%t.EveryN == 0
+	case t.Prob > 0:
+		const scale = 1 << 53
+		fire = float64(splitmix64(&p.rng)>>11)/scale < t.Prob
+	}
+	if !fire {
+		return nil
+	}
+	if t.Count > 0 && p.fired.Add(1) > t.Count {
+		return nil
+	} else if t.Count == 0 {
+		p.fired.Add(1)
+	}
+	switch t.Mode {
+	case ModePanic:
+		panic(Panic{Site: site})
+	case ModeTransient:
+		return &InjectedError{Site: site, Transient: true}
+	default:
+		return &InjectedError{Site: site}
+	}
+}

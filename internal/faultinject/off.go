@@ -1,0 +1,18 @@
+//go:build !faultinject
+
+package faultinject
+
+// Enabled is false in release builds: every `if faultinject.Enabled` guard
+// is dead code, Hook inlines to nothing, and no registry state is linked.
+const Enabled = false
+
+// Hook is a no-op without the faultinject build tag.
+func Hook(site string) error { return nil }
+
+// IsInjected reports whether err was produced by an armed fault; always
+// false without the build tag.
+func IsInjected(err error) bool { return false }
+
+// IsTransient reports whether err is an injected transient fault (one a
+// bounded retry is expected to clear); always false without the build tag.
+func IsTransient(err error) bool { return false }

@@ -1,0 +1,68 @@
+// Package faultinject is the deterministic fault-injection harness behind
+// the chaos test suite: named hook sites threaded through the query and
+// persistence paths that can be armed to panic or fail on a precise call
+// (nth-call triggers) or at a seeded rate (probabilistic triggers).
+//
+// The package has two build personalities:
+//
+//   - Under the `faultinject` build tag, Hook consults a registry of armed
+//     plans and fires the configured faults. This is the build the chaos CI
+//     job and FuzzFaultSchedule run.
+//   - Without the tag (every release build), Enabled is the constant false
+//     and Hook is an empty inlinable stub, so the `if faultinject.Enabled`
+//     guards at every call site compile to nothing and no hook machinery is
+//     linked into release binaries (the chaos CI job verifies this with nm).
+//
+// Hook sites are a closed set: every call site must use one of the Site*
+// constants below, and the retention/hooks audit fails when a call site uses
+// a name outside the allowlist. Faults are injected only at these
+// boundaries, never inside lock-holding critical sections, so panic
+// recovery upstream can never strand a mutex.
+package faultinject
+
+// The named hook sites. Keep in sync with siteList (every call site is
+// audited by TestFaultinjectHookAudit at the repo root).
+const (
+	// SiteShardSeed fires at shard-search entry: the seeding stage of one
+	// shard's participation in a collection query.
+	SiteShardSeed = "shard/seed"
+	// SiteShardFinish fires before one shard's exact stage (traversal and
+	// leaf refinement).
+	SiteShardFinish = "shard/finish"
+	// SiteKernel fires at kernel dispatch: immediately before the per-query
+	// LBD table build and refinement engine run inside the tree.
+	SiteKernel = "index/kernel"
+	// SitePersistRead fires on every read the container loader issues
+	// against the underlying storage.
+	SitePersistRead = "persist/read"
+	// SiteStreamSubmit fires in Stream.SubmitPlan before the query is
+	// enqueued.
+	SiteStreamSubmit = "stream/submit"
+	// SiteStreamWorker fires in the stream worker loop before each query
+	// executes.
+	SiteStreamWorker = "stream/worker"
+	// SiteBatchWorker fires in the collection batch engine before each
+	// query executes.
+	SiteBatchWorker = "batch/worker"
+)
+
+// siteList enumerates every valid hook site; Sites returns a copy for the
+// audit and the fuzz harness. A function (rather than an exported var)
+// keeps release binaries free of faultinject data symbols.
+func siteList() [7]string {
+	return [7]string{
+		SiteShardSeed,
+		SiteShardFinish,
+		SiteKernel,
+		SitePersistRead,
+		SiteStreamSubmit,
+		SiteStreamWorker,
+		SiteBatchWorker,
+	}
+}
+
+// Sites returns the allowlisted hook site names, in stable order.
+func Sites() []string {
+	l := siteList()
+	return l[:]
+}

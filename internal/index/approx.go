@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/distance"
+	"repro/internal/faultinject"
 )
 
 // This file implements the shared query engine plus the approximate-search
@@ -93,6 +94,11 @@ func (s *Searcher) search(query []float64, k int, pruneScale float64) ([]Result,
 	if err := s.beginShard(query, k, &s.kn, 1, 0, pruneScale); err != nil {
 		return nil, err
 	}
+	if faultinject.Enabled {
+		if err := faultinject.Hook(faultinject.SiteKernel); err != nil {
+			return nil, err
+		}
+	}
 	s.finishShard()
 	return s.finishResults(), nil
 }
@@ -155,12 +161,19 @@ func (s *Searcher) finishShard() {
 		return
 	}
 
+	// Workers forward panics (value + stack) to this goroutine, which
+	// re-panics after the join: a panic below otherwise kills the process
+	// (recover only works on the panicking goroutine), and the collection
+	// layer's shard recovery sits above this frame. The pointer lives on the
+	// parallel path only, so the serial path stays allocation-free.
+	var wp atomic.Pointer[WorkerPanic]
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer trapPanic(&wp)
 			for {
 				i := int(cursor.Add(1) - 1)
 				if i >= len(t.rootKeys) {
@@ -171,16 +184,19 @@ func (s *Searcher) finishShard() {
 		}()
 	}
 	wg.Wait()
+	rethrow(&wp)
 
 	var wg2 sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg2.Add(1)
 		go func(start int) {
 			defer wg2.Done()
+			defer trapPanic(&wp)
 			s.drainScaled(start, q, kn, scale)
 		}(w % set.Size())
 	}
 	wg2.Wait()
+	rethrow(&wp)
 }
 
 func (s *Searcher) traverseScaled(n *node, kn *KNNCollector, skip *node, scale float64) {

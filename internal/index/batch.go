@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/faultinject"
 	"repro/internal/queue"
 )
 
@@ -106,9 +107,13 @@ func (t *Tree) BatchSearchInto(ctx context.Context, queries [][]float64, k, work
 					return nil, err
 				}
 			}
-			res, err := s.Search(q, k)
+			res, err := batchSearchOne(s, q, k)
 			if err != nil {
-				t.searchers.Put(s)
+				// A panicked searcher has undefined scratch state; only
+				// healthy searchers go back to the pool.
+				if _, panicked := err.(*PanicError); !panicked {
+					t.searchers.Put(s)
+				}
 				return nil, err
 			}
 			out[i] = append(out[i][:0], res...)
@@ -129,7 +134,14 @@ func (t *Tree) BatchSearchInto(ctx context.Context, queries [][]float64, k, work
 		go func(w int, out [][]Result) {
 			defer wg.Done()
 			s := t.serialSearcher()
-			defer t.searchers.Put(s)
+			healthy := true
+			defer func() {
+				// A panicked searcher has undefined scratch state; only
+				// healthy searchers go back to the pool.
+				if healthy {
+					t.searchers.Put(s)
+				}
+			}()
 			for {
 				i := int(cursor.Add(1) - 1)
 				if i >= len(queries) {
@@ -141,8 +153,11 @@ func (t *Tree) BatchSearchInto(ctx context.Context, queries [][]float64, k, work
 						return
 					}
 				}
-				res, err := s.Search(queries[i], k)
+				res, err := batchSearchOne(s, queries[i], k)
 				if err != nil {
+					if _, panicked := err.(*PanicError); panicked {
+						healthy = false
+					}
 					errs[w] = err
 					return
 				}
@@ -158,4 +173,24 @@ func (t *Tree) BatchSearchInto(ctx context.Context, queries [][]float64, k, work
 		}
 	}
 	return out, nil
+}
+
+// batchSearchOne runs one pooled-searcher query with panic containment: a
+// panic anywhere in the engine comes back as a *PanicError instead of
+// killing the process, and the caller keeps the corrupted searcher out of
+// the pool. The deferred recover is open-coded by the compiler (single
+// static defer), so the zero-allocation batch contract is preserved.
+func batchSearchOne(s *Searcher, q []float64, k int) (res []Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			v, stack := recoveredPanic(r)
+			err = &PanicError{Op: "batch search", Value: v, Stack: stack}
+		}
+	}()
+	if faultinject.Enabled {
+		if err := faultinject.Hook(faultinject.SiteBatchWorker); err != nil {
+			return nil, err
+		}
+	}
+	return s.Search(q, k)
 }

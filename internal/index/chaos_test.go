@@ -1,0 +1,96 @@
+//go:build faultinject
+
+package index
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+// Tree-level chaos: injected faults at the batch-worker and kernel sites.
+// (The collection-level sites are exercised by internal/core's chaos suite.)
+
+func chaosTree(tb testing.TB) (*Tree, [][]float64) {
+	tb.Helper()
+	faultinject.Reset()
+	rng := rand.New(rand.NewSource(841))
+	data := mixedMatrix(rng, 500, 48)
+	t, err := Build(data, newSAXSum(tb, 48, 16, 8), Options{LeafCapacity: 32})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	queries := make([][]float64, 6)
+	for i := range queries {
+		q := make([]float64, 48)
+		for j := range q {
+			q[j] = rng.NormFloat64()
+		}
+		queries[i] = q
+	}
+	return t, queries
+}
+
+// TestChaosBatchWorkerPanic: an injected panic inside a batch worker fails
+// that batch with a *PanicError instead of killing the process, keeps the
+// corrupted searcher out of the pool, and the next batch answers exactly.
+func TestChaosBatchWorkerPanic(t *testing.T) {
+	tree, queries := chaosTree(t)
+	defer faultinject.Reset()
+	want, err := tree.BatchSearch(queries, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3} {
+		faultinject.Arm(faultinject.SiteBatchWorker, faultinject.Trigger{Mode: faultinject.ModePanic, OnCall: 2})
+		_, err := tree.BatchSearchWorkers(queries, 5, workers)
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: batch err = %v, want *PanicError", workers, err)
+		}
+		if _, ok := pe.Value.(faultinject.Panic); !ok {
+			t.Fatalf("workers=%d: recovered value %T, want faultinject.Panic", workers, pe.Value)
+		}
+		faultinject.Disarm(faultinject.SiteBatchWorker)
+		got, err := tree.BatchSearchWorkers(queries, 5, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: batch after fault: %v", workers, err)
+		}
+		for qi := range want {
+			for r := range want[qi] {
+				if got[qi][r] != want[qi][r] {
+					t.Fatalf("workers=%d q=%d rank %d: %+v != %+v after fault", workers, qi, r, got[qi][r], want[qi][r])
+				}
+			}
+		}
+	}
+}
+
+// TestChaosBatchWorkerError: error-mode injection fails the batch with the
+// injected error itself (no panic machinery involved).
+func TestChaosBatchWorkerError(t *testing.T) {
+	tree, queries := chaosTree(t)
+	defer faultinject.Reset()
+	faultinject.Arm(faultinject.SiteBatchWorker, faultinject.Trigger{Mode: faultinject.ModeError, OnCall: 1})
+	if _, err := tree.BatchSearch(queries, 5); !faultinject.IsInjected(err) {
+		t.Fatalf("batch err = %v, want injected", err)
+	}
+}
+
+// TestChaosKernelError: the kernel-dispatch site surfaces injected errors
+// through Search's error return.
+func TestChaosKernelError(t *testing.T) {
+	tree, queries := chaosTree(t)
+	defer faultinject.Reset()
+	s := tree.NewSearcher()
+	faultinject.Arm(faultinject.SiteKernel, faultinject.Trigger{Mode: faultinject.ModeError, OnCall: 1})
+	if _, err := s.Search(queries[0], 5); !faultinject.IsInjected(err) {
+		t.Fatalf("search err = %v, want injected", err)
+	}
+	faultinject.Reset()
+	if _, err := s.Search(queries[0], 5); err != nil {
+		t.Fatalf("search after injected error: %v", err)
+	}
+}

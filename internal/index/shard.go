@@ -1,6 +1,10 @@
 package index
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/faultinject"
+)
 
 // This file is the tree's shard-facing query interface: the building blocks
 // a sharded collection (core.Collection) uses to run one logical k-NN query
@@ -51,6 +55,11 @@ func (s *Searcher) SeedShard(query []float64, k int, sq ShardQuery) error {
 	if sq.KN == nil {
 		return fmt.Errorf("index: ShardQuery.KN must not be nil")
 	}
+	if faultinject.Enabled {
+		if err := faultinject.Hook(faultinject.SiteShardSeed); err != nil {
+			return err
+		}
+	}
 	if sq.Epsilon < 0 {
 		return fmt.Errorf("index: epsilon must be >= 0, got %v", sq.Epsilon)
 	}
@@ -73,6 +82,14 @@ func (s *Searcher) SeedShard(query []float64, k int, sq ShardQuery) error {
 func (s *Searcher) FinishShard() error {
 	if !s.seeded {
 		return fmt.Errorf("index: FinishShard without a preceding SeedShard")
+	}
+	if faultinject.Enabled {
+		if err := faultinject.Hook(faultinject.SiteShardFinish); err != nil {
+			return err
+		}
+		if err := faultinject.Hook(faultinject.SiteKernel); err != nil {
+			return err
+		}
 	}
 	s.finishShard()
 	return nil

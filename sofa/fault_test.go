@@ -1,0 +1,247 @@
+package sofa
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// Public fault-isolation surface: quarantine handles, AllowPartial +
+// WithQueryStats degraded answers with ε certificates, sentinel error
+// identity through errors.Is, degraded container loads, and the stream
+// watchdog — all through the sofa package only.
+
+func TestQuarantinePartialQueries(t *testing.T) {
+	ix, _, rng := buildFixture(t, 400, 32, Shards(4))
+	q := Query{Series: randQuery(rng, 32), K: 5}
+
+	full, err := ix.Search(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := ix.QuarantineShard(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.QuarantinedShards(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("QuarantinedShards() = %v, want [1]", got)
+	}
+
+	// Fail-fast default: the degraded query errors, and both sentinels match.
+	if _, err := ix.Search(context.Background(), q); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("fail-fast err = %v, want ErrDegraded", err)
+	} else if !errors.Is(err, ErrShardQuarantined) {
+		t.Fatalf("fail-fast err = %v, want ErrShardQuarantined", err)
+	}
+
+	// AllowPartial: non-empty answer, accurate shard accounting, sound ε.
+	var qs QueryStats
+	part, err := ix.Search(context.Background(), q.With(AllowPartial(), WithQueryStats(&qs)))
+	if err != nil {
+		t.Fatalf("AllowPartial search: %v", err)
+	}
+	if len(part) == 0 {
+		t.Fatal("partial answer is empty")
+	}
+	if qs.ShardsFailed != 1 || qs.ShardsSearched != 3 {
+		t.Fatalf("shard accounting = %d searched / %d failed, want 3/1", qs.ShardsSearched, qs.ShardsFailed)
+	}
+	if qs.EpsilonBound < 0 || math.IsNaN(qs.EpsilonBound) {
+		t.Fatalf("EpsilonBound = %v, want >= 0", qs.EpsilonBound)
+	}
+	if qs.SeriesED == 0 {
+		t.Fatalf("QueryStats work counters empty: %+v", qs.SearchStats)
+	}
+	// Certificate soundness against the healthy answer: every partial
+	// distance within (1+ε) of the full search's, in the unsquared domain.
+	for r := range part {
+		if r >= len(full) {
+			break
+		}
+		lhs := math.Sqrt(part[r].Dist)
+		rhs := (1 + qs.EpsilonBound) * math.Sqrt(full[r].Dist) * (1 + 1e-9)
+		if lhs > rhs {
+			t.Fatalf("rank %d: partial %v exceeds (1+ε)·full %v (ε=%v)", r, lhs, rhs, qs.EpsilonBound)
+		}
+	}
+
+	// Reinstate restores the bit-identical healthy answer and clean stats.
+	if err := ix.ReinstateShard(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.QuarantinedShards(); got != nil {
+		t.Fatalf("QuarantinedShards() after reinstate = %v, want nil", got)
+	}
+	again, err := ix.Search(context.Background(), q.With(WithQueryStats(&qs)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != len(full) {
+		t.Fatalf("recovered answer has %d results, want %d", len(again), len(full))
+	}
+	for i := range again {
+		if again[i] != full[i] {
+			t.Fatalf("rank %d: recovered %+v != full %+v", i, again[i], full[i])
+		}
+	}
+	if qs.ShardsFailed != 0 || qs.ShardsSearched != 4 || qs.EpsilonBound != 0 {
+		t.Fatalf("healthy QueryStats = %d/%d ε=%v, want 4/0 ε=0", qs.ShardsSearched, qs.ShardsFailed, qs.EpsilonBound)
+	}
+}
+
+func TestQuarantineInsertRefusal(t *testing.T) {
+	ix, _, rng := buildFixture(t, 200, 32, Shards(4))
+	target := ix.Len() % 4
+	if err := ix.QuarantineShard(target); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.Insert(randQuery(rng, 32)); !errors.Is(err, ErrShardQuarantined) {
+		t.Fatalf("insert into quarantined shard err = %v, want ErrShardQuarantined", err)
+	}
+	if err := ix.ReinstateShard(target); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.Insert(randQuery(rng, 32)); err != nil {
+		t.Fatalf("post-reinstate insert: %v", err)
+	}
+}
+
+func TestQuarantineHandleValidation(t *testing.T) {
+	ix, _, _ := buildFixture(t, 100, 32, Shards(2))
+	if err := ix.QuarantineShard(-1); err == nil {
+		t.Fatal("QuarantineShard(-1) accepted")
+	}
+	if err := ix.QuarantineShard(2); err == nil {
+		t.Fatal("QuarantineShard(out of range) accepted")
+	}
+	if err := ix.ReinstateShard(99); err == nil {
+		t.Fatal("ReinstateShard(out of range) accepted")
+	}
+	// QuarantineAfter is validated like every other build option.
+	m := mixedMatrix(rand.New(rand.NewSource(77)), 50, 32)
+	if _, err := Build(m, QuarantineAfter(-1)); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("QuarantineAfter(-1) err = %v, want ErrBadConfig", err)
+	}
+	if ix2, err := Build(m, QuarantineAfter(1), Shards(2)); err != nil {
+		t.Fatalf("QuarantineAfter(1): %v", err)
+	} else if got := ix2.QuarantinedShards(); got != nil {
+		t.Fatalf("fresh index quarantined %v", got)
+	}
+}
+
+// TestLoadQuarantinedContainer drives the degraded-load path end to end
+// through the public API: save a sharded index, corrupt one shard's payload
+// bytes, verify the default Load rejects the container, then load it with
+// AllowQuarantinedShards and query around the lost shard.
+func TestLoadQuarantinedContainer(t *testing.T) {
+	ix, _, rng := buildFixture(t, 300, 32, Shards(3))
+	var buf bytes.Buffer
+	if err := Save(ix, &buf); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+
+	// The container layout is opaque at this level, so probe for a byte
+	// whose corruption is attributable to a single shard: default Load must
+	// fail and the degraded load must succeed with exactly one quarantined
+	// shard. Shard payloads dominate the container, so a coarse scan finds
+	// one quickly.
+	var degraded *Index
+	var st LoadStats
+	for off := len(blob) / 4; off < len(blob); off += 257 {
+		cp := append([]byte(nil), blob...)
+		cp[off] ^= 0x40
+		if _, err := Load(bytes.NewReader(cp)); err == nil {
+			continue // flipped a don't-care byte
+		}
+		d, err := Load(bytes.NewReader(cp), AllowQuarantinedShards(), WithLoadStats(&st))
+		if err != nil || len(st.QuarantinedShards) != 1 {
+			continue // corrupted a global section or more than one shard
+		}
+		degraded = d
+		break
+	}
+	if degraded == nil {
+		t.Fatal("no single-shard corruption site found in the container")
+	}
+	bad := st.QuarantinedShards[0]
+	if got := degraded.QuarantinedShards(); len(got) != 1 || got[0] != bad {
+		t.Fatalf("QuarantinedShards() = %v, want [%d]", got, bad)
+	}
+
+	q := Query{Series: randQuery(rng, 32), K: 4}
+	if _, err := degraded.Search(context.Background(), q); !errors.Is(err, ErrShardQuarantined) {
+		t.Fatalf("fail-fast on degraded load err = %v, want ErrShardQuarantined", err)
+	}
+	var qs QueryStats
+	res, err := degraded.Search(context.Background(), q.With(AllowPartial(), WithQueryStats(&qs)))
+	if err != nil {
+		t.Fatalf("AllowPartial on degraded load: %v", err)
+	}
+	if len(res) == 0 || qs.ShardsFailed != 1 || qs.ShardsSearched != 2 {
+		t.Fatalf("degraded answer: %d results, %d/%d shards", len(res), qs.ShardsSearched, qs.ShardsFailed)
+	}
+	// A load-quarantined shard's data is gone: it cannot be certified,
+	// reinstated, or re-saved.
+	if !math.IsInf(qs.EpsilonBound, 1) {
+		t.Fatalf("EpsilonBound = %v, want +Inf for an unloadable shard", qs.EpsilonBound)
+	}
+	if err := degraded.ReinstateShard(bad); err == nil {
+		t.Fatal("ReinstateShard on a load-quarantined shard succeeded")
+	}
+	if err := Save(degraded, &bytes.Buffer{}); !errors.Is(err, ErrShardQuarantined) {
+		t.Fatalf("Save of degraded index err = %v, want ErrShardQuarantined", err)
+	}
+}
+
+// TestStreamWatchdogPublic pins the SetWatchdog passthrough and the
+// ErrStreamStalled sentinel at the public layer: a stuck worker pool turns
+// Submit into a bounded failure instead of a hang.
+func TestStreamWatchdogPublic(t *testing.T) {
+	ix, data, _ := buildFixture(t, 150, 32)
+	release := make(chan struct{})
+	st, err := ix.NewStream(1, func(qid uint64, res []Result, err error) {
+		if err != nil {
+			t.Errorf("query %d: %v", qid, err)
+		}
+		<-release
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.SetWatchdog(30 * time.Millisecond)
+	stalled := false
+	for i := 0; i < 5; i++ {
+		_, err := st.Submit(Query{Series: data.Row(i), K: 2})
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, ErrStreamStalled) {
+			t.Fatalf("submit %d err = %v, want ErrStreamStalled", i, err)
+		}
+		stalled = true
+		break
+	}
+	if !stalled {
+		t.Fatal("no submit tripped the watchdog despite a stalled worker")
+	}
+	close(release)
+	deadline := time.After(5 * time.Second)
+	for {
+		if _, err := st.Submit(Query{Series: data.Row(0), K: 2}); err == nil {
+			break
+		} else if !errors.Is(err, ErrStreamStalled) {
+			t.Fatalf("post-recovery submit: %v", err)
+		}
+		select {
+		case <-deadline:
+			t.Fatal("stream never recovered after the stall cleared")
+		default:
+		}
+	}
+	st.Close()
+}

@@ -19,6 +19,7 @@ type LoadOption func(*loadConfig)
 
 type loadConfig struct {
 	stats *LoadStats
+	opts  core.LoadOptions
 }
 
 // WithLoadStats records the load's phase timings, container version, byte
@@ -27,26 +28,47 @@ func WithLoadStats(dst *LoadStats) LoadOption {
 	return func(c *loadConfig) { c.stats = dst }
 }
 
+// AllowQuarantinedShards accepts a version-4 container with corrupt shard
+// payloads as a degraded index: shards whose per-shard checksum fails load
+// with no tree and permanently quarantined — searches skip them (failing
+// fail-fast queries, degrading AllowPartial queries with an unbounded ε),
+// Insert refuses them, and Save refuses the whole degraded index — while
+// every healthy shard loads normally. QuarantinedShards (and
+// LoadStats.QuarantinedShards via WithLoadStats) report which shards were
+// lost. Without this option any corruption fails the whole load. A container
+// whose every shard is corrupt fails to load regardless.
+func AllowQuarantinedShards() LoadOption {
+	return func(c *loadConfig) { c.opts.QuarantineCorruptShards = true }
+}
+
 // Save writes the index to w in the versioned container format (currently
-// version 3): float32 series data in id order, the learned summarization
-// state, one word buffer per shard, and each shard's finalized tree shape
-// with its leaf refinement blocks — so Load reconstructs every shard tree
-// by direct decode instead of rebuilding it.
+// version 4): float32 series data in id order, the learned summarization
+// state, one word buffer per shard, each shard's finalized tree shape with
+// its leaf refinement blocks — so Load reconstructs every shard tree by
+// direct decode instead of rebuilding it — and per-shard payload checksums,
+// so load-time corruption is attributable to (and optionally survivable at)
+// shard granularity. Saving an index that holds a load-quarantined shard
+// fails with ErrShardQuarantined: the container would silently drop that
+// shard's series.
 func Save(x *Index, w io.Writer) error { return core.Save(x.ix, w) }
 
 // SaveFile writes the index to a file; see Save.
 func SaveFile(x *Index, path string) error { return core.SaveFile(x.ix, path) }
 
 // Load reads an index previously written by Save. All container versions
-// load: version 3 by direct tree decode, versions 1 and 2 by rebuilding
-// shard trees from their saved words. The shard count is part of the saved
-// index. Pass WithLoadStats to observe the load's phase breakdown.
+// load: versions 3 and 4 by direct tree decode, versions 1 and 2 by
+// rebuilding shard trees from their saved words. The shard count is part of
+// the saved index. Transient read errors from r (the net-style Temporary
+// contract) are retried under a bounded backoff before the load fails. Pass
+// WithLoadStats to observe the load's phase breakdown, and
+// AllowQuarantinedShards to keep the healthy shards of a partially corrupt
+// version-4 container.
 func Load(r io.Reader, opts ...LoadOption) (*Index, error) {
 	var c loadConfig
 	for _, opt := range opts {
 		opt(&c)
 	}
-	ix, err := core.LoadWithStats(r, c.stats)
+	ix, err := core.LoadWithOptions(r, c.opts, c.stats)
 	if err != nil {
 		return nil, err
 	}

@@ -29,10 +29,12 @@ type Query struct {
 
 // queryOpts is the per-query execution plan accumulated by With.
 type queryOpts struct {
-	approximate bool
-	epsilon     float64
-	deadline    time.Time
-	stats       *SearchStats
+	approximate  bool
+	epsilon      float64
+	deadline     time.Time
+	allowPartial bool
+	stats        *SearchStats
+	qstats       *QueryStats
 }
 
 // QueryOption adjusts how one Query executes.
@@ -74,11 +76,55 @@ func Deadline(t time.Time) QueryOption {
 	return func(o *queryOpts) { o.deadline = t }
 }
 
+// AllowPartial accepts degraded answers. By default a query fails with an
+// error wrapping ErrDegraded when any shard cannot contribute — a contained
+// panic, an engine fault, or a quarantined shard. With AllowPartial the
+// query instead returns the merged results of the surviving shards with nil
+// error, and the WithQueryStats option reports how many shards failed plus a
+// live ε certificate: every returned distance is within a (1+ε) factor of
+// what the complete search would have returned (ε = 0 certifies the partial
+// answer identical; ε = +Inf means the failed shards cannot be bounded).
+//
+// A degraded query that would return zero results still fails — an empty
+// answer certifies nothing — and cancellation or deadline expiry remains an
+// error regardless: the caller asked the query to stop.
+func AllowPartial() QueryOption {
+	return func(o *queryOpts) { o.allowPartial = true }
+}
+
 // WithStats records the query's work counters (nodes visited, leaves
 // refined, lower bounds and real distances computed) into dst after a
 // successful Search or SearchInto. Batch and stream execution ignore it.
 func WithStats(dst *SearchStats) QueryOption {
 	return func(o *queryOpts) { o.stats = dst }
+}
+
+// QueryStats describes how one Search or SearchInto call executed: the
+// pruning-power work counters plus the fault-isolation outcome — shard
+// participation and, for degraded answers, the ε certificate (see
+// AllowPartial). For a fully healthy query ShardsFailed is 0 and
+// EpsilonBound is 0.
+type QueryStats struct {
+	SearchStats
+	// ShardsSearched and ShardsFailed partition the index's shards for this
+	// query; ShardsFailed counts quarantined (skipped) shards as well as
+	// shards that faulted mid-query.
+	ShardsSearched int
+	ShardsFailed   int
+	// EpsilonBound is the degraded answer's certificate: every returned
+	// distance is within a (1+EpsilonBound) factor of the complete search's.
+	// 0 when the answer is provably identical to the complete one; +Inf when
+	// the failed shards cannot be bounded.
+	EpsilonBound float64
+}
+
+// WithQueryStats records the query's work counters and fault-isolation
+// outcome into dst after a successful Search or SearchInto — the degraded-
+// answer half (shard counts, ε certificate) is what AllowPartial callers
+// inspect to decide whether a partial answer is good enough. Batch and
+// stream execution ignore it.
+func WithQueryStats(dst *QueryStats) QueryOption {
+	return func(o *queryOpts) { o.qstats = dst }
 }
 
 // plan validates q against the index and lowers it to the internal
@@ -94,10 +140,11 @@ func (x *Index) plan(q Query) (core.Plan, error) {
 		return core.Plan{}, fmt.Errorf("%w: got %v", ErrBadEpsilon, q.opts.epsilon)
 	}
 	return core.Plan{
-		K:           q.K,
-		Epsilon:     q.opts.epsilon,
-		Approximate: q.opts.approximate,
-		Deadline:    q.opts.deadline,
+		K:            q.K,
+		Epsilon:      q.opts.epsilon,
+		Approximate:  q.opts.approximate,
+		Deadline:     q.opts.deadline,
+		AllowPartial: q.opts.allowPartial,
 	}, nil
 }
 
@@ -147,6 +194,15 @@ func (x *Index) searchInto(ctx context.Context, q Query, dst []Result) ([]Result
 	}
 	if q.opts.stats != nil {
 		*q.opts.stats = s.LastStats()
+	}
+	if q.opts.qstats != nil {
+		m := s.LastMeta()
+		*q.opts.qstats = QueryStats{
+			SearchStats:    s.LastStats(),
+			ShardsSearched: m.ShardsSearched,
+			ShardsFailed:   m.ShardsFailed,
+			EpsilonBound:   m.EpsilonBound,
+		}
 	}
 	x.searchers.Put(s)
 	return res, nil

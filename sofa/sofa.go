@@ -60,6 +60,25 @@ var (
 	ErrStreamClosed = errors.New("sofa: stream is closed")
 )
 
+// Fault-isolation sentinels. These are shared with the engine so errors.Is
+// matches anywhere in a wrapped chain: every shard-fault error produced by a
+// query wraps ErrDegraded, and operations refused because of quarantine wrap
+// ErrShardQuarantined (which itself wraps ErrDegraded).
+var (
+	// ErrDegraded reports that one or more shards did not contribute to an
+	// operation — a contained panic, an engine fault, or a quarantined shard.
+	// Fail-fast queries (the default) return it; AllowPartial queries absorb
+	// it into a degraded answer unless nothing survived.
+	ErrDegraded = core.ErrDegraded
+	// ErrShardQuarantined reports an operation against a quarantined shard:
+	// a query routed to it (fail-fast), an Insert destined for it, or a Save
+	// of a collection holding one.
+	ErrShardQuarantined = core.ErrShardQuarantined
+	// ErrStreamStalled is returned by Stream.Submit when every stream worker
+	// has been stuck past the watchdog deadline (see Stream.SetWatchdog).
+	ErrStreamStalled = core.ErrStreamStalled
+)
+
 // Method identifies the summarization behind an index.
 type Method = core.Method
 
@@ -133,6 +152,14 @@ func MaxCoeffs(m int) Option { return func(c *config) { c.cfg.MaxCoeffs = m } }
 // Seed sets the sampling seed for the SFA learning stage (default 1).
 func Seed(s int64) Option { return func(c *config) { c.cfg.Seed = s } }
 
+// QuarantineAfter sets how many consecutive panicking queries quarantine a
+// shard (default 3). A shard whose tree fails its structural invariant check
+// after a contained panic is quarantined immediately regardless of this
+// threshold. See the package's failure semantics: quarantined shards are
+// skipped by searches (degrading them), refused by Insert, and reported by
+// QuarantinedShards.
+func QuarantineAfter(n int) Option { return func(c *config) { c.cfg.QuarantineAfter = n } }
+
 // validate rejects option values Build must not silently default.
 func (c *config) validate() error {
 	cfg := c.cfg
@@ -151,6 +178,8 @@ func (c *config) validate() error {
 		return fmt.Errorf("%w: sample rate %v (want 0..1)", ErrBadConfig, cfg.SampleRate)
 	case cfg.MaxCoeffs < 0:
 		return fmt.Errorf("%w: max coefficients %d", ErrBadConfig, cfg.MaxCoeffs)
+	case cfg.QuarantineAfter < 0:
+		return fmt.Errorf("%w: quarantine threshold %d", ErrBadConfig, cfg.QuarantineAfter)
 	}
 	return nil
 }
@@ -237,9 +266,35 @@ func (x *Index) MeanSelectedCoefficient() (mean float64, ok bool) {
 // its id. Not safe to run concurrently with searches or other inserts —
 // synchronize externally for mixed workloads. The series is summarized with
 // the index's existing learned quantization (bins are not re-learned).
+// Inserting into a quarantined shard fails with ErrShardQuarantined (the
+// series would otherwise be stranded in a tree searches skip).
 func (x *Index) Insert(series []float64) (int32, error) {
 	if len(series) != x.SeriesLen() {
 		return 0, fmt.Errorf("%w: series length %d, want %d", ErrBadSeriesLength, len(series), x.SeriesLen())
 	}
 	return x.ix.Insert(series)
+}
+
+// QuarantineShard manually quarantines one shard: subsequent searches skip
+// it (failing fail-fast queries with ErrShardQuarantined, degrading
+// AllowPartial queries) and Insert refuses it. It is the operational handle
+// behind the automatic quarantine policy — useful for taking a shard out of
+// service deterministically (maintenance, suspected corruption) and for
+// exercising degraded behavior in tests.
+func (x *Index) QuarantineShard(i int) error {
+	return x.ix.Collection().Quarantine(i)
+}
+
+// ReinstateShard clears one shard's quarantine and fault history after the
+// cause has been fixed. Reinstating a shard that lost its tree (quarantined
+// at load time by AllowQuarantinedShards) fails: the data is gone until the
+// collection is rebuilt.
+func (x *Index) ReinstateShard(i int) error {
+	return x.ix.Collection().Reinstate(i)
+}
+
+// QuarantinedShards returns the indices of the currently quarantined shards
+// in ascending order (nil when the index is fully healthy).
+func (x *Index) QuarantinedShards() []int {
+	return x.ix.Collection().Quarantined()
 }
