@@ -66,8 +66,8 @@ func TestQuickConfig(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 19 {
-		t.Fatalf("%d experiments, want 19", len(exps))
+	if len(exps) != 20 {
+		t.Fatalf("%d experiments, want 20", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {
@@ -159,8 +159,19 @@ func TestRunReport(t *testing.T) {
 	if err := json.Unmarshal(blob, &rep); err != nil {
 		t.Fatalf("report JSON does not parse: %v", err)
 	}
-	if rep.PR != 6 || len(rep.Kernels) == 0 || len(rep.EndToEnd) == 0 {
+	if rep.PR != 7 || len(rep.Kernels) == 0 || len(rep.EndToEnd) == 0 {
 		t.Errorf("report incomplete: %+v", rep)
+	}
+	if len(rep.KernelAB) != 4 {
+		t.Errorf("kernel A/B rows: %+v", rep.KernelAB)
+	}
+	for _, r := range rep.KernelAB {
+		if r.BlockQPS <= 0 || r.PerSeriesQPS <= 0 || r.Speedup <= 0 {
+			t.Errorf("degenerate kernel A/B row: %+v", r)
+		}
+	}
+	if rep.SIMDBlock != "avx512" && rep.SIMDBlock != "avx2" && rep.SIMDBlock != "portable" {
+		t.Errorf("bad simd_block field %q", rep.SIMDBlock)
 	}
 	if rep.Chaos == nil || rep.Chaos.Queries == 0 || rep.Chaos.HealthyQPS <= 0 || rep.Chaos.DegradedQPS <= 0 {
 		t.Errorf("report chaos section incomplete: %+v", rep.Chaos)

@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/distance"
+)
+
+// QBlockRow is one cell of the block-vs-per-series refinement kernel A/B:
+// the same queries answered by two same-session builds of the same tree,
+// one refining leaves with the block kernels (the default), one with the
+// per-series kernel path (core.Config.PerSeriesLBD). Reps are interleaved
+// A/B/A/B so thermal drift and clock changes hit both sides equally, which
+// makes Speedup an honest same-session number.
+type QBlockRow struct {
+	// Workload is "distinct" (every query unique) or "hot" (4 distinct
+	// queries cycled — the skewed repeat-query shape whose table builds the
+	// qr-cache absorbs, leaving refinement as the dominant cost).
+	Workload     string  `json:"workload"`
+	K            int     `json:"k"`
+	BlockQPS     float64 `json:"block_qps"`
+	PerSeriesQPS float64 `json:"per_series_qps"`
+	Speedup      float64 `json:"speedup"`
+}
+
+// RunQBlock is the multi-query leaf-blocking experiment (sofa-bench -exp
+// qblock): it quantifies what block-granularity refinement is worth on
+// end-to-end batched throughput, per workload shape and k.
+func RunQBlock(cfg SuiteConfig, w io.Writer) error {
+	c := cfg.withDefaults()
+	_, data, err := snapshotData(c)
+	if err != nil {
+		return err
+	}
+	rows, err := qblockRows(c, data)
+	if err != nil {
+		return err
+	}
+	tw := newTable(w)
+	fmt.Fprintln(tw, "workload\tk\tblock q/s\tper-series q/s\tspeedup")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%.0f\t%.0f\t%.2fx\n", r.Workload, r.K, r.BlockQPS, r.PerSeriesQPS, r.Speedup)
+	}
+	return tw.Flush()
+}
+
+// hotQueries builds the skewed workload: `distinct` rows of qs cycled to
+// total rows, modelling a cache/dashboard pattern where a few queries
+// dominate.
+func hotQueries(qs *distance.Matrix, distinct, total int) *distance.Matrix {
+	if distinct > qs.Len() {
+		distinct = qs.Len()
+	}
+	out := distance.NewMatrix(total, qs.Stride)
+	for i := 0; i < total; i++ {
+		copy(out.Row(i), qs.Row(i%distinct))
+	}
+	return out
+}
+
+// qblockRows builds the block and per-series indexes over the snapshot data
+// once and measures every (workload, k) cell with interleaved reps. c must
+// already be defaulted.
+func qblockRows(c SuiteConfig, data *distance.Matrix) ([]QBlockRow, error) {
+	cores := c.CoreCounts[len(c.CoreCounts)-1]
+	base := core.Config{
+		Method:       core.SOFA,
+		LeafCapacity: c.LeafCapacity,
+		Workers:      cores,
+		SampleRate:   0.01,
+		Seed:         c.Seed,
+	}
+	blockIx, err := core.Build(data, base)
+	if err != nil {
+		return nil, err
+	}
+	psCfg := base
+	psCfg.PerSeriesLBD = true
+	psIx, err := core.Build(data, psCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	spec := c.Datasets[0]
+	spec.Count = data.Len()
+	nq := 4 * cores
+	if nq < 16 {
+		nq = 16
+	}
+	distinct, err := dataset.GenerateQueries(spec, nq, c.Seed)
+	if err != nil {
+		return nil, err
+	}
+	workloads := []struct {
+		name    string
+		queries *distance.Matrix
+	}{
+		{"distinct", distinct},
+		{"hot", hotQueries(distinct, 4, nq)},
+	}
+
+	const reps = 3
+	var rows []QBlockRow
+	for _, wl := range workloads {
+		for _, k := range []int{1, 10} {
+			// One untimed warmup per side grows pooled buffers and faults
+			// pages in before any timed rep.
+			if _, err := blockIx.SearchBatch(wl.queries, k, cores); err != nil {
+				return nil, err
+			}
+			if _, err := psIx.SearchBatch(wl.queries, k, cores); err != nil {
+				return nil, err
+			}
+			var tBlock, tPer time.Duration
+			for rep := 0; rep < reps; rep++ {
+				start := time.Now()
+				if _, err := blockIx.SearchBatch(wl.queries, k, cores); err != nil {
+					return nil, err
+				}
+				tBlock += time.Since(start)
+				start = time.Now()
+				if _, err := psIx.SearchBatch(wl.queries, k, cores); err != nil {
+					return nil, err
+				}
+				tPer += time.Since(start)
+			}
+			n := float64(reps * wl.queries.Len())
+			row := QBlockRow{
+				Workload:     wl.name,
+				K:            k,
+				BlockQPS:     n / tBlock.Seconds(),
+				PerSeriesQPS: n / tPer.Seconds(),
+			}
+			row.Speedup = row.BlockQPS / row.PerSeriesQPS
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}

@@ -99,6 +99,16 @@ func qpsRows(c SuiteConfig, data *distance.Matrix) ([]QPSRow, error) {
 		}
 		rows = append(rows, QPSRow{Engine: ix.Method().String() + " stream", Shards: shards, Workers: cores, QPS: qps})
 
+		// Skewed repeat-query workload: 4 distinct queries cycled over the
+		// same in-flight count. Repeats hit the per-query distance-table
+		// qr-cache, so this row isolates the refinement loop itself — the
+		// shape dashboards and alerting replays actually produce.
+		qps, err = timeBatchQPS(ix, hotQueries(queries, 4, queries.Len()), k, cores, reps)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, QPSRow{Engine: ix.Method().String() + " batch hot-query", Shards: shards, Workers: cores, QPS: qps})
+
 		fl, err := flat.BuildSharded(data, shards, cores)
 		if err != nil {
 			return nil, err

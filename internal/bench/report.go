@@ -29,8 +29,11 @@ type PerfReport struct {
 	GOOS      string `json:"goos"`
 	GOARCH    string `json:"goarch"`
 	MaxProcs  int    `json:"maxprocs"`
-	// SIMD is the dispatched kernel implementation: "avx2" or "portable".
-	SIMD string `json:"simd"`
+	// SIMD is the dispatched per-series kernel implementation: "avx2" or
+	// "portable". SIMDBlock is the tier serving the block-granularity
+	// kernels, which additionally know an "avx512" tier.
+	SIMD      string `json:"simd"`
+	SIMDBlock string `json:"simd_block"`
 
 	// Kernels: nanoseconds per single kernel invocation (series length 256
 	// for ED/dot; l=16 words over a 256-symbol alphabet for LBD kernels).
@@ -42,6 +45,12 @@ type PerfReport struct {
 	DataSeries int      `json:"data_series"`
 	DataLength int      `json:"data_length"`
 	EndToEnd   []QPSRow `json:"end_to_end"`
+
+	// KernelAB is the same-session interleaved block-vs-per-series
+	// refinement A/B on the snapshot dataset (the qblock experiment's
+	// rows): reps alternate between the two builds, so the speedups are
+	// immune to run-to-run machine drift.
+	KernelAB []QBlockRow `json:"kernel_ab"`
 
 	// SearchSteadyStateAllocs is allocations per exact Search call on a
 	// warmed pooled searcher (the PR-1 zero-allocation invariant).
@@ -73,8 +82,8 @@ func RunReport(cfg SuiteConfig, w io.Writer) error {
 		return err
 	}
 	tw := newTable(w)
-	fmt.Fprintf(tw, "go\t%s %s/%s\tsimd\t%s\tmaxprocs\t%d\n",
-		rep.GoVersion, rep.GOOS, rep.GOARCH, rep.SIMD, rep.MaxProcs)
+	fmt.Fprintf(tw, "go\t%s %s/%s\tsimd\t%s (block: %s)\tmaxprocs\t%d\n",
+		rep.GoVersion, rep.GOOS, rep.GOARCH, rep.SIMD, rep.SIMDBlock, rep.MaxProcs)
 	fmt.Fprintln(tw, "kernel\tns/op")
 	for _, k := range rep.Kernels {
 		fmt.Fprintf(tw, "%s\t%.1f\n", k.Name, k.NsPerOp)
@@ -82,6 +91,10 @@ func RunReport(cfg SuiteConfig, w io.Writer) error {
 	fmt.Fprintln(tw, "engine\tshards\tworkers\tqueries/s")
 	for _, r := range rep.EndToEnd {
 		fmt.Fprintf(tw, "%s\t%d\t%d\t%.0f\n", r.Engine, r.Shards, r.Workers, r.QPS)
+	}
+	fmt.Fprintln(tw, "kernel A/B (interleaved)\tk\tblock q/s\tper-series q/s\tspeedup")
+	for _, r := range rep.KernelAB {
+		fmt.Fprintf(tw, "\t%s k=%d\t%.0f\t%.0f\t%.2fx\n", r.Workload, r.K, r.BlockQPS, r.PerSeriesQPS, r.Speedup)
 	}
 	fmt.Fprintf(tw, "search steady-state allocs\t%.1f\n", rep.SearchSteadyStateAllocs)
 	fmt.Fprintf(tw, "load (S=%d)\tversion\tdecode ms\ttree ms\ttotal ms\tre-splits\n", rep.LoadShards)
@@ -113,13 +126,14 @@ func RunReport(cfg SuiteConfig, w io.Writer) error {
 // BuildReport runs every measurement of the report.
 func BuildReport(cfg SuiteConfig) (*PerfReport, error) {
 	rep := &PerfReport{
-		PR:        6,
+		PR:        7,
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
 		MaxProcs:  runtime.GOMAXPROCS(0),
 		SIMD:      simd.Impl(),
+		SIMDBlock: simd.BlockImpl(),
 	}
 	rep.Kernels = kernelRows()
 	// The qps and load measurements share one generated snapshot dataset.
@@ -136,6 +150,10 @@ func BuildReport(cfg SuiteConfig) (*PerfReport, error) {
 	rep.Dataset = spec.Name
 	rep.DataSeries = spec.Count
 	rep.DataLength = spec.Length
+	rep.KernelAB, err = qblockRows(c, data)
+	if err != nil {
+		return nil, err
+	}
 	allocs, err := searchSteadyStateAllocs(cfg)
 	if err != nil {
 		return nil, err
@@ -170,6 +188,13 @@ func kernelRows() []KernelRow {
 	for i := range table {
 		table[i] = rng.Float64()
 	}
+	// A leaf-sized SoA block (256 series of l symbols) for the block kernels.
+	const blockN = 256
+	blockWords := make([]byte, blockN*l)
+	for i := range blockWords {
+		blockWords[i] = byte(rng.Intn(alpha))
+	}
+	blockOut := make([]float64, blockN)
 	inf := math.Inf(1)
 	cases := []struct {
 		name string
@@ -185,6 +210,17 @@ func kernelRows() []KernelRow {
 		{"table_lookup_seq", func() { simd.LookupAccumEASeq(word, table, alpha, inf) }},
 		{"table_lookup_vec_" + simd.Impl(), func() { simd.LookupAccumEA(word, table, alpha, inf) }},
 		{"table_lookup_portable", func() { simd.LookupAccumEAPortable(word, table, alpha, inf) }},
+		// Block-granularity kernels: one call bounds a whole 256-series leaf
+		// block, so ns/op here is per LEAF, not per series (divide by 256 to
+		// compare against the per-series rows above).
+		{"block_table_lookup_" + simd.BlockImpl(), func() { simd.LookupAccumBlockEA(blockWords, blockN, table, alpha, blockOut, inf) }},
+		{"block_table_lookup_portable", func() { simd.LookupAccumBlockEAPortable(blockWords, blockN, table, alpha, blockOut, inf) }},
+		{"block_lbd_gather_" + simd.BlockImpl(), func() {
+			simd.LBDGatherBlockEA(blockWords, blockN, qr, lower, upper, weights, alpha, blockOut, inf)
+		}},
+		{"block_lbd_gather_portable", func() {
+			simd.LBDGatherBlockEAPortable(blockWords, blockN, qr, lower, upper, weights, alpha, blockOut, inf)
+		}},
 	}
 	rows := make([]KernelRow, 0, len(cases))
 	for _, c := range cases {

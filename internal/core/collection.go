@@ -167,6 +167,7 @@ func (c *Collection) shardOptions() index.Options {
 		Workers:      perShard,
 		Queues:       queues,
 		NoLeafBlocks: c.cfg.NoLeafBlocks,
+		PerSeriesLBD: c.cfg.PerSeriesLBD,
 	}
 }
 

@@ -124,7 +124,18 @@ func (s *Searcher) beginShard(query []float64, k int, kn *KNNCollector, idMul, i
 	s.pruneScale = pruneScale
 	s.approxNode = s.approximateLeaf()
 	if s.approxNode != nil {
-		s.processLeafReal(s.approxNode, q, kn)
+		if s.t.opts.PerSeriesLBD {
+			s.processLeafReal(s.approxNode, q, kn)
+		} else {
+			// Block path: the flat table must exist before the seed leaf's
+			// block LBD prefilter. A fresh build costs one l x alphabet
+			// sweep per query (microseconds; a qr-cache hit on repeats);
+			// the prefilter pays it back whenever the collector already
+			// carries a finite bound (later shards, hot queries).
+			s.kern.qr = s.qr
+			s.dt.build(&s.kern, s.t.gather.alphabet)
+			s.processLeafApprox(s.approxNode, q, kn)
+		}
 	}
 	s.seeded = true
 	return nil
@@ -140,9 +151,10 @@ func (s *Searcher) finishShard() {
 	q := s.qbuf
 	s.seeded = false
 
-	// The flat per-query LBD table feeds only the refinement loop below, so
-	// it is built here rather than in beginShard — the approximate mode
-	// (seeding only) never pays for it.
+	// On the default block path beginShard already built the flat LBD table
+	// (its seed prefilter needs it) and this is a qr-cache hit; under
+	// PerSeriesLBD the approximate mode (seeding only) never pays for the
+	// build, so it happens here.
 	s.kern.qr = s.qr
 	s.dt.build(&s.kern, t.gather.alphabet)
 
@@ -157,7 +169,7 @@ func (s *Searcher) finishShard() {
 		for _, rk := range t.rootKeys {
 			s.traverseScaled(t.root[rk], kn, approx, scale)
 		}
-		s.drainScaled(0, q, kn, scale)
+		s.drainScaled(0, q, kn, scale, &s.scratch)
 		return
 	}
 
@@ -192,7 +204,9 @@ func (s *Searcher) finishShard() {
 		go func(start int) {
 			defer wg2.Done()
 			defer trapPanic(&wp)
-			s.drainScaled(start, q, kn, scale)
+			// Workers share this Searcher, so each gets its own block
+			// scratch (the parallel path allocates per query anyway).
+			s.drainScaled(start, q, kn, scale, &drainScratch{})
 		}(w % set.Size())
 	}
 	wg2.Wait()
@@ -217,16 +231,22 @@ func (s *Searcher) traverseScaled(n *node, kn *KNNCollector, skip *node, scale f
 }
 
 // drainScaled pops surviving leaves in ascending lower-bound order and
-// refines them. Refinement streams each leaf's contiguous word block through
-// the flat per-query distance table (the hot loop is sequential loads from
-// two arrays), and reads the shared BSF atomic once per boundRefreshInterval
-// series — re-reading early only when this worker improves the k-NN set.
-// Under Options.NoLeafBlocks leaves carry no contiguous block and the word
-// rows are gathered from the global buffer per series instead.
-func (s *Searcher) drainScaled(start int, q []float64, kn *KNNCollector, scale float64) {
+// refines them. The default path bounds the whole leaf with ONE block
+// kernel call (minDistBlockEA writes every member's exact LBD into the
+// pooled scratch) and then walks only the members whose bound beats the
+// BSF with real distances; Options.PerSeriesLBD restores the per-series
+// early-abandoning kernel call. Both paths make identical pruning
+// decisions — the per-series certificate and the full block value land on
+// the same side of the prune bound because table entries are nonnegative —
+// and read the shared BSF atomic once per boundRefreshInterval series,
+// re-reading early only when this worker improves the k-NN set. Under
+// Options.NoLeafBlocks leaves carry no contiguous block; the block path
+// gathers the rows into scratch first, the per-series path gathers from
+// the global buffer per series.
+func (s *Searcher) drainScaled(start int, q []float64, kn *KNNCollector, scale float64, ds *drainScratch) {
 	t := s.t
 	set := s.set
-	l := t.l
+	perSeries := t.opts.PerSeriesLBD
 	for qi := 0; qi < set.Size(); qi++ {
 		pq := set.Queue((start + qi) % set.Size())
 		for {
@@ -236,32 +256,75 @@ func (s *Searcher) drainScaled(start int, q []float64, kn *KNNCollector, scale f
 			}
 			leaf := it.Payload
 			s.leavesRefined.Add(1)
-			words := leaf.words
-			var nLBD, nED int64
-			bound := kn.Bound()
-			for i, id := range leaf.ids {
-				if i%boundRefreshInterval == 0 {
-					bound = kn.Bound()
-				}
-				pruneAt := bound * scale
-				nLBD++
-				var wrow []byte
-				if words != nil {
-					wrow = words[i*l : (i+1)*l]
-				} else {
-					wrow = t.words[int(id)*l : (int(id)+1)*l]
-				}
-				if lb := s.dt.minDistEA(wrow, pruneAt); lb >= pruneAt {
-					continue
-				}
-				nED++
-				d := distance.SquaredEDEarlyAbandon(t.data.Row(int(id)), q, bound)
-				if d < bound && kn.Offer(s.mapID(id), d) {
-					bound = kn.Bound()
-				}
+			if perSeries {
+				s.refineLeafPerSeries(leaf, q, kn, scale)
+			} else {
+				s.refineLeafBlock(leaf, q, kn, scale, ds)
 			}
-			s.seriesLBD.Add(nLBD)
-			s.seriesED.Add(nED)
 		}
 	}
+}
+
+// refineLeafBlock is the block-kernel refinement: one kernel call for the
+// whole leaf, then a survivor walk computing real distances.
+func (s *Searcher) refineLeafBlock(leaf *node, q []float64, kn *KNNCollector, scale float64, ds *drainScratch) {
+	n := len(leaf.ids)
+	if n == 0 {
+		return
+	}
+	t := s.t
+	words := s.leafWords(leaf, ds)
+	lbd := ds.lbdFor(n)
+	bound := kn.Bound()
+	s.dt.minDistBlockEA(words, n, lbd, bound*scale)
+	var nED int64
+	for i, id := range leaf.ids {
+		if i%boundRefreshInterval == 0 {
+			bound = kn.Bound()
+		}
+		if lbd[i] >= bound*scale {
+			continue
+		}
+		nED++
+		d := distance.SquaredEDEarlyAbandon(t.data.Row(int(id)), q, bound)
+		if d < bound && kn.Offer(s.mapID(id), d) {
+			bound = kn.Bound()
+		}
+	}
+	s.seriesLBD.Add(int64(n))
+	s.seriesED.Add(nED)
+}
+
+// refineLeafPerSeries is the pre-block refinement loop (one early-abandoning
+// table-lookup kernel call per series), kept verbatim behind
+// Options.PerSeriesLBD for the same-binary kernel A/B.
+func (s *Searcher) refineLeafPerSeries(leaf *node, q []float64, kn *KNNCollector, scale float64) {
+	t := s.t
+	l := t.l
+	words := leaf.words
+	var nLBD, nED int64
+	bound := kn.Bound()
+	for i, id := range leaf.ids {
+		if i%boundRefreshInterval == 0 {
+			bound = kn.Bound()
+		}
+		pruneAt := bound * scale
+		nLBD++
+		var wrow []byte
+		if words != nil {
+			wrow = words[i*l : (i+1)*l]
+		} else {
+			wrow = t.words[int(id)*l : (int(id)+1)*l]
+		}
+		if lb := s.dt.minDistEA(wrow, pruneAt); lb >= pruneAt {
+			continue
+		}
+		nED++
+		d := distance.SquaredEDEarlyAbandon(t.data.Row(int(id)), q, bound)
+		if d < bound && kn.Offer(s.mapID(id), d) {
+			bound = kn.Bound()
+		}
+	}
+	s.seriesLBD.Add(nLBD)
+	s.seriesED.Add(nED)
 }

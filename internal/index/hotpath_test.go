@@ -22,31 +22,112 @@ func TestSearchZeroAllocSteadyState(t *testing.T) {
 		"SFA": newSFASum(t, m, sfa.Options{SampleRate: 0.2}),
 		"SAX": newSAXSum(t, n, 16, 8),
 	} {
-		t.Run(name, func(t *testing.T) {
-			tr, err := Build(m, sum, Options{LeafCapacity: 64, Workers: 1, Queues: 1})
-			if err != nil {
-				t.Fatal(err)
-			}
-			s := tr.NewSearcher()
-			query := make([]float64, n)
+		// All three refinement configurations share the zero-alloc contract:
+		// the default block-kernel path (pooled LBD scratch), the
+		// PerSeriesLBD fallback, and NoLeafBlocks (block path gathers word
+		// rows into pooled scratch).
+		for _, cfg := range []struct {
+			suffix string
+			opts   Options
+		}{
+			{"", Options{LeafCapacity: 64, Workers: 1, Queues: 1}},
+			{"/per-series", Options{LeafCapacity: 64, Workers: 1, Queues: 1, PerSeriesLBD: true}},
+			{"/no-leaf-blocks", Options{LeafCapacity: 64, Workers: 1, Queues: 1, NoLeafBlocks: true}},
+		} {
+			t.Run(name+cfg.suffix, func(t *testing.T) {
+				tr, err := Build(m, sum, cfg.opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				s := tr.NewSearcher()
+				query := make([]float64, n)
+				for j := range query {
+					query[j] = rng.NormFloat64()
+				}
+				// Warm up: grow every pooled buffer to its steady-state size.
+				for i := 0; i < 3; i++ {
+					if _, err := s.Search(query, 10); err != nil {
+						t.Fatal(err)
+					}
+				}
+				avg := testing.AllocsPerRun(50, func() {
+					if _, err := s.Search(query, 10); err != nil {
+						t.Fatal(err)
+					}
+				})
+				if avg != 0 {
+					t.Errorf("steady-state Search allocates %v allocs/op, want 0", avg)
+				}
+			})
+		}
+	}
+}
+
+// The block-kernel refinement path and the PerSeriesLBD fallback must
+// return IDENTICAL results — same ids, same distance bits — on the same
+// build: the block kernels are bit-identical to the per-series sequential
+// kernel and both paths make the same pruning decisions. Single worker
+// keeps the comparison deterministic.
+func TestBlockRefinementMatchesPerSeries(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	n := 96
+	m := mixedMatrix(rng, 1500, n)
+	sum := newSFASum(t, m, sfa.Options{SampleRate: 0.2})
+	for _, noBlocks := range []bool{false, true} {
+		block, err := Build(m, sum, Options{LeafCapacity: 64, Workers: 1, Queues: 1, NoLeafBlocks: noBlocks})
+		if err != nil {
+			t.Fatal(err)
+		}
+		perSeries, err := Build(m, sum, Options{LeafCapacity: 64, Workers: 1, Queues: 1, NoLeafBlocks: noBlocks, PerSeriesLBD: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb := block.NewSearcher()
+		sp := perSeries.NewSearcher()
+		query := make([]float64, n)
+		for qi := 0; qi < 25; qi++ {
 			for j := range query {
 				query[j] = rng.NormFloat64()
 			}
-			// Warm up: grow every pooled buffer to its steady-state size.
-			for i := 0; i < 3; i++ {
-				if _, err := s.Search(query, 10); err != nil {
-					t.Fatal(err)
+			k := 1 + qi%10
+			got, err := sb.Search(query, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := sp.Search(query, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("noBlocks=%v query %d: %d results vs %d", noBlocks, qi, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("noBlocks=%v query %d rank %d: block %+v != per-series %+v", noBlocks, qi, i, got[i], want[i])
 				}
 			}
-			avg := testing.AllocsPerRun(50, func() {
-				if _, err := s.Search(query, 10); err != nil {
-					t.Fatal(err)
-				}
-			})
-			if avg != 0 {
-				t.Errorf("steady-state Search allocates %v allocs/op, want 0", avg)
+			// Identical pruning decisions imply identical work counters.
+			if gs, ws := sb.LastStats(), sp.LastStats(); gs != ws {
+				t.Fatalf("noBlocks=%v query %d: stats diverged: block %+v != per-series %+v", noBlocks, qi, gs, ws)
 			}
-		})
+			// Approximate mode: the seed prefilter must not change answers.
+			ga, err := sb.SearchApproximate(query, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wa, err := sp.SearchApproximate(query, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ga) != len(wa) {
+				t.Fatalf("noBlocks=%v query %d approx: %d results vs %d", noBlocks, qi, len(ga), len(wa))
+			}
+			for i := range wa {
+				if ga[i] != wa[i] {
+					t.Fatalf("noBlocks=%v query %d approx rank %d: %+v != %+v", noBlocks, qi, i, ga[i], wa[i])
+				}
+			}
+		}
 	}
 }
 

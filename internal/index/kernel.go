@@ -220,3 +220,17 @@ func newDistTable(k *kernel, alphabet int) *distTable {
 func (t *distTable) minDistEA(word []byte, bsf float64) float64 {
 	return simd.LookupAccumEASeq(word[:t.l], t.flat, t.alphabet, bsf)
 }
+
+// minDistBlockEA computes the lower bounds of ALL n series of a contiguous
+// SoA word block (n rows of l symbols — exactly a leaf's refinement block)
+// in one kernel call, writing out[i] for every series and returning the
+// survivor count (<= bsf). Each out[i] is exact and bit-identical to
+// minDistEA's sequential value when that one is not abandoned; abandoned
+// per-series certificates and full block values land on the same side of
+// any bound >= bsf because table entries are nonnegative. This is the
+// default refinement kernel (Options.PerSeriesLBD restores minDistEA): it
+// pays dispatch and bounds checks once per leaf instead of once per series
+// and opens the series-across-lanes AVX2/AVX-512 tiers (see BlockImpl).
+func (t *distTable) minDistBlockEA(words []byte, n int, out []float64, bsf float64) int {
+	return simd.LookupAccumBlockEA(words, n, t.flat, t.alphabet, out, bsf)
+}

@@ -184,6 +184,50 @@ func BenchmarkLBDKernels(b *testing.B) {
 			}
 		}
 	})
+	// Block-granularity contenders: ONE kernel call bounds all 400 series.
+	// BlockTable is the default refinement kernel; BlockGather re-runs the
+	// gather-vs-table ablation at block granularity (series-across-lanes
+	// gathers amortized over a whole leaf — the strongest case gathers get).
+	b.Run("BlockTable-"+simd.BlockImpl(), func(b *testing.B) {
+		_, dt, _, block, l := lbdFixture(b)
+		rows := len(block) / l
+		out := make([]float64, rows)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dt.minDistBlockEA(block, rows, out, math.Inf(1))
+		}
+	})
+	b.Run("BlockTablePortable", func(b *testing.B) {
+		_, dt, _, block, l := lbdFixture(b)
+		rows := len(block) / l
+		out := make([]float64, rows)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			simd.LookupAccumBlockEAPortable(block, rows, dt.flat, dt.alphabet, out, math.Inf(1))
+		}
+	})
+	b.Run("BlockGather-"+simd.BlockImpl(), func(b *testing.B) {
+		k, _, _, block, l := lbdFixture(b)
+		rows := len(block) / l
+		out := make([]float64, rows)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			simd.LBDGatherBlockEA(block, rows, k.qr, k.g.lower, k.g.upper, k.weights, k.g.alphabet, out, math.Inf(1))
+		}
+	})
+	b.Run("BlockGatherPortable", func(b *testing.B) {
+		k, _, _, block, l := lbdFixture(b)
+		rows := len(block) / l
+		out := make([]float64, rows)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			simd.LBDGatherBlockEAPortable(block, rows, k.qr, k.g.lower, k.g.upper, k.weights, k.g.alphabet, out, math.Inf(1))
+		}
+	})
 }
 
 // BenchmarkDistTableBuild measures the per-query table build: Cold rebuilds

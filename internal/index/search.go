@@ -173,6 +173,12 @@ type Searcher struct {
 	set    *queue.Set[*node]
 	resBuf []Result
 
+	// scratch is the block-kernel scratch of the SERIAL paths (the seeding
+	// stage and single-worker drains). Parallel drains share one Searcher
+	// across worker goroutines, so finishShard hands each worker its own
+	// drainScratch instead of this field.
+	scratch drainScratch
+
 	// Shard-query state, set by beginShard at the start of every search.
 	// A stand-alone Search points extKN at the searcher's own collector with
 	// the identity id mapping; a collection-level shard search points it at
@@ -315,6 +321,78 @@ func (s *Searcher) processLeafReal(leaf *node, q []float64, kn *KNNCollector) {
 	for i, id := range leaf.ids {
 		if i%boundRefreshInterval == 0 {
 			bound = kn.Bound()
+		}
+		d := distance.SquaredEDEarlyAbandon(t.data.Row(int(id)), q, bound)
+		if d < bound && kn.Offer(s.mapID(id), d) {
+			bound = kn.Bound()
+		}
+	}
+}
+
+// drainScratch is the per-drain-call scratch of the block refinement path:
+// the pooled LBD output slice and, for NoLeafBlocks trees, a staging buffer
+// the leaf's word rows are gathered into so the block kernel still sees one
+// contiguous SoA block. Both grow to the largest leaf seen and are then
+// reused, keeping the steady-state query path allocation-free.
+type drainScratch struct {
+	lbd   []float64
+	words []byte
+}
+
+func (ds *drainScratch) lbdFor(n int) []float64 {
+	if cap(ds.lbd) < n {
+		ds.lbd = make([]float64, n)
+	}
+	ds.lbd = ds.lbd[:n]
+	return ds.lbd
+}
+
+// leafWords returns the leaf's contiguous word block, gathering the rows
+// from the global buffer into scratch when the tree carries no per-leaf
+// blocks (Options.NoLeafBlocks). The copy is n*l sequential bytes — far
+// cheaper than what the per-leaf kernel call saves.
+func (s *Searcher) leafWords(leaf *node, ds *drainScratch) []byte {
+	if leaf.words != nil {
+		return leaf.words
+	}
+	t := s.t
+	need := len(leaf.ids) * t.l
+	if cap(ds.words) < need {
+		ds.words = make([]byte, need)
+	}
+	ds.words = ds.words[:need]
+	for i, id := range leaf.ids {
+		copy(ds.words[i*t.l:(i+1)*t.l], t.words[int(id)*t.l:(int(id)+1)*t.l])
+	}
+	return ds.words
+}
+
+// processLeafApprox is the block-kernel variant of processLeafReal: one
+// kernel call bounds every member of the seed leaf, and real distances are
+// then computed only for members whose lower bound beats the current BSF.
+// With an empty collector (bound +Inf) nothing is skipped and the walk
+// degenerates to processLeafReal; with a finite bound — later shards of a
+// sharded query, warm repeat queries — most of the leaf's real distances
+// vanish. Skipping lb >= bound is exact: the true distance is >= lb, and
+// the bound only ever decreases, so such a candidate could never enter the
+// k-NN set. The seeding stage stays uncounted in SearchStats either way.
+func (s *Searcher) processLeafApprox(leaf *node, q []float64, kn *KNNCollector) {
+	n := len(leaf.ids)
+	if n == 0 {
+		return
+	}
+	t := s.t
+	ds := &s.scratch
+	words := s.leafWords(leaf, ds)
+	lbd := ds.lbdFor(n)
+	bound := kn.Bound()
+	s.dt.minDistBlockEA(words, n, lbd, bound)
+	for i, id := range leaf.ids {
+		if i%boundRefreshInterval == 0 {
+			bound = kn.Bound()
+		}
+		if lbd[i] >= bound {
+			continue
 		}
 		d := distance.SquaredEDEarlyAbandon(t.data.Row(int(id)), q, bound)
 		if d < bound && kn.Offer(s.mapID(id), d) {

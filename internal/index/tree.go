@@ -22,6 +22,14 @@ type Options struct {
 	// Queues is the number of priority queues used during query answering
 	// (default = Workers, matching the paper's setup).
 	Queues int
+	// PerSeriesLBD reverts query refinement to the per-series LBD kernel
+	// path (one early-abandoning table lookup call per series) instead of
+	// the default block kernels (one call per leaf, see
+	// simd.LookupAccumBlockEA). Results are identical either way — the
+	// block kernels are bit-identical to the per-series sequential path —
+	// so the switch exists for the same-binary A/B benchmarks and as an
+	// escape hatch.
+	PerSeriesLBD bool
 	// NoLeafBlocks disables the per-leaf contiguous word blocks (node.words).
 	// Blocks roughly double word memory (the global buffer stays the source
 	// of truth), so memory-constrained builds — e.g. many shards per machine

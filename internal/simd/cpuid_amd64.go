@@ -36,3 +36,27 @@ func detectAVX2FMA() bool {
 	const avx2 = 1 << 5
 	return b7&avx2 != 0
 }
+
+// detectAVX512 reports AVX512F support with the OS having enabled the
+// opmask and ZMM state components (XCR0 bits 5..7 alongside XMM+YMM).
+// The block kernels use only foundation instructions (ZMM arithmetic,
+// qword gathers, K-masked loads/stores, KMOVW), so F alone suffices —
+// no DQ/BW/VL requirement.
+func detectAVX512() bool {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, c1, _ := cpuid(1, 0)
+	const osxsave = 1 << 27
+	if c1&osxsave == 0 {
+		return false
+	}
+	xlo, _ := xgetbv()
+	if xlo&0xe6 != 0xe6 { // XMM, YMM, opmask, ZMM-hi256, hi16-ZMM state
+		return false
+	}
+	_, b7, _, _ := cpuid(7, 0)
+	const avx512f = 1 << 16
+	return b7&avx512f != 0
+}

@@ -10,6 +10,14 @@ import "os"
 // for the asm-vs-portable benchmarks without rebuilding with -tags noasm.
 var useAVX2 = os.Getenv("SOFA_NOSIMD") == "" && detectAVX2FMA()
 
+// useAVX512 gates the AVX-512 tier of the BLOCK kernels (the per-series
+// kernels top out at AVX2 — their per-call overhead, not lane width, is
+// the bottleneck, which is what the block kernels exist to fix). It
+// requires the AVX2 tier (so SOFA_NOSIMD kills both), AVX512F and the OS
+// having enabled opmask+ZMM state. SOFA_NOAVX512 pins the block kernels to
+// the AVX2 path for same-binary tier A/Bs.
+var useAVX512 = useAVX2 && os.Getenv("SOFA_NOAVX512") == "" && detectAVX512()
+
 // Impl names the active kernel implementation: "avx2" when the hardware
 // kernels are dispatched, "portable" otherwise.
 func Impl() string {
@@ -18,6 +26,20 @@ func Impl() string {
 	}
 	return "portable"
 }
+
+// BlockImpl names the implementation serving the block kernels: "avx512",
+// "avx2" or "portable". It is reported separately from Impl because the
+// AVX-512 tier exists only at block granularity.
+func BlockImpl() string {
+	if useAVX512 {
+		return "avx512"
+	}
+	return Impl()
+}
+
+// HasAVX512 reports whether the AVX-512 block tier is active (CI's
+// skip-not-fail lane logs it explicitly).
+func HasAVX512() bool { return useAVX512 }
 
 func edBlocks16(a, b []float64, bound float64) (float64, int) {
 	if useAVX2 {
@@ -47,6 +69,47 @@ func lookupBlocks8(word []byte, table []float64, alphabet int, bsf float64) (flo
 	return lookupBlocks8Ref(word, table, alphabet, bsf)
 }
 
+// Block kernel bodies: compute every series' partial sum over the full
+// 8-position groups (l &^ 7 positions) into out[:n]; the exported wrappers
+// in kernels_block.go append position tails and count survivors in shared
+// Go code. The AVX-512 bodies cover every series (tail stripes run under a
+// K mask); the AVX2 bodies cover the full stripes of 4 and leave the
+// remaining <4 series to the reference.
+
+func lookupAccumBlocks(words []byte, n, l int, table []float64, alphabet int, out []float64) {
+	if useAVX512 {
+		lookupBlockAVX512(words, n, l, table, alphabet, out)
+		return
+	}
+	if useAVX2 {
+		if nf := n &^ 3; nf > 0 {
+			lookupBlockAVX2(words, nf, l, table, alphabet, out)
+			if nf < n {
+				lookupAccumBlockRef(words[nf*l:], n-nf, l, table, alphabet, out[nf:])
+			}
+			return
+		}
+	}
+	lookupAccumBlockRef(words, n, l, table, alphabet, out)
+}
+
+func lbdGatherBlocks(words []byte, n, l int, qr, lower, upper, weights []float64, alphabet int, out []float64) {
+	if useAVX512 {
+		lbdGatherBlockAVX512(words, n, l, qr, lower, upper, weights, alphabet, out)
+		return
+	}
+	if useAVX2 {
+		if nf := n &^ 3; nf > 0 {
+			lbdGatherBlockAVX2(words, nf, l, qr, lower, upper, weights, alphabet, out)
+			if nf < n {
+				lbdGatherBlockRef(words[nf*l:], n-nf, l, qr, lower, upper, weights, alphabet, out[nf:])
+			}
+			return
+		}
+	}
+	lbdGatherBlockRef(words, n, l, qr, lower, upper, weights, alphabet, out)
+}
+
 // Assembly kernels (kernels_amd64.s). Each processes only the full blocks
 // of its input and returns the reduced sum over the processed prefix plus
 // the index of the first unprocessed element; the exported wrappers in
@@ -63,3 +126,17 @@ func lbdGatherBlocks8AVX2(word []byte, qr, lower, upper, weights []float64, alph
 
 //go:noescape
 func lookupBlocks8AVX2(word []byte, table []float64, alphabet int, bsf float64) (sum float64, idx int)
+
+// Block kernel assembly (kernels_block_amd64.s).
+
+//go:noescape
+func lookupBlockAVX2(words []byte, n, l int, table []float64, alphabet int, out []float64)
+
+//go:noescape
+func lookupBlockAVX512(words []byte, n, l int, table []float64, alphabet int, out []float64)
+
+//go:noescape
+func lbdGatherBlockAVX2(words []byte, n, l int, qr, lower, upper, weights []float64, alphabet int, out []float64)
+
+//go:noescape
+func lbdGatherBlockAVX512(words []byte, n, l int, qr, lower, upper, weights []float64, alphabet int, out []float64)

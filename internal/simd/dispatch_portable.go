@@ -9,6 +9,13 @@ package simd
 // Impl names the active kernel implementation.
 func Impl() string { return "portable" }
 
+// BlockImpl names the implementation serving the block kernels.
+func BlockImpl() string { return "portable" }
+
+// HasAVX512 reports whether the AVX-512 block tier is active (never, on
+// the portable build).
+func HasAVX512() bool { return false }
+
 func edBlocks16(a, b []float64, bound float64) (float64, int) {
 	return edBlocks16Ref(a, b, bound)
 }
@@ -23,4 +30,12 @@ func lbdGatherBlocks8(word []byte, qr, lower, upper, weights []float64, alphabet
 
 func lookupBlocks8(word []byte, table []float64, alphabet int, bsf float64) (float64, int) {
 	return lookupBlocks8Ref(word, table, alphabet, bsf)
+}
+
+func lookupAccumBlocks(words []byte, n, l int, table []float64, alphabet int, out []float64) {
+	lookupAccumBlockRef(words, n, l, table, alphabet, out)
+}
+
+func lbdGatherBlocks(words []byte, n, l int, qr, lower, upper, weights []float64, alphabet int, out []float64) {
+	lbdGatherBlockRef(words, n, l, qr, lower, upper, weights, alphabet, out)
 }

@@ -1,0 +1,217 @@
+package simd
+
+// Block-granularity LBD kernels: one call computes the lower-bound
+// distances of an ENTIRE SoA leaf block — n contiguous words of l symbols,
+// row-major, exactly the layout of the index's per-leaf refinement blocks —
+// writing every series' LBD into a caller-pooled out slice and returning
+// how many are <= bsf, so the refinement loop only walks survivors.
+//
+// The per-series kernels above pay their dispatch, bounds-check and
+// early-abandon bookkeeping once PER SERIES; at l=16 that overhead is
+// comparable to the arithmetic itself (the checked-in ablation shows AVX2
+// gathers losing to scalar lookups on exactly this). The block kernels pay
+// it once per LEAF and check the abandon bound per stripe of series
+// instead of per series.
+//
+// Numeric contract: out[i] is the FULL lower bound of series i — the
+// kernels never abandon inside a series — and is BIT-IDENTICAL to the
+// sequential per-series formulation (LookupAccumEASeq at bsf=+Inf; the
+// parity suite pins it). The vector variants achieve this by laying the
+// SERIES across lanes: each lane accumulates its own series sequentially
+// over positions, so no reduction tree reorders the adds. bsf participates
+// only in the survivor classification; because a survivor's value is exact,
+// callers can re-check it against a fresher (smaller) bound for free.
+//
+// Dispatch adds an AVX-512 tier for the block kernels (8 series per
+// stripe, K-masked tail stripes — no scalar remainder loop) above the AVX2
+// tier (4 series per stripe, remainder series through the reference); see
+// BlockImpl. Sub-8 position tails (l not a multiple of 8; never the case
+// for the index's l=16) are finished in shared Go code, appended
+// sequentially so the per-lane add order is preserved.
+
+// LookupAccumBlockEA computes the flat distance-table lower bounds of all
+// n series of a block in one call: out[i] = sum over positions j of
+// table[j*alphabet + words[i*l+j]], with l = len(words)/n. It returns the
+// number of entries <= bsf (survivors). out[i] is exact (never abandoned)
+// and bit-identical to LookupAccumEASeq(words[i*l:(i+1)*l], table,
+// alphabet, +Inf).
+//
+// Contract: n >= 0, len(words) divisible by n, len(out) >= n,
+// len(table) >= l*alphabet, every symbol < alphabet (checked once).
+func LookupAccumBlockEA(words []byte, n int, table []float64, alphabet int, out []float64, bsf float64) int {
+	if n == 0 {
+		return 0
+	}
+	l := checkBlockShape(len(words), n, len(out))
+	checkLookupBlockBounds(l, len(table), alphabet)
+	checkSymbols(words, alphabet)
+	lookupAccumBlocks(words, n, l, table, alphabet, out)
+	if nb := l &^ (lbdBlock - 1); nb < l {
+		lookupBlockTail(words, n, l, nb, table, alphabet, out)
+	}
+	return countSurvivors(out[:n], bsf)
+}
+
+// LookupAccumBlockEAPortable is the always-portable reference of
+// LookupAccumBlockEA (it also serves as the scalar-in-block contender of
+// the gather-vs-table ablation at block granularity).
+func LookupAccumBlockEAPortable(words []byte, n int, table []float64, alphabet int, out []float64, bsf float64) int {
+	if n == 0 {
+		return 0
+	}
+	l := checkBlockShape(len(words), n, len(out))
+	checkLookupBlockBounds(l, len(table), alphabet)
+	checkSymbols(words, alphabet)
+	lookupAccumBlockRef(words, n, l, table, alphabet, out)
+	if nb := l &^ (lbdBlock - 1); nb < l {
+		lookupBlockTail(words, n, l, nb, table, alphabet, out)
+	}
+	return countSurvivors(out[:n], bsf)
+}
+
+// LBDGatherBlockEA is the gather sibling of LookupAccumBlockEA: the same
+// block shape, but each position's contribution is computed from the raw
+// quantization intervals (Algorithm 3's Gather_bound) instead of a
+// precomputed table: d = max(max(lo-v, v-hi), 0), term = w*(d*d), with the
+// max-select lane semantics of VMAXPD (NaN v yields 0, as in the
+// per-series kernels). out[i] is exact; the return value counts survivors
+// <= bsf.
+//
+// Contract: the LookupAccumBlockEA shape contract, plus len(qr) and
+// len(weights) >= l and len(lower), len(upper) >= l*alphabet.
+func LBDGatherBlockEA(words []byte, n int, qr, lower, upper, weights []float64, alphabet int, out []float64, bsf float64) int {
+	if n == 0 {
+		return 0
+	}
+	l := checkBlockShape(len(words), n, len(out))
+	checkGatherBlockBounds(l, len(qr), len(weights), len(lower), len(upper), alphabet)
+	checkSymbols(words, alphabet)
+	lbdGatherBlocks(words, n, l, qr, lower, upper, weights, alphabet, out)
+	if nb := l &^ (lbdBlock - 1); nb < l {
+		lbdGatherBlockTail(words, n, l, nb, qr, lower, upper, weights, alphabet, out)
+	}
+	return countSurvivors(out[:n], bsf)
+}
+
+// LBDGatherBlockEAPortable is the always-portable reference of
+// LBDGatherBlockEA.
+func LBDGatherBlockEAPortable(words []byte, n int, qr, lower, upper, weights []float64, alphabet int, out []float64, bsf float64) int {
+	if n == 0 {
+		return 0
+	}
+	l := checkBlockShape(len(words), n, len(out))
+	checkGatherBlockBounds(l, len(qr), len(weights), len(lower), len(upper), alphabet)
+	checkSymbols(words, alphabet)
+	lbdGatherBlockRef(words, n, l, qr, lower, upper, weights, alphabet, out)
+	if nb := l &^ (lbdBlock - 1); nb < l {
+		lbdGatherBlockTail(words, n, l, nb, qr, lower, upper, weights, alphabet, out)
+	}
+	return countSurvivors(out[:n], bsf)
+}
+
+// lookupAccumBlockRef is the canonical block body: for every series, a pure
+// sequential scalar add chain over the full 8-position groups (the same
+// order LookupAccumEASeq uses — each vector lane of the assembly reproduces
+// exactly this chain). Position tails are finished by lookupBlockTail.
+func lookupAccumBlockRef(words []byte, n, l int, table []float64, alphabet int, out []float64) {
+	nb := l &^ (lbdBlock - 1)
+	for i := 0; i < n; i++ {
+		row := words[i*l : i*l+nb]
+		var sum float64
+		for j, sym := range row {
+			sum += table[j*alphabet+int(sym)]
+		}
+		out[i] = sum
+	}
+}
+
+// lookupBlockTail appends the final sub-8 positions nb..l-1 to every
+// series' partial sum, sequentially — shared by every dispatch path so the
+// tail cannot drift.
+func lookupBlockTail(words []byte, n, l, nb int, table []float64, alphabet int, out []float64) {
+	for i := 0; i < n; i++ {
+		sum := out[i]
+		row := words[i*l+nb : (i+1)*l]
+		for j, sym := range row {
+			sum += table[(nb+j)*alphabet+int(sym)]
+		}
+		out[i] = sum
+	}
+}
+
+// lbdBlockTerm is one (series, position) contribution of the gather block
+// kernel in max-select form: d = MAX(MAX(lo-v, v-hi), 0) with Intel MAXPD
+// semantics (the second operand wins when the compare is false, including
+// NaN), then w*(d*d). For well-formed intervals this equals lbdTerm's
+// three-way switch; the max form is what a vector lane computes.
+func lbdBlockTerm(v, lo, hi, w float64) float64 {
+	dLo := lo - v
+	dHi := v - hi
+	d := dHi
+	if dLo > dHi {
+		d = dLo
+	}
+	if !(d > 0) {
+		d = 0
+	}
+	return w * (d * d)
+}
+
+// lbdGatherBlockRef is the canonical gather block body (full 8-position
+// groups; tails via lbdGatherBlockTail).
+func lbdGatherBlockRef(words []byte, n, l int, qr, lower, upper, weights []float64, alphabet int, out []float64) {
+	nb := l &^ (lbdBlock - 1)
+	for i := 0; i < n; i++ {
+		row := words[i*l : i*l+nb]
+		var sum float64
+		for j, sym := range row {
+			sum += lbdBlockTerm(qr[j], lower[j*alphabet+int(sym)], upper[j*alphabet+int(sym)], weights[j])
+		}
+		out[i] = sum
+	}
+}
+
+func lbdGatherBlockTail(words []byte, n, l, nb int, qr, lower, upper, weights []float64, alphabet int, out []float64) {
+	for i := 0; i < n; i++ {
+		sum := out[i]
+		row := words[i*l+nb : (i+1)*l]
+		for j, sym := range row {
+			p := nb + j
+			sum += lbdBlockTerm(qr[p], lower[p*alphabet+int(sym)], upper[p*alphabet+int(sym)], weights[p])
+		}
+		out[i] = sum
+	}
+}
+
+// countSurvivors classifies the computed LBDs against the abandon bound —
+// once per block, after every value is final, instead of once per series.
+func countSurvivors(out []float64, bsf float64) int {
+	k := 0
+	for _, v := range out {
+		if v <= bsf {
+			k++
+		}
+	}
+	return k
+}
+
+// checkBlockShape validates the (words, n, out) block shape and returns the
+// word length l = len(words)/n.
+func checkBlockShape(nWords, n, nOut int) int {
+	if n < 0 || nOut < n || nWords%n != 0 {
+		panic("simd: block kernel shape violates the contract (len(words) divisible by n, len(out) >= n)")
+	}
+	return nWords / n
+}
+
+func checkLookupBlockBounds(l, nt, alphabet int) {
+	if alphabet <= 0 || nt < l*alphabet {
+		panic("simd: LookupAccumBlockEA table shorter than l*alphabet")
+	}
+}
+
+func checkGatherBlockBounds(l, nq, nw, nlo, nhi, alphabet int) {
+	if alphabet <= 0 || nq < l || nw < l || nlo < l*alphabet || nhi < l*alphabet {
+		panic("simd: LBDGatherBlockEA slice lengths violate the kernel contract")
+	}
+}

@@ -1,0 +1,445 @@
+//go:build amd64 && !noasm
+
+#include "textflag.h"
+
+// Block-granularity LBD kernel bodies. Layout: SERIES across lanes — each
+// vector lane owns one series and accumulates its positions SEQUENTIALLY,
+// so every lane reproduces, add for add, the scalar sequential chain of
+// the portable reference (bit-identity without any reduction tree).
+//
+// Per 8-position group, ONE VPGATHERQQ pulls 8 symbol bytes per series as
+// a qword (the SoA block rows are contiguous, stride l); each position is
+// then extracted with VPSRLQ/VPAND and turned into a table index
+// j*alphabet+sym feeding a VGATHERQPD. The per-series kernels pay two
+// 4-lane gathers per 8 positions of ONE series; here the same two gathers
+// serve 4 (AVX2) or 8 (AVX-512) series.
+//
+// All bodies compute partial sums over the full 8-position groups
+// (l &^ 7 positions) and write out[0:n]; the Go wrappers append position
+// tails sequentially. The AVX-512 bodies process tail stripes (< 8
+// series) under a K mask, so no scalar series remainder exists; the AVX2
+// bodies cover n &^ 3 series and the dispatcher routes the rest through
+// the reference.
+
+// One lookup position: extract symbol byte (shift), index j*alphabet+sym,
+// gather the table entry, accumulate. Y2=symbol qwords, Y3=running
+// j*alphabet broadcast, Y6=0xff, Y7=alphabet, Y13=gather mask scratch.
+#define LUT2_POS(shift) \
+	VPSRLQ     $shift, Y2, Y4; \
+	VPAND      Y6, Y4, Y4; \
+	VPADDQ     Y3, Y4, Y4; \
+	VPADDQ     Y7, Y3, Y3; \
+	VPCMPEQD   Y13, Y13, Y13; \
+	VGATHERQPD Y13, (R12)(Y4*8), Y5; \
+	VADDPD     Y5, Y0, Y0
+
+// func lookupBlockAVX2(words []byte, n, l int, table []float64,
+//                      alphabet int, out []float64)
+TEXT ·lookupBlockAVX2(SB), NOSPLIT, $32-96
+	MOVQ words_base+0(FP), SI
+	MOVQ n+24(FP), CX
+	ANDQ $-4, CX
+	MOVQ l+32(FP), R15
+	MOVQ table_base+40(FP), R12
+	MOVQ out_base+72(FP), DI
+
+	MOVQ R15, BX
+	ANDQ $-8, BX                   // nb = l &^ 7
+
+	// Constants: Y7 = alphabet, Y8 = 8, Y6 = 0xff (qword lanes).
+	MOVQ         alphabet+64(FP), R8
+	VMOVQ        R8, X7
+	VPBROADCASTQ X7, Y7
+	MOVQ         $8, R10
+	VMOVQ        R10, X8
+	VPBROADCASTQ X8, Y8
+	MOVQ         $0xff, R10
+	VMOVQ        R10, X6
+	VPBROADCASTQ X6, Y6
+
+	// Initial byte offsets Y1 = {0, l, 2l, 3l}; stripe advance Y9 = 4l-nb
+	// (the inner loop has already advanced the offsets by nb).
+	XORQ    R10, R10
+	MOVQ    R10, 0(SP)
+	MOVQ    R15, 8(SP)
+	LEAQ    (R15)(R15*1), R10
+	MOVQ    R10, 16(SP)
+	LEAQ    (R10)(R15*1), R10
+	MOVQ    R10, 24(SP)
+	VMOVDQU 0(SP), Y1
+
+	MOVQ         R15, R10
+	SHLQ         $2, R10
+	SUBQ         BX, R10
+	VMOVQ        R10, X9
+	VPBROADCASTQ X9, Y9
+
+	XORQ DX, DX                    // s: stripe base series
+	CMPQ CX, $0
+	JE   lb2_done
+
+lb2_stripe:
+	VXORPD Y0, Y0, Y0              // per-lane accumulators
+	VPXOR  Y3, Y3, Y3              // running j*alphabet
+	XORQ   R11, R11                // j0
+	CMPQ   BX, $0
+	JE     lb2_store
+
+lb2_pos:
+	// 8 symbol bytes per lane, one qword gather at byte offsets Y1.
+	VPCMPEQD   Y13, Y13, Y13
+	VPGATHERQQ Y13, (SI)(Y1*1), Y2
+	LUT2_POS(0)
+	LUT2_POS(8)
+	LUT2_POS(16)
+	LUT2_POS(24)
+	LUT2_POS(32)
+	LUT2_POS(40)
+	LUT2_POS(48)
+	LUT2_POS(56)
+	VPADDQ     Y8, Y1, Y1
+	ADDQ       $8, R11
+	CMPQ       R11, BX
+	JL         lb2_pos
+
+lb2_store:
+	VMOVUPD Y0, (DI)(DX*8)
+	VPADDQ  Y9, Y1, Y1
+	ADDQ    $4, DX
+	CMPQ    DX, CX
+	JL      lb2_stripe
+
+lb2_done:
+	VZEROUPPER
+	RET
+
+// One gather position: extract symbol, gather lower+upper interval bounds,
+// d = MAX(MAX(lo-q, q-hi), 0) with MAXPD lane semantics, accumulate
+// w*(d*d) — unfused, matching the reference. disp selects qr[j]/weights[j]
+// within the current 8-position group (base+R11*8+disp). Y14 = zeros.
+#define GB2_POS(shift, disp) \
+	VPSRLQ       $shift, Y2, Y4; \
+	VPAND        Y6, Y4, Y4; \
+	VPADDQ       Y3, Y4, Y4; \
+	VPADDQ       Y7, Y3, Y3; \
+	VPCMPEQD     Y13, Y13, Y13; \
+	VGATHERQPD   Y13, (R12)(Y4*8), Y5; \
+	VPCMPEQD     Y13, Y13, Y13; \
+	VGATHERQPD   Y13, (R13)(Y4*8), Y10; \
+	VBROADCASTSD disp(R9)(R11*8), Y11; \
+	VSUBPD       Y11, Y5, Y5; \
+	VSUBPD       Y10, Y11, Y10; \
+	VMAXPD       Y10, Y5, Y5; \
+	VMAXPD       Y14, Y5, Y5; \
+	VMULPD       Y5, Y5, Y5; \
+	VBROADCASTSD disp(R14)(R11*8), Y11; \
+	VMULPD       Y5, Y11, Y5; \
+	VADDPD       Y5, Y0, Y0
+
+// func lbdGatherBlockAVX2(words []byte, n, l int, qr, lower, upper,
+//                         weights []float64, alphabet int, out []float64)
+TEXT ·lbdGatherBlockAVX2(SB), NOSPLIT, $32-168
+	MOVQ words_base+0(FP), SI
+	MOVQ n+24(FP), CX
+	ANDQ $-4, CX
+	MOVQ l+32(FP), R15
+	MOVQ qr_base+40(FP), R9
+	MOVQ lower_base+64(FP), R12
+	MOVQ upper_base+88(FP), R13
+	MOVQ weights_base+112(FP), R14
+	MOVQ out_base+144(FP), DI
+
+	MOVQ R15, BX
+	ANDQ $-8, BX
+
+	MOVQ         alphabet+136(FP), R8
+	VMOVQ        R8, X7
+	VPBROADCASTQ X7, Y7
+	MOVQ         $8, R10
+	VMOVQ        R10, X8
+	VPBROADCASTQ X8, Y8
+	MOVQ         $0xff, R10
+	VMOVQ        R10, X6
+	VPBROADCASTQ X6, Y6
+	VXORPD       Y14, Y14, Y14
+
+	XORQ    R10, R10
+	MOVQ    R10, 0(SP)
+	MOVQ    R15, 8(SP)
+	LEAQ    (R15)(R15*1), R10
+	MOVQ    R10, 16(SP)
+	LEAQ    (R10)(R15*1), R10
+	MOVQ    R10, 24(SP)
+	VMOVDQU 0(SP), Y1
+
+	MOVQ         R15, R10
+	SHLQ         $2, R10
+	SUBQ         BX, R10
+	VMOVQ        R10, X9
+	VPBROADCASTQ X9, Y9
+
+	XORQ DX, DX
+	CMPQ CX, $0
+	JE   gb2_done
+
+gb2_stripe:
+	VXORPD Y0, Y0, Y0
+	VPXOR  Y3, Y3, Y3
+	XORQ   R11, R11
+	CMPQ   BX, $0
+	JE     gb2_store
+
+gb2_pos:
+	VPCMPEQD   Y13, Y13, Y13
+	VPGATHERQQ Y13, (SI)(Y1*1), Y2
+	GB2_POS(0, 0)
+	GB2_POS(8, 8)
+	GB2_POS(16, 16)
+	GB2_POS(24, 24)
+	GB2_POS(32, 32)
+	GB2_POS(40, 40)
+	GB2_POS(48, 48)
+	GB2_POS(56, 56)
+	VPADDQ     Y8, Y1, Y1
+	ADDQ       $8, R11
+	CMPQ       R11, BX
+	JL         gb2_pos
+
+gb2_store:
+	VMOVUPD Y0, (DI)(DX*8)
+	VPADDQ  Y9, Y1, Y1
+	ADDQ    $4, DX
+	CMPQ    DX, CX
+	JL      gb2_stripe
+
+gb2_done:
+	VZEROUPPER
+	RET
+
+// AVX-512 variants: 8 series per stripe in ZMM lanes, the final partial
+// stripe fully handled under a K mask (gathers skip masked-off lanes, the
+// out store writes only live lanes), so no scalar series remainder exists.
+// Gather destinations are pre-zeroed because EVEX gathers merge: masked-off
+// lanes must contribute exactly zero to the (dead) lane accumulators.
+
+#define LUT5_POS(shift) \
+	VPSRLQ     $shift, Z2, Z4; \
+	VPANDQ     Z6, Z4, Z4; \
+	VPADDQ     Z3, Z4, Z4; \
+	VPADDQ     Z7, Z3, Z3; \
+	VPXORQ     Z5, Z5, Z5; \
+	KMOVW      K1, K2; \
+	VGATHERQPD (R12)(Z4*8), K2, Z5; \
+	VADDPD     Z5, Z0, Z0
+
+// func lookupBlockAVX512(words []byte, n, l int, table []float64,
+//                        alphabet int, out []float64)
+TEXT ·lookupBlockAVX512(SB), NOSPLIT, $64-96
+	MOVQ words_base+0(FP), SI
+	MOVQ n+24(FP), R13
+	MOVQ l+32(FP), R15
+	MOVQ table_base+40(FP), R12
+	MOVQ out_base+72(FP), DI
+
+	MOVQ R15, BX
+	ANDQ $-8, BX
+
+	MOVQ         alphabet+64(FP), R8
+	VPBROADCASTQ R8, Z7
+	MOVQ         $8, R9
+	VPBROADCASTQ R9, Z8
+	MOVQ         $0xff, R9
+	VPBROADCASTQ R9, Z6
+
+	// Initial byte offsets Z1 = {0, l, ..., 7l}.
+	XORQ      R9, R9
+	MOVQ      R9, 0(SP)
+	ADDQ      R15, R9
+	MOVQ      R9, 8(SP)
+	ADDQ      R15, R9
+	MOVQ      R9, 16(SP)
+	ADDQ      R15, R9
+	MOVQ      R9, 24(SP)
+	ADDQ      R15, R9
+	MOVQ      R9, 32(SP)
+	ADDQ      R15, R9
+	MOVQ      R9, 40(SP)
+	ADDQ      R15, R9
+	MOVQ      R9, 48(SP)
+	ADDQ      R15, R9
+	MOVQ      R9, 56(SP)
+	VMOVDQU64 0(SP), Z1
+
+	// Stripe advance 8l - nb.
+	MOVQ         R15, R9
+	SHLQ         $3, R9
+	SUBQ         BX, R9
+	VPBROADCASTQ R9, Z9
+
+	XORQ DX, DX
+	CMPQ R13, $0
+	JE   lb5_done
+
+lb5_stripe:
+	// K1 = live-lane mask: 0xff for a full stripe, (1<<rem)-1 for the tail.
+	MOVQ  R13, R9
+	SUBQ  DX, R9
+	MOVQ  $0xff, R10
+	CMPQ  R9, $8
+	JGE   lb5_mask
+	MOVQ  R9, CX
+	MOVQ  $1, R10
+	SHLQ  CX, R10
+	DECQ  R10
+
+lb5_mask:
+	KMOVW  R10, K1
+	VPXORQ Z0, Z0, Z0
+	VPXORQ Z3, Z3, Z3
+	XORQ   R11, R11
+	CMPQ   BX, $0
+	JE     lb5_store
+
+lb5_pos:
+	KMOVW      K1, K2
+	VPGATHERQQ (SI)(Z1*1), K2, Z2
+	LUT5_POS(0)
+	LUT5_POS(8)
+	LUT5_POS(16)
+	LUT5_POS(24)
+	LUT5_POS(32)
+	LUT5_POS(40)
+	LUT5_POS(48)
+	LUT5_POS(56)
+	VPADDQ     Z8, Z1, Z1
+	ADDQ       $8, R11
+	CMPQ       R11, BX
+	JL         lb5_pos
+
+lb5_store:
+	VMOVUPD Z0, K1, (DI)(DX*8)
+	VPADDQ  Z9, Z1, Z1
+	ADDQ    $8, DX
+	CMPQ    DX, R13
+	JL      lb5_stripe
+
+lb5_done:
+	VZEROUPPER
+	RET
+
+#define GB5_POS(shift, disp) \
+	VPSRLQ       $shift, Z2, Z4; \
+	VPANDQ       Z6, Z4, Z4; \
+	VPADDQ       Z3, Z4, Z4; \
+	VPADDQ       Z7, Z3, Z3; \
+	VPXORQ       Z5, Z5, Z5; \
+	KMOVW        K1, K2; \
+	VGATHERQPD   (R12)(Z4*8), K2, Z5; \
+	VPXORQ       Z10, Z10, Z10; \
+	KMOVW        K1, K2; \
+	VGATHERQPD   (R14)(Z4*8), K2, Z10; \
+	VBROADCASTSD disp(R9)(R11*8), Z11; \
+	VSUBPD       Z11, Z5, Z5; \
+	VSUBPD       Z10, Z11, Z10; \
+	VMAXPD       Z10, Z5, Z5; \
+	VMAXPD       Z14, Z5, Z5; \
+	VMULPD       Z5, Z5, Z5; \
+	VBROADCASTSD disp(AX)(R11*8), Z11; \
+	VMULPD       Z5, Z11, Z5; \
+	VADDPD       Z5, Z0, Z0
+
+// func lbdGatherBlockAVX512(words []byte, n, l int, qr, lower, upper,
+//                           weights []float64, alphabet int, out []float64)
+TEXT ·lbdGatherBlockAVX512(SB), NOSPLIT, $64-168
+	MOVQ words_base+0(FP), SI
+	MOVQ n+24(FP), R13
+	MOVQ l+32(FP), R15
+	MOVQ qr_base+40(FP), R9
+	MOVQ lower_base+64(FP), R12
+	MOVQ upper_base+88(FP), R14
+	MOVQ weights_base+112(FP), AX
+	MOVQ out_base+144(FP), DI
+
+	MOVQ R15, BX
+	ANDQ $-8, BX
+
+	MOVQ         alphabet+136(FP), R8
+	VPBROADCASTQ R8, Z7
+	MOVQ         $8, R10
+	VPBROADCASTQ R10, Z8
+	MOVQ         $0xff, R10
+	VPBROADCASTQ R10, Z6
+	VPXORQ       Z14, Z14, Z14
+
+	XORQ      R10, R10
+	MOVQ      R10, 0(SP)
+	ADDQ      R15, R10
+	MOVQ      R10, 8(SP)
+	ADDQ      R15, R10
+	MOVQ      R10, 16(SP)
+	ADDQ      R15, R10
+	MOVQ      R10, 24(SP)
+	ADDQ      R15, R10
+	MOVQ      R10, 32(SP)
+	ADDQ      R15, R10
+	MOVQ      R10, 40(SP)
+	ADDQ      R15, R10
+	MOVQ      R10, 48(SP)
+	ADDQ      R15, R10
+	MOVQ      R10, 56(SP)
+	VMOVDQU64 0(SP), Z1
+
+	MOVQ         R15, R10
+	SHLQ         $3, R10
+	SUBQ         BX, R10
+	VPBROADCASTQ R10, Z9
+
+	XORQ DX, DX
+	CMPQ R13, $0
+	JE   gb5_done
+
+gb5_stripe:
+	MOVQ  R13, R10
+	SUBQ  DX, R10
+	MOVQ  $0xff, R8
+	CMPQ  R10, $8
+	JGE   gb5_mask
+	MOVQ  R10, CX
+	MOVQ  $1, R8
+	SHLQ  CX, R8
+	DECQ  R8
+
+gb5_mask:
+	KMOVW  R8, K1
+	VPXORQ Z0, Z0, Z0
+	VPXORQ Z3, Z3, Z3
+	XORQ   R11, R11
+	CMPQ   BX, $0
+	JE     gb5_store
+
+gb5_pos:
+	KMOVW      K1, K2
+	VPGATHERQQ (SI)(Z1*1), K2, Z2
+	GB5_POS(0, 0)
+	GB5_POS(8, 8)
+	GB5_POS(16, 16)
+	GB5_POS(24, 24)
+	GB5_POS(32, 32)
+	GB5_POS(40, 40)
+	GB5_POS(48, 48)
+	GB5_POS(56, 56)
+	VPADDQ     Z8, Z1, Z1
+	ADDQ       $8, R11
+	CMPQ       R11, BX
+	JL         gb5_pos
+
+gb5_store:
+	VMOVUPD Z0, K1, (DI)(DX*8)
+	VPADDQ  Z9, Z1, Z1
+	ADDQ    $8, DX
+	CMPQ    DX, R13
+	JL      gb5_stripe
+
+gb5_done:
+	VZEROUPPER
+	RET

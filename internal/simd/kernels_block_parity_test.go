@@ -1,0 +1,343 @@
+package simd
+
+// Parity suite for the BLOCK kernels. The contract is stronger than the
+// per-series suite's: besides dispatched-vs-portable bit-identity, every
+// out[i] must be bit-identical to a loop of per-series sequential calls
+// (LookupAccumEASeq at bsf=+Inf) — the block kernels are a batching of the
+// per-series sequential path, not a numerically different kernel. The
+// corpus straddles every stripe boundary of both tiers (n around 4/8
+// multiples for AVX2/AVX-512 stripes, l around 8 multiples for position
+// groups) and injects ±Inf table entries and NaN query lanes.
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"testing"
+)
+
+func TestBlockImplReported(t *testing.T) {
+	impl := BlockImpl()
+	if impl != "avx512" && impl != "avx2" && impl != "portable" {
+		t.Fatalf("BlockImpl() = %q, want avx512, avx2 or portable", impl)
+	}
+	t.Logf("block kernel implementation: %s (per-series: %s)", impl, Impl())
+}
+
+// TestBlockImplMatchesEnv pins the block-kernel dispatch tier when
+// WANT_SIMD_BLOCK is set, the same guard TestImplMatchesEnv provides for
+// the per-series kernels. CI's AVX-512 lane sets WANT_SIMD_BLOCK=avx512
+// only after probing the runner, and the SOFA_NOAVX512 lane sets
+// WANT_SIMD_BLOCK=avx2 to prove the pin works.
+func TestBlockImplMatchesEnv(t *testing.T) {
+	want := os.Getenv("WANT_SIMD_BLOCK")
+	if want == "" {
+		t.Skip("WANT_SIMD_BLOCK not set")
+	}
+	if got := BlockImpl(); got != want {
+		t.Fatalf("BlockImpl() = %q, want %q (WANT_SIMD_BLOCK): block dispatch regressed", got, want)
+	}
+}
+
+// blockNs and blockLs straddle every stripe boundary: n crosses the AVX2
+// stripe of 4 and the AVX-512 stripe of 8 (1,7,8,9 exercise a lone masked
+// tail stripe; 63,64,65 exercise many full stripes plus each tail kind),
+// l crosses the 8-position group boundary.
+var blockNs = []int{1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 63, 64, 65}
+var blockLs = []int{1, 7, 8, 9, 16, 17, 24, 33}
+
+// lookupBlockCase builds an n×l SoA block plus a flat table with ±Inf
+// entries planted at looked-up positions.
+func lookupBlockCase(rng *rand.Rand, n, l, alpha int) (words []byte, table []float64) {
+	words = make([]byte, n*l)
+	table = make([]float64, l*alpha)
+	for i := range words {
+		words[i] = byte(rng.Intn(alpha))
+	}
+	for i := range table {
+		table[i] = rng.Float64() * 10
+	}
+	if n >= 2 && l >= 2 {
+		// ±Inf at positions hit by different series/stripes.
+		table[0*alpha+int(words[0])] = math.Inf(1)
+		table[1*alpha+int(words[(n-1)*l+1])] = math.Inf(-1)
+	}
+	return
+}
+
+func TestLookupAccumBlockParityMatchesSeqLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	inf := math.Inf(1)
+	for _, alpha := range []int{2, 256} {
+		for _, n := range blockNs {
+			for _, l := range blockLs {
+				words, table := lookupBlockCase(rng, n, l, alpha)
+				// Oracle: per-series sequential calls at bsf=+Inf (never
+				// abandoned, so each is the exact sequential sum).
+				want := make([]float64, n)
+				for i := 0; i < n; i++ {
+					want[i] = LookupAccumEASeq(words[i*l:(i+1)*l], table, alpha, inf)
+				}
+				got := make([]float64, n)
+				for _, bsf := range []float64{0, want[n/2], inf} {
+					for i := range got {
+						got[i] = math.NaN() // detect unwritten entries
+					}
+					k := LookupAccumBlockEA(words, n, table, alpha, got, bsf)
+					wantK := 0
+					for i := 0; i < n; i++ {
+						if !eqBits(got[i], want[i]) {
+							t.Fatalf("alpha=%d n=%d l=%d series %d: block %v (%#x) != seq loop %v (%#x)",
+								alpha, n, l, i, got[i], math.Float64bits(got[i]), want[i], math.Float64bits(want[i]))
+						}
+						if want[i] <= bsf {
+							wantK++
+						}
+					}
+					if k != wantK {
+						t.Fatalf("alpha=%d n=%d l=%d bsf=%v: survivors %d, want %d", alpha, n, l, bsf, k, wantK)
+					}
+					// Portable entry point must agree exactly too.
+					got2 := make([]float64, n)
+					k2 := LookupAccumBlockEAPortable(words, n, table, alpha, got2, bsf)
+					for i := range got2 {
+						if !eqBits(got2[i], want[i]) {
+							t.Fatalf("alpha=%d n=%d l=%d series %d: portable block diverged from seq loop", alpha, n, l, i)
+						}
+					}
+					if k2 != k {
+						t.Fatalf("alpha=%d n=%d l=%d: portable survivors %d != dispatched %d", alpha, n, l, k2, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+// lbdBlockCase reuses lbdCase's structurally valid interval problem and
+// adds n-1 more words over the same breakpoints.
+func lbdBlockCase(rng *rand.Rand, n, l, alpha int) (words []byte, qr, lower, upper, weights []float64) {
+	word, qr, lower, upper, weights := lbdCase(rng, l, alpha)
+	words = make([]byte, n*l)
+	copy(words, word)
+	for i := l; i < n*l; i++ {
+		words[i] = byte(rng.Intn(alpha))
+	}
+	return
+}
+
+func TestLBDGatherBlockParityExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	inf := math.Inf(1)
+	for _, alpha := range []int{2, 4, 256} {
+		for _, n := range blockNs {
+			for _, l := range blockLs {
+				words, qr, lower, upper, weights := lbdBlockCase(rng, n, l, alpha)
+				if l > 2 {
+					qr[l/2] = math.NaN() // NaN query lanes must select zero in every lane
+				}
+				want := make([]float64, n)
+				wantKInf := LBDGatherBlockEAPortable(words, n, qr, lower, upper, weights, alpha, want, inf)
+				if wantKInf != n {
+					t.Fatalf("alpha=%d n=%d l=%d: portable survivors at +Inf = %d, want n=%d", alpha, n, l, wantKInf, n)
+				}
+				got := make([]float64, n)
+				for _, bsf := range []float64{0, want[n/2], inf} {
+					k := LBDGatherBlockEA(words, n, qr, lower, upper, weights, alpha, got, bsf)
+					wantK := 0
+					for i := 0; i < n; i++ {
+						if !eqBits(got[i], want[i]) {
+							t.Fatalf("alpha=%d n=%d l=%d series %d: dispatched %v (%#x) != portable %v (%#x)",
+								alpha, n, l, i, got[i], math.Float64bits(got[i]), want[i], math.Float64bits(want[i]))
+						}
+						if want[i] <= bsf {
+							wantK++
+						}
+					}
+					if k != wantK {
+						t.Fatalf("alpha=%d n=%d l=%d bsf=%v: survivors %d, want %d", alpha, n, l, bsf, k, wantK)
+					}
+				}
+				// Cross-check against the per-series gather kernel at +Inf.
+				// That kernel reduces positions through a lane tree, so only
+				// approximate agreement is possible (the block kernels'
+				// canonical order is the sequential chain); a real logic bug
+				// would diverge by far more than reassociation slack.
+				for i := 0; i < n; i++ {
+					seq := LBDGatherEAPortable(words[i*l:(i+1)*l], qr, lower, upper, weights, alpha, inf)
+					if diff := math.Abs(want[i] - seq); diff > 1e-9*(math.Abs(seq)+1) {
+						t.Fatalf("alpha=%d n=%d l=%d series %d: block %v vs per-series gather %v (diff %v)", alpha, n, l, i, want[i], seq, diff)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBlockKernelContractPanics pins the shape validation: silent
+// out-of-bounds reads in asm would be memory corruption, so violations
+// must panic in the Go wrapper before dispatch.
+func TestBlockKernelContractPanics(t *testing.T) {
+	table := make([]float64, 4*8)
+	words := make([]byte, 8)
+	out := make([]float64, 2)
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("indivisible len(words)", func() {
+		LookupAccumBlockEA(words[:7], 2, table, 8, out, 0)
+	})
+	mustPanic("short out", func() {
+		LookupAccumBlockEA(words, 2, table, 8, out[:1], 0)
+	})
+	mustPanic("negative n", func() {
+		LookupAccumBlockEA(words, -1, table, 8, out, 0)
+	})
+	mustPanic("short table", func() {
+		LookupAccumBlockEA(words, 2, table[:31], 8, out, 0)
+	})
+	mustPanic("symbol out of range", func() {
+		bad := []byte{0, 9, 0, 0, 0, 0, 0, 0}
+		LookupAccumBlockEA(bad, 2, table, 8, out, 0)
+	})
+	qr := make([]float64, 4)
+	w := make([]float64, 4)
+	lo := make([]float64, 4*8)
+	hi := make([]float64, 4*8)
+	mustPanic("short qr", func() {
+		LBDGatherBlockEA(words, 2, qr[:3], lo, hi, w, 8, out, 0)
+	})
+	mustPanic("short lower", func() {
+		LBDGatherBlockEA(words, 2, qr, lo[:31], hi, w, 8, out, 0)
+	})
+	// n == 0 must be a no-op, not a panic.
+	if k := LookupAccumBlockEA(nil, 0, table, 8, nil, 0); k != 0 {
+		t.Fatalf("n=0: survivors %d, want 0", k)
+	}
+}
+
+func FuzzLookupAccumBlockParity(f *testing.F) {
+	f.Add(int64(1), 9, 16, 8, 10.0)
+	f.Add(int64(2), 64, 7, 3, math.Inf(1))
+	f.Add(int64(3), 1, 1, 1, 0.0)
+	f.Fuzz(func(t *testing.T, seed int64, n, l, alphaBits int, bsf float64) {
+		if n < 1 || n > 200 || l < 1 || l > 64 || alphaBits < 1 || alphaBits > 8 {
+			return
+		}
+		alpha := 1 << alphaBits
+		rng := rand.New(rand.NewSource(seed))
+		words, table := lookupBlockCase(rng, n, l, alpha)
+		for i := range table {
+			switch rng.Intn(20) {
+			case 0:
+				table[i] = math.Inf(1)
+			case 1:
+				table[i] = math.Inf(-1)
+			}
+		}
+		got := make([]float64, n)
+		want := make([]float64, n)
+		k := LookupAccumBlockEA(words, n, table, alpha, got, bsf)
+		kWant := LookupAccumBlockEAPortable(words, n, table, alpha, want, bsf)
+		if k != kWant {
+			t.Fatalf("survivor mismatch: n=%d l=%d alpha=%d bsf=%v: %d != %d", n, l, alpha, bsf, k, kWant)
+		}
+		for i := range got {
+			if !eqBits(got[i], want[i]) {
+				t.Fatalf("parity violation: n=%d l=%d alpha=%d series %d", n, l, alpha, i)
+			}
+			if seq := LookupAccumEASeq(words[i*l:(i+1)*l], table, alpha, math.Inf(1)); !eqBits(want[i], seq) {
+				t.Fatalf("seq-loop violation: n=%d l=%d alpha=%d series %d", n, l, alpha, i)
+			}
+		}
+	})
+}
+
+func FuzzLBDGatherBlockParity(f *testing.F) {
+	f.Add(int64(1), 9, 16, 8, 10.0)
+	f.Add(int64(2), 65, 9, 2, 0.0)
+	f.Add(int64(3), 8, 33, 1, math.Inf(1))
+	f.Fuzz(func(t *testing.T, seed int64, n, l, alphaBits int, bsf float64) {
+		if n < 1 || n > 200 || l < 1 || l > 64 || alphaBits < 1 || alphaBits > 8 {
+			return
+		}
+		alpha := 1 << alphaBits
+		rng := rand.New(rand.NewSource(seed))
+		words, qr, lower, upper, weights := lbdBlockCase(rng, n, l, alpha)
+		if l > 1 && seed%3 == 0 {
+			qr[rng.Intn(l)] = math.NaN()
+		}
+		got := make([]float64, n)
+		want := make([]float64, n)
+		k := LBDGatherBlockEA(words, n, qr, lower, upper, weights, alpha, got, bsf)
+		kWant := LBDGatherBlockEAPortable(words, n, qr, lower, upper, weights, alpha, want, bsf)
+		if k != kWant {
+			t.Fatalf("survivor mismatch: n=%d l=%d alpha=%d bsf=%v: %d != %d", n, l, alpha, bsf, k, kWant)
+		}
+		for i := range got {
+			if !eqBits(got[i], want[i]) {
+				t.Fatalf("parity violation: n=%d l=%d alpha=%d series %d", n, l, alpha, i)
+			}
+		}
+	})
+}
+
+// BenchmarkBlockKernels compares the block entry points against the
+// equivalent loop of per-series calls on a leaf-sized block (n=256, l=16,
+// alpha=256 — the shapes the index refinement path actually runs).
+func BenchmarkBlockKernels(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	const n, l, alpha = 256, 16, 256
+	words, table := lookupBlockCase(rng, n, l, alpha)
+	_, qr, lower, upper, weights := lbdBlockCase(rng, 1, l, alpha)
+	out := make([]float64, n)
+	inf := math.Inf(1)
+	perSeries := func(v float64) float64 { return v / n }
+
+	b.Run("lookup/block", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			LookupAccumBlockEA(words, n, table, alpha, out, inf)
+		}
+		b.ReportMetric(perSeries(float64(b.Elapsed().Nanoseconds())/float64(b.N)), "ns/series")
+	})
+	b.Run("lookup/block-portable", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			LookupAccumBlockEAPortable(words, n, table, alpha, out, inf)
+		}
+		b.ReportMetric(perSeries(float64(b.Elapsed().Nanoseconds())/float64(b.N)), "ns/series")
+	})
+	b.Run("lookup/per-series-loop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for s := 0; s < n; s++ {
+				out[s] = LookupAccumEASeq(words[s*l:(s+1)*l], table, alpha, inf)
+			}
+		}
+		b.ReportMetric(perSeries(float64(b.Elapsed().Nanoseconds())/float64(b.N)), "ns/series")
+	})
+	b.Run("gather/block", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			LBDGatherBlockEA(words, n, qr, lower, upper, weights, alpha, out, inf)
+		}
+		b.ReportMetric(perSeries(float64(b.Elapsed().Nanoseconds())/float64(b.N)), "ns/series")
+	})
+	b.Run("gather/block-portable", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			LBDGatherBlockEAPortable(words, n, qr, lower, upper, weights, alpha, out, inf)
+		}
+		b.ReportMetric(perSeries(float64(b.Elapsed().Nanoseconds())/float64(b.N)), "ns/series")
+	})
+	b.Run("gather/per-series-loop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for s := 0; s < n; s++ {
+				out[s] = LBDGatherEA(words[s*l:(s+1)*l], qr, lower, upper, weights, alpha, inf)
+			}
+		}
+		b.ReportMetric(perSeries(float64(b.Elapsed().Nanoseconds())/float64(b.N)), "ns/series")
+	})
+}
