@@ -38,9 +38,10 @@ func main() {
 		verbose   = flag.Bool("v", false, "print every result")
 		savePath  = flag.String("save", "", "write the built index to this file")
 		loadPath  = flag.String("load", "", "load a previously saved index instead of building")
+		durable   = flag.String("durable", "", "open a durable index directory (checkpoint + insert WAL); initialized from -data when empty")
 	)
 	flag.Parse()
-	if (*dataPath == "" && *loadPath == "") || *queryPath == "" {
+	if (*dataPath == "" && *loadPath == "" && *durable == "") || *queryPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -59,7 +60,38 @@ func main() {
 		fatal(err)
 	}
 	var ix *sofa.Index
-	if *loadPath != "" {
+	if *durable != "" {
+		if *loadPath != "" || *savePath != "" {
+			fatal(fmt.Errorf("-durable replaces -load/-save: the directory is the persistence"))
+		}
+		openOpts := []sofa.OpenOption{}
+		if *dataPath != "" {
+			data, err := dataset.Load(*dataPath)
+			if err != nil {
+				fatal(err)
+			}
+			data.ZNormalizeAll()
+			// Consulted only when the directory holds no index yet.
+			openOpts = append(openOpts, sofa.CreateFrom(data, opts...))
+		}
+		var rec sofa.RecoveryStats
+		openOpts = append(openOpts, sofa.WithRecoveryStats(&rec))
+		start := time.Now()
+		dix, err := sofa.Open(*durable, openOpts...)
+		if err != nil {
+			fatal(err)
+		}
+		defer dix.Close()
+		fmt.Printf("%s durable index opened from %s in %.2fs (%d series x %d, %d shard(s))\n",
+			dix.Method(), *durable, time.Since(start).Seconds(), dix.Len(), dix.SeriesLen(), dix.Shards())
+		fmt.Printf("recovery: checkpoint v%d (%d series), %d WAL records replayed, %d skipped\n",
+			rec.CheckpointVersion, rec.CheckpointLen, rec.Replayed, rec.Skipped)
+		if rec.TailError != nil {
+			fmt.Fprintf(os.Stderr, "sofa-query: warning: discarded %d bytes of damaged WAL tail: %v\n",
+				rec.DiscardedBytes, rec.TailError)
+		}
+		ix = dix.Index
+	} else if *loadPath != "" {
 		if *shards != 1 {
 			fmt.Fprintln(os.Stderr, "sofa-query: -shards is ignored with -load (the shard count is part of the saved index)")
 		}

@@ -236,6 +236,7 @@ func Experiments() []Experiment {
 		{"qblock", "Extension: block-vs-per-series refinement kernel A/B by workload and k", RunQBlock},
 		{"load", "Extension: index load time by container version (v2 rebuild vs v3 decode)", RunLoad},
 		{"chaos", "Extension: degraded-mode throughput, top-k coverage and ε certificates with one shard quarantined", RunChaos},
+		{"wal", "Extension: durable insert throughput by WAL sync policy", RunWAL},
 		{"report", "Extension: kernel + end-to-end perf snapshot (JSON via -json)", RunReport},
 	}
 }

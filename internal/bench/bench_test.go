@@ -66,8 +66,8 @@ func TestQuickConfig(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 20 {
-		t.Fatalf("%d experiments, want 20", len(exps))
+	if len(exps) != 21 {
+		t.Fatalf("%d experiments, want 21", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {
@@ -109,6 +109,21 @@ func TestRunLoad(t *testing.T) {
 	for _, want := range []string{"v2", "v3", "re-splits", "v3 vs v2"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("load output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunWAL(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tiny()
+	cfg.Shards = 2
+	if err := RunWAL(cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"sync policy", "none", "interval", "always", "replay ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("wal output missing %q:\n%s", want, out)
 		}
 	}
 }
@@ -159,7 +174,7 @@ func TestRunReport(t *testing.T) {
 	if err := json.Unmarshal(blob, &rep); err != nil {
 		t.Fatalf("report JSON does not parse: %v", err)
 	}
-	if rep.PR != 7 || len(rep.Kernels) == 0 || len(rep.EndToEnd) == 0 {
+	if rep.PR != 8 || len(rep.Kernels) == 0 || len(rep.EndToEnd) == 0 {
 		t.Errorf("report incomplete: %+v", rep)
 	}
 	if len(rep.KernelAB) != 4 {
@@ -183,6 +198,15 @@ func TestRunReport(t *testing.T) {
 	}
 	if rep.Load[1].Splits != 0 {
 		t.Errorf("v3 load re-split %d leaves, want 0", rep.Load[1].Splits)
+	}
+	if len(rep.WAL) != 3 {
+		t.Fatalf("report wal rows incomplete: %+v", rep.WAL)
+	}
+	for i, want := range []string{"none", "interval", "always"} {
+		r := rep.WAL[i]
+		if r.Policy != want || r.InsertsPerSec <= 0 || r.WALBytes <= 0 || r.ReplaySeconds <= 0 {
+			t.Errorf("degenerate wal row: %+v (want policy %q)", r, want)
+		}
 	}
 	if rep.SIMD != "avx2" && rep.SIMD != "portable" {
 		t.Errorf("bad simd field %q", rep.SIMD)

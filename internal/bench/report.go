@@ -66,6 +66,12 @@ type PerfReport struct {
 	// quarantined — AllowPartial throughput, top-k coverage and the ε
 	// certificate distribution.
 	Chaos *ChaosReport `json:"chaos"`
+
+	// WAL: durable insert throughput by write-ahead-log sync policy on the
+	// same snapshot (the wal experiment's rows) — the per-insert price of
+	// the fsync ladder, plus the replay cost the log imposes on the next
+	// open.
+	WAL []WALRow `json:"wal"`
 }
 
 // KernelRow is one kernel variant's microbenchmark result.
@@ -102,6 +108,10 @@ func RunReport(cfg SuiteConfig, w io.Writer) error {
 		fmt.Fprintf(tw, "\tv%d\t%.1f\t%.1f\t%.1f\t%d\n",
 			r.Version, r.DecodeSeconds*1e3, r.TreeSeconds*1e3, r.TotalSeconds*1e3, r.Splits)
 	}
+	fmt.Fprintln(tw, "wal sync policy\tinserts/s\tµs/insert\treplay ms")
+	for _, r := range rep.WAL {
+		fmt.Fprintf(tw, "\t%s\t%.0f\t%.1f\t%.1f\n", r.Policy, r.InsertsPerSec, r.MicrosPerInsert, r.ReplaySeconds*1e3)
+	}
 	if ch := rep.Chaos; ch != nil {
 		fmt.Fprintf(tw, "chaos (S=%d, shard %d down)\tqps %.0f → %.0f\tcoverage mean %.3f\tε: %d exact / %d finite / %d unbounded\n",
 			ch.Shards, ch.QuarantinedShard, ch.HealthyQPS, ch.DegradedQPS,
@@ -126,7 +136,7 @@ func RunReport(cfg SuiteConfig, w io.Writer) error {
 // BuildReport runs every measurement of the report.
 func BuildReport(cfg SuiteConfig) (*PerfReport, error) {
 	rep := &PerfReport{
-		PR:        7,
+		PR:        8,
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
@@ -166,6 +176,10 @@ func BuildReport(cfg SuiteConfig) (*PerfReport, error) {
 	rep.Load = loads
 	rep.LoadShards = c.Shards
 	rep.Chaos, err = chaosReport(c, data)
+	if err != nil {
+		return nil, err
+	}
+	rep.WAL, err = walRows(c, data)
 	if err != nil {
 		return nil, err
 	}

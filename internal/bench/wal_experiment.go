@@ -1,0 +1,169 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/distance"
+)
+
+// WALRow is one sync policy's durable-insert measurement: sustained insert
+// throughput with the write-ahead log under that policy (the explicit Sync
+// barrier is inside the timed region, so "none" and "interval" pay their
+// deferred fsync too), plus the cost of replaying the log on the next open.
+type WALRow struct {
+	Policy          string  `json:"policy"`
+	Inserts         int     `json:"inserts"`
+	Seconds         float64 `json:"seconds"`
+	InsertsPerSec   float64 `json:"inserts_per_sec"`
+	MicrosPerInsert float64 `json:"micros_per_insert"`
+	WALBytes        int64   `json:"wal_bytes"`
+	// ReplaySeconds is what the next Recover pays to re-apply this log
+	// (container load excluded: measured as recover-with-log minus
+	// recover-with-empty-log is not worth the noise at this scale, so this
+	// is the full Recover wall time — compare across rows, not to zero).
+	ReplaySeconds float64 `json:"replay_seconds"`
+}
+
+// RunWAL measures durable insert throughput by WAL sync policy — the
+// durability experiment: the same snapshot index is opened as a Store under
+// each policy and a stream of inserts is appended through the WAL. The
+// spread between "none" and "always" is the per-insert price of an fsync on
+// this machine's storage; "interval" buys back most of it at a bounded
+// data-loss window (see the README's durability table).
+func RunWAL(cfg SuiteConfig, w io.Writer) error {
+	c := cfg.withDefaults()
+	spec, data, err := snapshotData(c)
+	if err != nil {
+		return err
+	}
+	rows, err := walRows(c, data)
+	if err != nil {
+		return err
+	}
+	tw := newTable(w)
+	fmt.Fprintf(tw, "dataset\t%s\tseries\t%d\tlength\t%d\tshards\t%d\n",
+		spec.Name, spec.Count, spec.Length, c.Shards)
+	fmt.Fprintln(tw, "sync policy\tinserts\tinserts/s\tµs/insert\tWAL MB\treplay ms")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%.0f\t%.1f\t%.2f\t%.1f\n",
+			r.Policy, r.Inserts, r.InsertsPerSec, r.MicrosPerInsert,
+			float64(r.WALBytes)/(1<<20), r.ReplaySeconds*1e3)
+	}
+	return tw.Flush()
+}
+
+// walRows builds the snapshot index once, then measures each sync policy
+// against a fresh copy of it (loaded from an in-memory container, so the
+// base index is byte-identical across policies and insert ids line up). c
+// must already be defaulted.
+func walRows(c SuiteConfig, data *distance.Matrix) ([]WALRow, error) {
+	ix, err := core.Build(data, core.Config{
+		Method:       core.SOFA,
+		LeafCapacity: c.LeafCapacity,
+		Shards:       c.Shards,
+		SampleRate:   0.01,
+		Seed:         c.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var container bytes.Buffer
+	if err := core.Save(ix, &container); err != nil {
+		return nil, err
+	}
+	n := data.Stride
+	policies := []struct {
+		cfg     core.DurableConfig
+		inserts int
+	}{
+		// SyncAlways pays one fsync per insert; keep its batch small enough
+		// that slow storage does not stall the suite.
+		{core.DurableConfig{Sync: core.SyncNone}, 2048},
+		{core.DurableConfig{Sync: core.SyncInterval, SyncInterval: 10 * time.Millisecond}, 2048},
+		{core.DurableConfig{Sync: core.SyncAlways}, 256},
+	}
+	rows := make([]WALRow, 0, len(policies))
+	for _, p := range policies {
+		fresh, err := core.Load(bytes.NewReader(container.Bytes()))
+		if err != nil {
+			return nil, err
+		}
+		dir, err := os.MkdirTemp("", "sofa-bench-wal")
+		if err != nil {
+			return nil, err
+		}
+		row, err := walRow(fresh, dir, p.cfg, p.inserts, n, c.Seed)
+		os.RemoveAll(dir)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func walRow(ix *core.Index, dir string, cfg core.DurableConfig, inserts, n int, seed int64) (WALRow, error) {
+	st, err := core.CreateStore(dir, ix, cfg)
+	if err != nil {
+		return WALRow{}, err
+	}
+	// Pre-generate the insert stream (random walks) so the timed region is
+	// the durable write path alone.
+	rng := rand.New(rand.NewSource(seed + 7))
+	batch := make([][]float64, inserts)
+	for i := range batch {
+		s := make([]float64, n)
+		v := 0.0
+		for j := range s {
+			v += rng.NormFloat64()
+			s[j] = v
+		}
+		batch[i] = s
+	}
+	start := time.Now()
+	for _, s := range batch {
+		if _, err := st.Insert(s); err != nil {
+			st.Close()
+			return WALRow{}, err
+		}
+	}
+	// The durability barrier belongs inside the timed region: without it the
+	// deferred-sync policies would be credited for work they haven't done.
+	if err := st.Sync(); err != nil {
+		st.Close()
+		return WALRow{}, err
+	}
+	elapsed := time.Since(start).Seconds()
+	walBytes := st.WALSize()
+	if err := st.Close(); err != nil {
+		return WALRow{}, err
+	}
+	replayStart := time.Now()
+	re, err := core.Recover(dir, cfg)
+	if err != nil {
+		return WALRow{}, err
+	}
+	replay := time.Since(replayStart).Seconds()
+	if got := re.RecoveryStats().Replayed; got != inserts {
+		re.Close()
+		return WALRow{}, fmt.Errorf("bench: wal recover replayed %d records, want %d", got, inserts)
+	}
+	if err := re.Close(); err != nil {
+		return WALRow{}, err
+	}
+	return WALRow{
+		Policy:          cfg.Sync.String(),
+		Inserts:         inserts,
+		Seconds:         elapsed,
+		InsertsPerSec:   float64(inserts) / elapsed,
+		MicrosPerInsert: elapsed / float64(inserts) * 1e6,
+		WALBytes:        walBytes,
+		ReplaySeconds:   replay,
+	}, nil
+}

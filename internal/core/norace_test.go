@@ -1,0 +1,7 @@
+//go:build !race
+
+package core
+
+// raceEnabled gates allocation-count assertions: the race detector
+// instruments sync.Pool and makes them spuriously nonzero.
+const raceEnabled = false

@@ -10,6 +10,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/distance"
@@ -320,17 +321,97 @@ func SaveVersion(ix *Index, w io.Writer, version int) error {
 	return bw.Flush()
 }
 
-// SaveFile writes the index to a file.
+// SaveFile writes the index to a file atomically: the container is written
+// to a temp file in the same directory, fsynced, renamed over path, and the
+// directory fsynced. A crash at any point leaves either the old file or the
+// new one — never a truncated hybrid (os.Create in place, the previous
+// behaviour, destroyed the last good container the moment the save began).
 func SaveFile(ix *Index, path string) error {
-	f, err := os.Create(path)
+	return atomicWriteFile(path, func(w io.Writer) error {
+		return Save(ix, w)
+	})
+}
+
+// atomicWriteFile publishes the output of write at path with
+// temp+fsync+rename+dir-fsync crash atomicity. The temp file is created in
+// path's directory (rename must not cross filesystems) and removed on any
+// failure. In chaos builds the temp file's writes run through faultWriter
+// (SitePersistWrite) and the commit point is guarded by SiteCheckpointRename.
+func atomicWriteFile(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
-	if err := Save(ix, f); err != nil {
+	tmp := f.Name()
+	fail := func(err error) error {
 		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	var w io.Writer = f
+	if faultinject.Enabled {
+		w = &faultWriter{w: f}
+	}
+	if err := write(w); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if faultinject.Enabled {
+		if err := faultinject.Hook(faultinject.SiteCheckpointRename); err != nil {
+			os.Remove(tmp)
+			return fmt.Errorf("core: atomic save of %s: %w", filepath.Base(path), err)
+		}
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives power loss.
+// Filesystems that refuse directory fsync (some network mounts) are
+// tolerated: the rename itself is still atomic there.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	d.Sync()
+	return d.Close()
+}
+
+// faultWriter threads SitePersistWrite through every chunk the container
+// saver writes to the temp file. A fatal injected fault tears the chunk —
+// half its bytes reach the file — before surfacing, modelling a crash
+// mid-save; transient faults retry under the read path's bounded backoff.
+// Only chaos builds construct one.
+type faultWriter struct {
+	w io.Writer
+}
+
+func (fw *faultWriter) Write(p []byte) (int, error) {
+	if faultinject.Enabled {
+		for attempt := 0; ; attempt++ {
+			err := faultinject.Hook(faultinject.SitePersistWrite)
+			if err == nil {
+				break
+			}
+			if faultinject.IsTransient(err) && attempt < maxReadRetries {
+				continue
+			}
+			n, _ := fw.w.Write(p[:len(p)/2])
+			return n, err
+		}
+	}
+	return fw.w.Write(p)
 }
 
 // LoadStats reports where a Load spent its time — the introspection behind

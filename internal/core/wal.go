@@ -1,0 +1,390 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"math/rand/v2"
+	"os"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+// This file is the write-ahead log half of the durability subsystem (see
+// store.go for checkpoints and recovery). The WAL makes Insert crash-safe:
+// each insert is appended to the log as one checksummed record before it is
+// applied to the in-memory collection, so a process that dies between
+// checkpoints can replay the suffix of acknowledged inserts on restart.
+//
+// On-disk format — all integers little-endian, checksums CRC-32C (the
+// container's checksum discipline):
+//
+//	header:  magic "SOFAWAL\x01" (8) | u32 seriesLen | u32 crc(magic+seriesLen)
+//	record:  u32 payloadLen | u32 crc(payload) | payload
+//	payload: u64 seq | f64 × seriesLen   (the raw, pre-normalization series)
+//
+// seq is the global id the insert was assigned — the collection length at
+// append time — which is what makes recovery idempotent: a record whose seq
+// is already covered by the loaded checkpoint is skipped, not re-applied, so
+// the crash window between a checkpoint's rename and its WAL truncation
+// cannot duplicate inserts. payloadLen is fixed per log (8 + 8·seriesLen);
+// any other value is a forged length and classifies the tail as corrupt
+// without being trusted for an allocation.
+
+// SyncPolicy selects when the WAL fsyncs appended records. See the README's
+// durability table for what each policy guarantees after kill -9.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append: an acknowledged Insert is
+	// durable. The default, and the only policy under which acknowledged
+	// data cannot be lost to a power failure.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs at most once per configured interval (plus at
+	// checkpoint and Close): a crash loses at most the last interval's
+	// acknowledged inserts.
+	SyncInterval
+	// SyncNone never fsyncs outside checkpoint and Close: the OS decides
+	// when appended records reach the disk. A process crash (the kernel
+	// survives) loses nothing; a power failure can lose everything since
+	// the last checkpoint.
+	SyncNone
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNone:
+		return "none"
+	default:
+		return fmt.Sprintf("SyncPolicy(%d)", int(p))
+	}
+}
+
+// ErrWALCorrupt reports a write-ahead log whose bytes fail validation — a
+// checksum mismatch, a forged record length, or a sequence break. Recovery
+// never trusts anything at or past the first corrupt record; by default the
+// valid prefix is recovered and the tail discarded (reported via
+// RecoveryStats), while DurableConfig.StrictWAL surfaces it as an error.
+var ErrWALCorrupt = errors.New("core: write-ahead log corrupt")
+
+// ErrRecoveryTruncated reports a write-ahead log that ends mid-record — the
+// torn tail a crash during an append leaves behind. Like ErrWALCorrupt it is
+// absorbed into RecoveryStats by default and surfaced only under
+// DurableConfig.StrictWAL.
+var ErrRecoveryTruncated = errors.New("core: write-ahead log truncated mid-record")
+
+const (
+	walMagic            = "SOFAWAL\x01"
+	walHeaderSize       = 16
+	walRecordHeaderSize = 8
+	// maxWriteRetries bounds the transient-write retry budget, mirroring the
+	// read path's maxReadRetries: storage hiccups clear within a few
+	// attempts; anything that survives the budget surfaces.
+	maxWriteRetries = 3
+)
+
+// WAL is an append-only insert log. It is not safe for concurrent use — like
+// Insert itself, which is the only writer — and is managed by Store; tests
+// exercise it directly.
+type WAL struct {
+	f         *os.File
+	path      string
+	seriesLen int
+	next      uint64 // seq the next appended record will carry
+	size      int64  // file offset after the last fully acknowledged write
+	policy    SyncPolicy
+	interval  time.Duration
+	lastSync  time.Time
+	dirty     bool
+	buf       []byte
+
+	// failed latches the first surfaced append/sync error. Once a write
+	// failed, the file's tail state is unknown (a torn record may sit past
+	// size, and the file offset with it) — appending more would splice valid
+	// records behind garbage, silently un-durable. Every later Append/Sync
+	// refuses with this error; the owner must close and Recover.
+	failed error
+}
+
+// walRecordSize is the full on-disk size of one record for the given series
+// length.
+func walRecordSize(seriesLen int) int {
+	return walRecordHeaderSize + 8 + 8*seriesLen
+}
+
+// encodeWALHeader fills a 16-byte WAL file header.
+func encodeWALHeader(dst []byte, seriesLen int) {
+	copy(dst[:8], walMagic)
+	binary.LittleEndian.PutUint32(dst[8:], uint32(seriesLen))
+	binary.LittleEndian.PutUint32(dst[12:], crc32.Checksum(dst[:12], castagnoli))
+}
+
+// createWAL writes a fresh log at path (truncating any previous file) whose
+// first record will carry sequence number next. The header is synced before
+// returning, so a crash right after createWAL leaves a valid empty log.
+func createWAL(path string, seriesLen int, next uint64, policy SyncPolicy, interval time.Duration) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	var hdr [walHeaderSize]byte
+	encodeWALHeader(hdr[:], seriesLen)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &WAL{
+		f: f, path: path, seriesLen: seriesLen, next: next,
+		size: walHeaderSize, policy: policy, interval: interval,
+		lastSync: time.Now(),
+	}, nil
+}
+
+// NextSeq returns the sequence number the next appended record will carry.
+func (w *WAL) NextSeq() uint64 { return w.next }
+
+// Size returns the log's acknowledged byte size (header included).
+func (w *WAL) Size() int64 { return w.size }
+
+// Append logs one insert: the raw (pre-normalization) series under the next
+// sequence number. The record is fully buffered before any byte reaches the
+// file, then written in one call and fsynced per the sync policy. Transient
+// write and sync errors (the net-style Temporary contract, or injected
+// transient faults in chaos builds) are retried under a bounded jittered
+// backoff before surfacing.
+func (w *WAL) Append(series []float64) error {
+	if w.failed != nil {
+		return fmt.Errorf("core: wal wedged by earlier failure: %w", w.failed)
+	}
+	if len(series) != w.seriesLen {
+		return fmt.Errorf("core: wal append: series length %d, want %d", len(series), w.seriesLen)
+	}
+	need := walRecordSize(w.seriesLen)
+	if cap(w.buf) < need {
+		w.buf = make([]byte, need)
+	}
+	rec := w.buf[:need]
+	payload := rec[walRecordHeaderSize:]
+	binary.LittleEndian.PutUint32(rec[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(payload[0:], w.next)
+	for i, v := range series {
+		binary.LittleEndian.PutUint64(payload[8+8*i:], math.Float64bits(v))
+	}
+	binary.LittleEndian.PutUint32(rec[4:], crc32.Checksum(payload, castagnoli))
+	if err := w.write(rec); err != nil {
+		return err
+	}
+	w.next++
+	w.size += int64(need)
+	w.dirty = true
+	return w.maybeSync()
+}
+
+// write issues one record write with the transient-retry contract. A fatal
+// injected append fault tears the record — half its bytes reach the file —
+// before surfacing, modelling the torn tail a crash mid-append leaves; a
+// transient one is retried without touching the file. Any surfaced error
+// wedges the log (see WAL.failed).
+func (w *WAL) write(rec []byte) error {
+	delay := time.Millisecond
+	for attempt := 0; ; attempt++ {
+		if faultinject.Enabled {
+			if err := faultinject.Hook(faultinject.SiteWALAppend); err != nil {
+				if faultinject.IsTransient(err) && attempt < maxWriteRetries {
+					sleepJittered(&delay)
+					continue
+				}
+				w.f.Write(rec[:len(rec)/2])
+				w.failed = err
+				return fmt.Errorf("core: wal append: %w", err)
+			}
+		}
+		n, err := w.f.Write(rec)
+		if err == nil {
+			return nil
+		}
+		// A partial write already tore the file; retrying would splice a
+		// fresh record after garbage, corrupting the log past the tear.
+		if n > 0 || !isTransientRead(err) || attempt >= maxWriteRetries {
+			w.failed = err
+			return fmt.Errorf("core: wal append: %w", err)
+		}
+		sleepJittered(&delay)
+	}
+}
+
+// Sync flushes appended records to stable storage, retrying transient fsync
+// errors under the same bounded jittered backoff as writes. A no-op when
+// nothing was appended since the last sync.
+func (w *WAL) Sync() error {
+	if w.failed != nil {
+		return fmt.Errorf("core: wal wedged by earlier failure: %w", w.failed)
+	}
+	if !w.dirty {
+		return nil
+	}
+	delay := time.Millisecond
+	for attempt := 0; ; attempt++ {
+		if faultinject.Enabled {
+			if err := faultinject.Hook(faultinject.SiteWALSync); err != nil {
+				if faultinject.IsTransient(err) && attempt < maxWriteRetries {
+					sleepJittered(&delay)
+					continue
+				}
+				// A failed fsync poisons too: the kernel may have dropped the
+				// dirty pages, so "retry the fsync later" silently lies.
+				w.failed = err
+				return fmt.Errorf("core: wal sync: %w", err)
+			}
+		}
+		err := w.f.Sync()
+		if err == nil {
+			w.dirty = false
+			w.lastSync = time.Now()
+			return nil
+		}
+		if !isTransientRead(err) || attempt >= maxWriteRetries {
+			w.failed = err
+			return fmt.Errorf("core: wal sync: %w", err)
+		}
+		sleepJittered(&delay)
+	}
+}
+
+// maybeSync applies the sync policy after an append.
+func (w *WAL) maybeSync() error {
+	switch w.policy {
+	case SyncAlways:
+		return w.Sync()
+	case SyncInterval:
+		if time.Since(w.lastSync) >= w.interval {
+			return w.Sync()
+		}
+	}
+	return nil
+}
+
+// truncateTo rolls the log back to a prior acknowledged size — the repair
+// path when an append succeeded but the in-memory insert behind it failed,
+// which would otherwise leave a record recovery replays but the running
+// index never held.
+func (w *WAL) truncateTo(size int64, next uint64) error {
+	if err := w.f.Truncate(size); err != nil {
+		return fmt.Errorf("core: wal rollback: %w", err)
+	}
+	if _, err := w.f.Seek(size, io.SeekStart); err != nil {
+		return fmt.Errorf("core: wal rollback: %w", err)
+	}
+	w.size = size
+	w.next = next
+	w.dirty = true
+	return nil
+}
+
+// Close syncs outstanding records and closes the file.
+func (w *WAL) Close() error {
+	syncErr := w.Sync()
+	closeErr := w.f.Close()
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}
+
+// sleepJittered sleeps the current backoff delay plus up to 50% random
+// jitter (so parallel retriers do not stampede in phase), then doubles the
+// delay for the next attempt.
+func sleepJittered(delay *time.Duration) {
+	d := *delay
+	time.Sleep(d + time.Duration(rand.Int64N(int64(d)/2+1)))
+	*delay = d * 2
+}
+
+// walEntry is one decoded record during recovery.
+type walEntry struct {
+	seq    uint64
+	series []float64
+}
+
+// scanWAL validates and decodes the log at f front to back, invoking apply
+// for every intact record. It returns the byte offset just past the last
+// valid record (validEnd), and classifies how the scan ended: tailErr is nil
+// for a log that ends exactly on a record boundary, wraps
+// ErrRecoveryTruncated for a torn tail, and wraps ErrWALCorrupt for a
+// checksum mismatch, forged length, bad header, or an apply rejection —
+// everything from the offending record on is untrusted. Errors returned by
+// apply that do not wrap ErrWALCorrupt abort the scan as real failures (err
+// non-nil); I/O errors from f do the same.
+func scanWAL(f *os.File, seriesLen int, apply func(walEntry) error) (validEnd int64, tailErr, err error) {
+	info, err := f.Stat()
+	if err != nil {
+		return 0, nil, err
+	}
+	fileSize := info.Size()
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, nil, err
+	}
+	var hdr [walHeaderSize]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			// Shorter than a header: nothing in this file is usable, not
+			// even the header — the whole file is the discarded tail.
+			return 0, fmt.Errorf("core: wal header short (%d bytes): %w", fileSize, ErrRecoveryTruncated), nil
+		}
+		return 0, nil, err
+	}
+	var want [walHeaderSize]byte
+	encodeWALHeader(want[:], seriesLen)
+	if hdr != want {
+		return 0, fmt.Errorf("core: wal header mismatch: %w", ErrWALCorrupt), nil
+	}
+	validEnd = walHeaderSize
+	recSize := walRecordSize(seriesLen)
+	rec := make([]byte, recSize)
+	series := make([]float64, seriesLen)
+	for {
+		n, rerr := io.ReadFull(f, rec)
+		if rerr == io.EOF {
+			return validEnd, nil, nil
+		}
+		if rerr == io.ErrUnexpectedEOF {
+			return validEnd, fmt.Errorf("core: wal record at offset %d short (%d of %d bytes): %w",
+				validEnd, n, recSize, ErrRecoveryTruncated), nil
+		}
+		if rerr != nil {
+			return validEnd, nil, rerr
+		}
+		payload := rec[walRecordHeaderSize:]
+		if got := binary.LittleEndian.Uint32(rec[0:]); got != uint32(len(payload)) {
+			return validEnd, fmt.Errorf("core: wal record at offset %d: forged length %d (want %d): %w",
+				validEnd, got, len(payload), ErrWALCorrupt), nil
+		}
+		if got, want := binary.LittleEndian.Uint32(rec[4:]), crc32.Checksum(payload, castagnoli); got != want {
+			return validEnd, fmt.Errorf("core: wal record at offset %d: checksum %08x, want %08x: %w",
+				validEnd, got, want, ErrWALCorrupt), nil
+		}
+		e := walEntry{seq: binary.LittleEndian.Uint64(payload[0:]), series: series}
+		for i := range series {
+			series[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8+8*i:]))
+		}
+		if aerr := apply(e); aerr != nil {
+			if errors.Is(aerr, ErrWALCorrupt) {
+				return validEnd, aerr, nil
+			}
+			return validEnd, nil, aerr
+		}
+		validEnd += int64(recSize)
+	}
+}

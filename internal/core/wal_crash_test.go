@@ -1,0 +1,410 @@
+//go:build faultinject
+
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+// The crash-point matrix: the write path is killed at every durability hook
+// site, the directory reopened, and the recovered index's answers compared
+// bit for bit against a store that never crashed but holds the identical
+// durable history. Build with -tags faultinject; the CI chaos job runs this
+// under -race.
+
+// crashFixture is a pair of durability directories initialized from
+// byte-identical checkpoints of the same base index, so a crashed store and
+// its clean reference recover through the exact same container bytes.
+type crashFixture struct {
+	queries [][]float64
+	extras  [][]float64
+	base    []byte // saved container of the base index
+}
+
+func newCrashFixture(tb testing.TB, shards int) *crashFixture {
+	tb.Helper()
+	faultinject.Reset()
+	rng := rand.New(rand.NewSource(152))
+	data := mixedMatrix(rng, 300, 32)
+	ix, err := Build(data, Config{Method: SOFA, LeafCapacity: 32, SampleRate: 0.2, Shards: shards, Workers: 1})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(ix, &buf); err != nil {
+		tb.Fatal(err)
+	}
+	qm := mixedMatrix(rng, 4, 32)
+	queries := make([][]float64, qm.Len())
+	for i := range queries {
+		queries[i] = qm.Row(i)
+	}
+	return &crashFixture{queries: queries, extras: extraSeries(31, 5, 32), base: buf.Bytes()}
+}
+
+// newStore loads a fresh copy of the base index and initializes dir with it.
+func (fx *crashFixture) newStore(tb testing.TB, dir string, cfg DurableConfig) *Store {
+	tb.Helper()
+	ix, err := Load(bytes.NewReader(fx.base))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	st, err := CreateStore(dir, ix, cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return st
+}
+
+// reference recovers a clean store holding exactly m post-checkpoint inserts
+// — the durable history a crashed run must match.
+func (fx *crashFixture) reference(tb testing.TB, m int, cfg DurableConfig) *Store {
+	tb.Helper()
+	dir := tb.(*testing.T).TempDir()
+	st := fx.newStore(tb, dir, cfg)
+	for _, s := range fx.extras[:m] {
+		if _, err := st.Insert(s); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := st.Sync(); err != nil {
+		tb.Fatal(err)
+	}
+	abandonStore(st)
+	rec, err := Recover(dir, cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return rec
+}
+
+// assertIdentical compares the two stores' answers to the fixture queries
+// bit for bit.
+func (fx *crashFixture) assertIdentical(t *testing.T, label string, got, want *Store) {
+	t.Helper()
+	gs, ws := got.Index().NewSearcher(), want.Index().NewSearcher()
+	for qi, q := range fx.queries {
+		wres, err := ws.Search(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wcopy := append([]Result(nil), wres...)
+		gres, err := gs.Search(q, 10)
+		if err != nil {
+			t.Fatalf("%s q=%d: %v", label, qi, err)
+		}
+		if len(gres) != len(wcopy) {
+			t.Fatalf("%s q=%d: %d results, want %d", label, qi, len(gres), len(wcopy))
+		}
+		for r := range gres {
+			if gres[r] != wcopy[r] {
+				t.Fatalf("%s q=%d rank %d: %+v != %+v (recovered index diverges from never-crashed)",
+					label, qi, r, gres[r], wcopy[r])
+			}
+		}
+	}
+}
+
+// TestCrashMatrixWALAppend kills the append at each insert position: the
+// record tears mid-write, recovery cuts the torn tail, and the reopened
+// index matches a never-crashed store holding the acknowledged prefix.
+func TestCrashMatrixWALAppend(t *testing.T) {
+	for _, shards := range []int{1, 2} {
+		fx := newCrashFixture(t, shards)
+		for _, j := range []int{0, 2, 4} {
+			faultinject.Reset()
+			dir := t.TempDir()
+			st := fx.newStore(t, dir, DurableConfig{Sync: SyncAlways})
+			baseLen := st.Index().Len()
+			faultinject.Arm(faultinject.SiteWALAppend, faultinject.Trigger{Mode: faultinject.ModeError, OnCall: uint64(j + 1)})
+			for i, s := range fx.extras {
+				_, err := st.Insert(s)
+				if i < j && err != nil {
+					t.Fatalf("S=%d j=%d: insert %d failed early: %v", shards, j, i, err)
+				}
+				if i == j {
+					if !faultinject.IsInjected(err) {
+						t.Fatalf("S=%d j=%d: crash insert err = %v, want injected", shards, j, err)
+					}
+					break
+				}
+			}
+			faultinject.Disarm(faultinject.SiteWALAppend)
+			abandonStore(st)
+
+			rec, err := Recover(dir, DurableConfig{})
+			if err != nil {
+				t.Fatalf("S=%d j=%d: recover: %v", shards, j, err)
+			}
+			stats := rec.RecoveryStats()
+			if stats.Replayed != j || stats.Skipped != 0 {
+				t.Fatalf("S=%d j=%d: stats %+v, want %d replayed", shards, j, stats, j)
+			}
+			if !errors.Is(stats.TailError, ErrRecoveryTruncated) {
+				t.Fatalf("S=%d j=%d: tail error %v, want ErrRecoveryTruncated", shards, j, stats.TailError)
+			}
+			if want := int64(walRecordSize(32) / 2); stats.DiscardedBytes != want {
+				t.Fatalf("S=%d j=%d: discarded %d bytes, want %d (the torn half-record)", shards, j, stats.DiscardedBytes, want)
+			}
+			if got := rec.Index().Len(); got != baseLen+j {
+				t.Fatalf("S=%d j=%d: recovered %d series, want %d", shards, j, got, baseLen+j)
+			}
+			ref := fx.reference(t, j, DurableConfig{Sync: SyncAlways})
+			fx.assertIdentical(t, "append-crash", rec, ref)
+			rec.Close()
+			ref.Close()
+		}
+	}
+}
+
+// TestCrashMatrixWALSync kills the fsync after the record reached the file:
+// the insert is unacknowledged, but its record is durable — recovery is
+// allowed to (and here deterministically does) replay it, so the reopened
+// index matches a reference holding j+1 inserts.
+func TestCrashMatrixWALSync(t *testing.T) {
+	for _, shards := range []int{1, 2} {
+		fx := newCrashFixture(t, shards)
+		for _, j := range []int{0, 3} {
+			faultinject.Reset()
+			dir := t.TempDir()
+			st := fx.newStore(t, dir, DurableConfig{Sync: SyncAlways})
+			baseLen := st.Index().Len()
+			faultinject.Arm(faultinject.SiteWALSync, faultinject.Trigger{Mode: faultinject.ModeError, OnCall: uint64(j + 1)})
+			for i, s := range fx.extras {
+				_, err := st.Insert(s)
+				if i < j && err != nil {
+					t.Fatalf("S=%d j=%d: insert %d failed early: %v", shards, j, i, err)
+				}
+				if i == j {
+					if !faultinject.IsInjected(err) {
+						t.Fatalf("S=%d j=%d: crash insert err = %v, want injected", shards, j, err)
+					}
+					break
+				}
+			}
+			faultinject.Disarm(faultinject.SiteWALSync)
+			abandonStore(st)
+
+			rec, err := Recover(dir, DurableConfig{})
+			if err != nil {
+				t.Fatalf("S=%d j=%d: recover: %v", shards, j, err)
+			}
+			stats := rec.RecoveryStats()
+			if stats.Replayed != j+1 || stats.TailError != nil || stats.DiscardedBytes != 0 {
+				t.Fatalf("S=%d j=%d: stats %+v, want %d replayed (sync-crash record is on disk)", shards, j, stats, j+1)
+			}
+			if got := rec.Index().Len(); got != baseLen+j+1 {
+				t.Fatalf("S=%d j=%d: recovered %d series, want %d", shards, j, got, baseLen+j+1)
+			}
+			ref := fx.reference(t, j+1, DurableConfig{Sync: SyncAlways})
+			fx.assertIdentical(t, "sync-crash", rec, ref)
+			rec.Close()
+			ref.Close()
+		}
+	}
+}
+
+// TestCrashMatrixCheckpointRename kills the checkpoint at its commit point
+// (between the temp file's fsync and the rename): the old container and the
+// full WAL survive, so nothing is lost and the failed checkpoint is
+// invisible after recovery.
+func TestCrashMatrixCheckpointRename(t *testing.T) {
+	for _, shards := range []int{1, 2} {
+		fx := newCrashFixture(t, shards)
+		faultinject.Reset()
+		dir := t.TempDir()
+		st := fx.newStore(t, dir, DurableConfig{Sync: SyncAlways})
+		baseLen := st.Index().Len()
+		const j = 3
+		for _, s := range fx.extras[:j] {
+			if _, err := st.Insert(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		faultinject.Arm(faultinject.SiteCheckpointRename, faultinject.Trigger{Mode: faultinject.ModeError, OnCall: 1})
+		if err := st.Checkpoint(); !faultinject.IsInjected(err) {
+			t.Fatalf("S=%d: checkpoint err = %v, want injected", shards, err)
+		}
+		faultinject.Disarm(faultinject.SiteCheckpointRename)
+		abandonStore(st)
+		assertNoTempFiles(t, dir)
+
+		rec, err := Recover(dir, DurableConfig{})
+		if err != nil {
+			t.Fatalf("S=%d: recover: %v", shards, err)
+		}
+		stats := rec.RecoveryStats()
+		if stats.CheckpointLen != baseLen || stats.Replayed != j || stats.TailError != nil {
+			t.Fatalf("S=%d: stats %+v, want old checkpoint %d + %d replayed", shards, stats, baseLen, j)
+		}
+		ref := fx.reference(t, j, DurableConfig{Sync: SyncAlways})
+		fx.assertIdentical(t, "rename-crash", rec, ref)
+		rec.Close()
+		ref.Close()
+	}
+}
+
+// TestCrashMatrixPersistWrite kills the container save mid-stream (a torn
+// chunk inside the temp file). This is the satellite regression for the old
+// os.Create SaveFile: the previous container must survive a crash mid-save.
+func TestCrashMatrixPersistWrite(t *testing.T) {
+	for _, shards := range []int{1, 2} {
+		fx := newCrashFixture(t, shards)
+		faultinject.Reset()
+		dir := t.TempDir()
+		st := fx.newStore(t, dir, DurableConfig{Sync: SyncAlways})
+		baseLen := st.Index().Len()
+		const j = 2
+		for _, s := range fx.extras[:j] {
+			if _, err := st.Insert(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		before, err := os.ReadFile(ContainerPath(dir))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Tear the first chunk the saver writes to the temp file (the saver
+		// buffers internally, so the container may arrive in one big write).
+		faultinject.Arm(faultinject.SitePersistWrite, faultinject.Trigger{Mode: faultinject.ModeError, OnCall: 1})
+		if err := st.Checkpoint(); !faultinject.IsInjected(err) {
+			t.Fatalf("S=%d: checkpoint err = %v, want injected", shards, err)
+		}
+		faultinject.Disarm(faultinject.SitePersistWrite)
+		abandonStore(st)
+		assertNoTempFiles(t, dir)
+
+		// The old container is untouched, byte for byte.
+		after, err := os.ReadFile(ContainerPath(dir))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(before, after) {
+			t.Fatalf("S=%d: container changed across a failed save", shards)
+		}
+		rec, err := Recover(dir, DurableConfig{})
+		if err != nil {
+			t.Fatalf("S=%d: recover: %v", shards, err)
+		}
+		stats := rec.RecoveryStats()
+		if stats.CheckpointLen != baseLen || stats.Replayed != j {
+			t.Fatalf("S=%d: stats %+v, want old checkpoint %d + %d replayed", shards, stats, baseLen, j)
+		}
+		ref := fx.reference(t, j, DurableConfig{Sync: SyncAlways})
+		fx.assertIdentical(t, "persist-write-crash", rec, ref)
+		rec.Close()
+		ref.Close()
+	}
+}
+
+// assertNoTempFiles verifies a failed atomic save cleaned up its temp file.
+func assertNoTempFiles(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("temp file %s left behind", e.Name())
+		}
+	}
+}
+
+// TestChaosWALTransientWriteRetry: transient append and sync faults are
+// retried under the bounded backoff — the insert succeeds, nothing tears —
+// while persistent transients exhaust the budget, surface, and wedge the
+// log until reopen.
+func TestChaosWALTransientWriteRetry(t *testing.T) {
+	fx := newCrashFixture(t, 2)
+	faultinject.Reset()
+	defer faultinject.Reset()
+	dir := t.TempDir()
+	st := fx.newStore(t, dir, DurableConfig{Sync: SyncAlways})
+	baseLen := st.Index().Len()
+
+	// One transient append fault: retried through, insert acknowledged.
+	faultinject.Arm(faultinject.SiteWALAppend, faultinject.Trigger{Mode: faultinject.ModeTransient, OnCall: 1, Count: 1})
+	if _, err := st.Insert(fx.extras[0]); err != nil {
+		t.Fatalf("insert with one transient append fault: %v", err)
+	}
+	if fired := faultinject.Fired(faultinject.SiteWALAppend); fired != 1 {
+		t.Fatalf("%d transient append faults fired, want 1", fired)
+	}
+	faultinject.Reset()
+
+	// One transient sync fault: same.
+	faultinject.Arm(faultinject.SiteWALSync, faultinject.Trigger{Mode: faultinject.ModeTransient, OnCall: 1, Count: 1})
+	if _, err := st.Insert(fx.extras[1]); err != nil {
+		t.Fatalf("insert with one transient sync fault: %v", err)
+	}
+	faultinject.Reset()
+
+	// Persistent transient append faults exhaust the bounded budget and
+	// wedge the log: the next insert refuses with the original failure.
+	faultinject.Arm(faultinject.SiteWALAppend, faultinject.Trigger{Mode: faultinject.ModeTransient, EveryN: 1})
+	_, err := st.Insert(fx.extras[2])
+	if !faultinject.IsTransient(err) {
+		t.Fatalf("persistent transient insert err = %v, want exhausted injected transient", err)
+	}
+	faultinject.Reset()
+	if _, err := st.Insert(fx.extras[2]); err == nil {
+		t.Fatal("insert on a wedged WAL succeeded")
+	}
+	abandonStore(st)
+
+	// Recovery sees the two acknowledged inserts and cuts the wedge residue.
+	rec, err := Recover(dir, DurableConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	stats := rec.RecoveryStats()
+	if stats.Replayed != 2 {
+		t.Fatalf("stats %+v, want the 2 acknowledged inserts replayed", stats)
+	}
+	if got := rec.Index().Len(); got != baseLen+2 {
+		t.Fatalf("recovered %d series, want %d", got, baseLen+2)
+	}
+	ref := fx.reference(t, 2, DurableConfig{Sync: SyncAlways})
+	defer ref.Close()
+	fx.assertIdentical(t, "transient-retry", rec, ref)
+}
+
+// TestChaosPersistWriteTransientRetry: transient faults on the container
+// saver's temp-file writes retry through — the checkpoint lands.
+func TestChaosPersistWriteTransientRetry(t *testing.T) {
+	fx := newCrashFixture(t, 2)
+	faultinject.Reset()
+	defer faultinject.Reset()
+	dir := t.TempDir()
+	st := fx.newStore(t, dir, DurableConfig{Sync: SyncAlways})
+	if _, err := st.Insert(fx.extras[0]); err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Arm(faultinject.SitePersistWrite, faultinject.Trigger{Mode: faultinject.ModeTransient, OnCall: 1, Count: 1})
+	if err := st.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint with one transient write fault: %v", err)
+	}
+	if fired := faultinject.Fired(faultinject.SitePersistWrite); fired != 1 {
+		t.Fatalf("%d transient write faults fired, want 1", fired)
+	}
+	faultinject.Reset()
+	abandonStore(st)
+	rec, err := Recover(dir, DurableConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	stats := rec.RecoveryStats()
+	if stats.CheckpointLen != st.Index().Len() || stats.Replayed != 0 {
+		t.Fatalf("stats %+v, want checkpoint %d with empty WAL", stats, st.Index().Len())
+	}
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"math"
+	"math/rand"
+	"os"
+	"testing"
+
+	"repro/internal/distance"
+)
+
+// FuzzWALReplay throws arbitrary bytes at the recovery path as the on-disk
+// WAL: truncations, bit flips, forged lengths, duplicated and out-of-order
+// records, and pure garbage. Recovery must either fail with an error or
+// recover exactly the valid prefix — never panic, never report stats that
+// disagree with the bytes, never insert a row that differs from what a valid
+// record encodes. The oracle is refWALParse, an independent bytes-only
+// re-implementation of the scan and replay rules.
+func FuzzWALReplay(f *testing.F) {
+	const seriesLen = 32
+	rng := rand.New(rand.NewSource(93))
+	data := mixedMatrix(rng, 80, seriesLen)
+	ix, err := Build(data, Config{Method: SOFA, LeafCapacity: 16, SampleRate: 0.5, Shards: 2, Workers: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	baseLen := data.Len()
+	var container bytes.Buffer
+	if err := Save(ix, &container); err != nil {
+		f.Fatal(err)
+	}
+
+	// A well-formed three-record log to seed the corpus, written through the
+	// real append path.
+	walPath := WALPath(f.TempDir())
+	w, err := createWAL(walPath, seriesLen, uint64(baseLen), SyncNone, 0)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, s := range extraSeries(7, 3, seriesLen) {
+		if err := w.Append(s); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		f.Fatal(err)
+	}
+	valid, err := os.ReadFile(walPath)
+	if err != nil {
+		f.Fatal(err)
+	}
+	recSize := walRecordSize(seriesLen)
+	rec := func(i int) []byte {
+		return valid[walHeaderSize+i*recSize : walHeaderSize+(i+1)*recSize]
+	}
+	mutate := func(off int, bit byte) []byte {
+		m := bytes.Clone(valid)
+		m[off] ^= bit
+		return m
+	}
+	f.Add(bytes.Clone(valid))                                                                    // clean log
+	f.Add(valid[:walHeaderSize])                                                                 // empty log
+	f.Add(valid[:walHeaderSize-1])                                                               // short header
+	f.Add(valid[:walHeaderSize+100])                                                             // torn first record
+	f.Add(valid[:walHeaderSize+recSize])                                                         // one clean record
+	f.Add(valid[:len(valid)-11])                                                                 // torn last record
+	f.Add(mutate(3, 0x40))                                                                       // header bit flip
+	f.Add(mutate(walHeaderSize+recSize+40, 0x01))                                                // payload bit flip, record 1
+	f.Add(mutate(walHeaderSize+walRecordHeaderSize, 0x80))                                       // seq bit flip, record 0
+	f.Add(mutate(walHeaderSize, 0xFF))                                                           // forged length, record 0
+	f.Add(append(bytes.Clone(valid), rec(0)...))                                                 // duplicate record
+	f.Add(append(bytes.Clone(valid[:walHeaderSize]), append(bytes.Clone(rec(1)), rec(0)...)...)) // out of order
+	f.Add(append(bytes.Clone(valid[:walHeaderSize]), rec(2)...))                                 // seq skips ahead
+	f.Add([]byte{})
+	f.Add([]byte("not a wal at all, just some bytes that happen to be here"))
+
+	f.Fuzz(func(t *testing.T, wal []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(ContainerPath(dir), container.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(WALPath(dir), wal, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st, err := Recover(dir, DurableConfig{Sync: SyncNone})
+		if err != nil {
+			// Refusing the log with an error is an acceptable outcome for
+			// arbitrary bytes; the fuzz engine catches the unacceptable one
+			// (a panic) on its own.
+			return
+		}
+		replay, skipped, validEnd, clean := refWALParse(wal, seriesLen, baseLen)
+		stats := st.RecoveryStats()
+		if stats.CheckpointLen != baseLen {
+			t.Fatalf("checkpoint len %d, want %d", stats.CheckpointLen, baseLen)
+		}
+		if stats.Replayed != len(replay) || stats.Skipped != skipped {
+			t.Fatalf("replayed %d skipped %d, oracle says %d/%d",
+				stats.Replayed, stats.Skipped, len(replay), skipped)
+		}
+		if got := st.Index().Len(); got != baseLen+len(replay) {
+			t.Fatalf("recovered length %d, want %d", got, baseLen+len(replay))
+		}
+		if clean {
+			if stats.TailError != nil || stats.DiscardedBytes != 0 {
+				t.Fatalf("clean log reported tail %v, %d discarded bytes",
+					stats.TailError, stats.DiscardedBytes)
+			}
+		} else {
+			if stats.TailError == nil {
+				t.Fatalf("dirty log reported no tail error")
+			}
+			if want := int64(len(wal)) - validEnd; stats.DiscardedBytes != want {
+				t.Fatalf("discarded %d bytes, oracle says %d", stats.DiscardedBytes, want)
+			}
+		}
+		for i, s := range replay {
+			got, want := st.Index().Row(baseLen+i), distance.ZNormalized(s)
+			for j := range want {
+				if math.Float64bits(got[j]) != math.Float64bits(want[j]) {
+					t.Fatalf("replayed row %d[%d] = %v, record encodes %v", baseLen+i, j, got[j], want[j])
+				}
+			}
+		}
+		if err := st.Index().CheckInvariants(); err != nil {
+			t.Fatalf("invariants after recovery: %v", err)
+		}
+		if err := st.Close(); err != nil {
+			t.Fatalf("close after recovery: %v", err)
+		}
+		// Lenient recovery repaired the log in place (or replaced it), so a
+		// second, strict recovery of the same directory must now be clean and
+		// land on the identical index.
+		st2, err := Recover(dir, DurableConfig{StrictWAL: true})
+		if err != nil {
+			t.Fatalf("strict re-recover after repair: %v", err)
+		}
+		s2 := st2.RecoveryStats()
+		if s2.TailError != nil || s2.DiscardedBytes != 0 {
+			t.Fatalf("repaired log still dirty: tail %v, %d discarded", s2.TailError, s2.DiscardedBytes)
+		}
+		if got := st2.Index().Len(); got != baseLen+len(replay) {
+			t.Fatalf("re-recovered length %d, want %d", got, baseLen+len(replay))
+		}
+		st2.Close()
+	})
+}
+
+// refWALParse is an independent re-implementation of the WAL scan and replay
+// rules, operating on raw bytes only — the differential oracle for
+// FuzzWALReplay. It returns the raw series of every record recovery must
+// replay, the count it must skip as checkpoint-covered, the byte offset just
+// past the last valid record, and whether the log ends cleanly on a record
+// boundary.
+func refWALParse(b []byte, seriesLen, checkpointLen int) (replay [][]float64, skipped int, validEnd int64, clean bool) {
+	var want [walHeaderSize]byte
+	encodeWALHeader(want[:], seriesLen)
+	if len(b) < walHeaderSize || !bytes.Equal(b[:walHeaderSize], want[:]) {
+		return nil, 0, 0, false
+	}
+	validEnd = walHeaderSize
+	recSize := walRecordSize(seriesLen)
+	have := uint64(checkpointLen)
+	var prev uint64
+	seen := false
+	for off := walHeaderSize; ; off += recSize {
+		rem := len(b) - off
+		if rem == 0 {
+			return replay, skipped, validEnd, true
+		}
+		if rem < recSize {
+			return replay, skipped, validEnd, false
+		}
+		r := b[off : off+recSize]
+		payload := r[walRecordHeaderSize:]
+		if binary.LittleEndian.Uint32(r[0:]) != uint32(len(payload)) {
+			return replay, skipped, validEnd, false
+		}
+		if binary.LittleEndian.Uint32(r[4:]) != crc32.Checksum(payload, castagnoli) {
+			return replay, skipped, validEnd, false
+		}
+		seq := binary.LittleEndian.Uint64(payload[0:])
+		if seen && seq != prev+1 {
+			return replay, skipped, validEnd, false
+		}
+		seen, prev = true, seq
+		switch {
+		case seq < have:
+			skipped++
+		case seq > have:
+			return replay, skipped, validEnd, false
+		default:
+			s := make([]float64, seriesLen)
+			for i := range s {
+				s[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8+8*i:]))
+			}
+			replay = append(replay, s)
+			have++
+		}
+		validEnd += int64(recSize)
+	}
+}

@@ -44,13 +44,27 @@ const (
 	// SiteBatchWorker fires in the collection batch engine before each
 	// query executes.
 	SiteBatchWorker = "batch/worker"
+	// SiteWALAppend fires in WAL.Append before the record bytes reach the
+	// file. A fatal firing additionally tears the record (half its bytes are
+	// written), modelling a crash mid-append.
+	SiteWALAppend = "wal/append"
+	// SiteWALSync fires in WAL.Sync before the fsync.
+	SiteWALSync = "wal/sync"
+	// SiteCheckpointRename fires in the atomic container save between the
+	// temp file's fsync and the rename that publishes it — the
+	// crash-before-commit point of a checkpoint.
+	SiteCheckpointRename = "checkpoint/rename"
+	// SitePersistWrite fires on every write the container saver issues
+	// against the temp file. A fatal firing tears the chunk (half its bytes
+	// are written), modelling a crash mid-save.
+	SitePersistWrite = "persist/write"
 )
 
 // siteList enumerates every valid hook site; Sites returns a copy for the
 // audit and the fuzz harness. A function (rather than an exported var)
 // keeps release binaries free of faultinject data symbols.
-func siteList() [7]string {
-	return [7]string{
+func siteList() [11]string {
+	return [11]string{
 		SiteShardSeed,
 		SiteShardFinish,
 		SiteKernel,
@@ -58,6 +72,10 @@ func siteList() [7]string {
 		SiteStreamSubmit,
 		SiteStreamWorker,
 		SiteBatchWorker,
+		SiteWALAppend,
+		SiteWALSync,
+		SiteCheckpointRename,
+		SitePersistWrite,
 	}
 }
 

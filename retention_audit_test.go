@@ -185,8 +185,9 @@ func TestPooledSliceRetentionAudit(t *testing.T) {
 // inside an `if faultinject.Enabled` guard so the release build (where
 // Enabled is a false constant) dead-code-eliminates the entire harness.
 var faultinjectHookSites = map[string]map[string]bool{
-	"internal/core/persist.go": {"SitePersistRead": true},
+	"internal/core/persist.go": {"SitePersistRead": true, "SitePersistWrite": true, "SiteCheckpointRename": true},
 	"internal/core/stream.go":  {"SiteStreamWorker": true, "SiteStreamSubmit": true},
+	"internal/core/wal.go":     {"SiteWALAppend": true, "SiteWALSync": true},
 	"internal/index/approx.go": {"SiteKernel": true},
 	"internal/index/batch.go":  {"SiteBatchWorker": true},
 	"internal/index/shard.go":  {"SiteShardSeed": true, "SiteShardFinish": true, "SiteKernel": true},

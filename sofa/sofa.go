@@ -79,6 +79,19 @@ var (
 	ErrStreamStalled = core.ErrStreamStalled
 )
 
+// Durability sentinels, produced by Open's write-ahead-log recovery. By
+// default both are absorbed into a lenient recovery (the valid WAL prefix is
+// replayed, the damaged tail discarded and reported via RecoveryStats);
+// under StrictRecovery they fail Open instead.
+var (
+	// ErrWALCorrupt reports write-ahead-log bytes that fail validation — a
+	// checksum mismatch, a forged record length, or a broken sequence.
+	ErrWALCorrupt = core.ErrWALCorrupt
+	// ErrRecoveryTruncated reports a write-ahead log that ends mid-record:
+	// the torn tail a crash during an append leaves behind.
+	ErrRecoveryTruncated = core.ErrRecoveryTruncated
+)
+
 // Method identifies the summarization behind an index.
 type Method = core.Method
 
