@@ -1,0 +1,165 @@
+// Package analysis is the repo's static-analysis suite: named, testable
+// analyzers that enforce the invariants the compiler cannot see — pooled
+// slice ownership at call sites, dead-code-eliminable fault-injection hooks,
+// the public API import boundary, atomic field discipline, sentinel error
+// wrapping, and the zero-alloc escape budget of the query hot path.
+//
+// The framework deliberately mirrors the golang.org/x/tools/go/analysis
+// shape (Analyzer, Pass, diagnostics, golden-fixture tests) but is built on
+// the standard library alone: packages are enumerated with `go list -export`,
+// parsed with go/parser, and type-checked with go/types against the build
+// cache's export data, so the module keeps its zero-dependency go.mod. One
+// intentional deviation: a Pass sees the whole module, not one package —
+// several of the invariants here (stale allowlist entries, cross-package
+// import rules, the escape budget) are module-level properties that a
+// per-package pass cannot express.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Package is one loaded (and, when requested, type-checked) package: the
+// unit the analyzers iterate over. Files holds the non-test sources only —
+// the audited invariants are about what ships, not about test scaffolding.
+type Package struct {
+	// Path is the import path ("repro/internal/index").
+	Path string
+	// Dir is the absolute package directory.
+	Dir string
+	// RelDir is the module-root-relative directory, slash-separated
+	// ("internal/index"; "" for the module root).
+	RelDir string
+	// Fset positions every file in Files.
+	Fset *token.FileSet
+	// Files are the parsed non-test sources, parallel to FileNames.
+	Files []*ast.File
+	// FileNames are module-root-relative, slash-separated file paths.
+	FileNames []string
+	// Types and Info are populated when the load requested type information;
+	// nil otherwise. Info carries Types, Defs, Uses and Selections.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Diagnostic is one finding. Pos may be the zero Position for module-level
+// findings (a stale allowlist entry has no call site to point at).
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	if d.Pos.Filename == "" {
+		return fmt.Sprintf("[%s] %s", d.Analyzer, d.Message)
+	}
+	return fmt.Sprintf("%s:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
+}
+
+// Pass is one analyzer's view of one run: every loaded package in the
+// module, plus the reporting sink.
+type Pass struct {
+	// ModuleDir is the absolute module root (where go.mod lives). Analyzers
+	// that shell out (the escape-budget gate) run the go tool here.
+	ModuleDir string
+	// Tags is the comma-separated build-tag list the load used ("" for the
+	// default build).
+	Tags string
+	// Packages is every package matched by the load patterns.
+	Packages []*Package
+
+	analyzer string
+	sink     func(Diagnostic)
+}
+
+// Reportf records a finding at a resolved source position.
+func (p *Pass) Reportf(pos token.Position, format string, args ...any) {
+	p.sink(Diagnostic{Analyzer: p.analyzer, Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// ReportNodef records a finding at a node within pkg.
+func (p *Pass) ReportNodef(pkg *Package, n ast.Node, format string, args ...any) {
+	p.Reportf(pkg.Fset.Position(n.Pos()), format, args...)
+}
+
+// ReportModulef records a module-level finding with no source position
+// (stale allowlist entries, budget drift).
+func (p *Pass) ReportModulef(format string, args ...any) {
+	p.sink(Diagnostic{Analyzer: p.analyzer, Message: fmt.Sprintf(format, args...)})
+}
+
+// Analyzer is one named invariant check.
+type Analyzer struct {
+	Name string
+	// Doc is the one-paragraph contract the analyzer enforces; sofa-vet
+	// prints it for -help.
+	Doc string
+	// NeedTypes requests type-checked packages (Package.Types/Info set).
+	NeedTypes bool
+	// Run inspects the whole module and reports findings via the Pass. A
+	// returned error is an analyzer failure (could not run), distinct from
+	// findings.
+	Run func(*Pass) error
+}
+
+// Run loads the module's packages matching patterns (with the given build
+// tags) once and runs every analyzer over them. Diagnostics come back
+// sorted by file, line, then analyzer; module-level diagnostics sort first.
+func Run(analyzers []*Analyzer, moduleDir string, patterns []string, tags string) ([]Diagnostic, error) {
+	needTypes := false
+	for _, a := range analyzers {
+		if a.NeedTypes {
+			needTypes = true
+		}
+	}
+	pkgs, err := LoadPackages(moduleDir, patterns, tags, needTypes)
+	if err != nil {
+		return nil, err
+	}
+	return RunOn(analyzers, moduleDir, tags, pkgs)
+}
+
+// RunOn runs the analyzers over an already-loaded package set. The fixture
+// harness uses this to drive analyzers over testdata packages.
+func RunOn(analyzers []*Analyzer, moduleDir, tags string, pkgs []*Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			ModuleDir: moduleDir,
+			Tags:      tags,
+			Packages:  pkgs,
+			analyzer:  a.Name,
+			sink:      func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := pass.run(a); err != nil {
+			return diags, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// run isolates one analyzer invocation so a panicking analyzer reports as
+// its own failure instead of taking down the whole suite run.
+func (p *Pass) run(a *Analyzer) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panicked: %v", r)
+		}
+	}()
+	return a.Run(p)
+}

@@ -1,0 +1,199 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// This file is the golden-fixture harness: the stdlib-only analogue of
+// golang.org/x/tools/go/analysis/analysistest. Fixture packages live under
+// testdata/src/<analyzer>/<pkg>/ (testdata keeps the go tool and the module
+// build away from the seeded violations), and expectations are written on
+// the offending line as `// want "regexp"` comments — one or more quoted
+// regexps, each of which must match a diagnostic reported on that line.
+// Module-level diagnostics (stale allowlist entries have no source position)
+// are asserted via the moduleWants arguments to RunExpect.
+
+// LoadFixture parses every package under root (each directory with .go
+// files is one package; its path is the slash-separated directory relative
+// to root). When needTypes is set the packages are type-checked against the
+// standard library's export data — fixture imports must then resolve to the
+// stdlib roots listed (plus their dependencies).
+func LoadFixture(t *testing.T, root string, needTypes bool, stdlibRoots ...string) []*Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	byDir := map[string]*Package{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		dir := filepath.Dir(path)
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		if rel == "." {
+			rel = ""
+		}
+		pkg := byDir[rel]
+		if pkg == nil {
+			pkg = &Package{Path: rel, Dir: dir, RelDir: rel, Fset: fset}
+			byDir[rel] = pkg
+		}
+		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		pkg.Files = append(pkg.Files, file)
+		pkg.FileNames = append(pkg.FileNames, joinRel(rel, filepath.Base(path)))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", root, err)
+	}
+	var pkgs []*Package
+	for _, pkg := range byDir {
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	if needTypes {
+		imp, err := StdlibExportImporter(root, fset, stdlibRoots...)
+		if err != nil {
+			t.Fatalf("stdlib importer: %v", err)
+		}
+		for _, pkg := range pkgs {
+			conf := types.Config{Importer: imp}
+			info := &types.Info{
+				Types:      map[ast.Expr]types.TypeAndValue{},
+				Defs:       map[*ast.Ident]types.Object{},
+				Uses:       map[*ast.Ident]types.Object{},
+				Selections: map[*ast.SelectorExpr]*types.Selection{},
+			}
+			tpkg, err := conf.Check(pkg.Path, fset, pkg.Files, info)
+			if err != nil {
+				t.Fatalf("type-check fixture %s: %v", pkg.Path, err)
+			}
+			pkg.Types, pkg.Info = tpkg, info
+		}
+	}
+	return pkgs
+}
+
+// wantComment extracts the quoted regexps from a `// want "..." "..."` form.
+var wantComment = regexp.MustCompile(`//\s*want\s+(.*)`)
+var wantPattern = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// expectation is one `// want` assertion, keyed by file:line.
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// RunExpect runs the analyzers over the fixture packages and requires an
+// exact correspondence between diagnostics and expectations: every `// want`
+// regexp matches at least one diagnostic on its line, every positional
+// diagnostic is claimed by some want on its line, every moduleWant matches a
+// module-level diagnostic, and no unexpected module-level diagnostics
+// remain.
+func RunExpect(t *testing.T, analyzers []*Analyzer, pkgs []*Package, moduleWants ...string) {
+	t.Helper()
+	diags, err := RunOn(analyzers, "", "", pkgs)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	wants := map[string][]*expectation{}
+	for _, pkg := range pkgs {
+		for i, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					m := wantComment.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					line := pkg.Fset.Position(c.Pos()).Line
+					key := fmt.Sprintf("%s:%d", pkg.FileNames[i], line)
+					for _, q := range wantPattern.FindAllStringSubmatch(m[1], -1) {
+						re, err := regexp.Compile(q[1])
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", key, q[1], err)
+						}
+						wants[key] = append(wants[key], &expectation{re: re})
+					}
+				}
+			}
+		}
+	}
+
+	var moduleDiags []Diagnostic
+	for _, d := range diags {
+		if d.Pos.Filename == "" {
+			moduleDiags = append(moduleDiags, d)
+			continue
+		}
+		// Positions are absolute file paths; recover the fixture-relative
+		// name by matching the package's file list.
+		key := fmt.Sprintf("%s:%d", fixtureFileName(pkgs, d.Pos.Filename), d.Pos.Line)
+		claimed := false
+		for _, w := range wants[key] {
+			if w.re.MatchString(d.Message) {
+				w.matched, claimed = true, true
+			}
+		}
+		if !claimed {
+			t.Errorf("unexpected diagnostic at %s: %s", key, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: want %q matched no diagnostic", key, w.re)
+			}
+		}
+	}
+
+	matchedModule := make([]bool, len(moduleDiags))
+	for _, want := range moduleWants {
+		re, err := regexp.Compile(want)
+		if err != nil {
+			t.Fatalf("bad module want regexp %q: %v", want, err)
+		}
+		ok := false
+		for i, d := range moduleDiags {
+			if re.MatchString(d.Message) {
+				matchedModule[i], ok = true, true
+			}
+		}
+		if !ok {
+			t.Errorf("module want %q matched no module-level diagnostic (have %d)", want, len(moduleDiags))
+		}
+	}
+	for i, d := range moduleDiags {
+		if !matchedModule[i] {
+			t.Errorf("unexpected module-level diagnostic: %s", d.Message)
+		}
+	}
+}
+
+// fixtureFileName maps an absolute diagnostic filename back to the
+// fixture-relative name used in want keys.
+func fixtureFileName(pkgs []*Package, abs string) string {
+	for _, pkg := range pkgs {
+		for _, name := range pkg.FileNames {
+			if filepath.Join(pkg.Dir, filepath.Base(name)) == abs {
+				return name
+			}
+		}
+	}
+	return filepath.ToSlash(abs)
+}

@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"sort"
+	"strings"
+)
+
+// ImportBoundaryConfig parameterizes the public-API boundary check.
+type ImportBoundaryConfig struct {
+	// ProgramDirPrefixes are the module-relative directory prefixes holding
+	// demo/tool programs ("cmd/", "examples/").
+	ProgramDirPrefixes []string
+	// Forbidden are the engine import paths those programs must reach only
+	// through the public package.
+	Forbidden map[string]bool
+	// PublicPath is the one supported API package ("repro/sofa").
+	PublicPath string
+	// MustImportPublic lists program directories (module-relative) whose
+	// whole purpose is the query API; they must demonstrate the public
+	// package, guarding against a "temporary" rewire back onto internals.
+	MustImportPublic map[string]bool
+}
+
+// NewImportBoundary builds the importboundary analyzer: nothing under the
+// program directories may import the engine internals — those are unstable
+// contracts (pooled searcher-owned slices, shard query phases) the public
+// package exists to encapsulate — and the designated demo programs must
+// actually import the public package. Migrated from the repo-root
+// TestProgramsUseOnlyPublicAPI.
+func NewImportBoundary(cfg ImportBoundaryConfig) *Analyzer {
+	return &Analyzer{
+		Name: "importboundary",
+		Doc: "keep cmd/ and examples/ on the public API: forbid imports of the engine internals from " +
+			"program directories and require the designated demos to import the public package",
+		Run: func(pass *Pass) error {
+			importsPublic := map[string]bool{}
+			seenDirs := map[string]bool{}
+			for _, pkg := range pass.Packages {
+				inPrograms := false
+				for _, prefix := range cfg.ProgramDirPrefixes {
+					if strings.HasPrefix(pkg.RelDir+"/", prefix) {
+						inPrograms = true
+					}
+				}
+				if !inPrograms {
+					continue
+				}
+				seenDirs[pkg.RelDir] = true
+				for i, file := range pkg.Files {
+					for _, imp := range file.Imports {
+						ipath := strings.Trim(imp.Path.Value, `"`)
+						if cfg.Forbidden[ipath] {
+							pass.ReportNodef(pkg, imp, "%s imports %s: program directories must use the public %s API",
+								pkg.FileNames[i], ipath, cfg.PublicPath)
+						}
+						if ipath == cfg.PublicPath {
+							importsPublic[pkg.RelDir] = true
+						}
+					}
+				}
+			}
+			var missing []string
+			for dir := range cfg.MustImportPublic {
+				if !importsPublic[dir] {
+					if !seenDirs[dir] {
+						missing = append(missing, dir+" (package not found — stale importboundary entry?)")
+					} else {
+						missing = append(missing, dir)
+					}
+				}
+			}
+			sort.Strings(missing)
+			for _, dir := range missing {
+				pass.ReportModulef("%s does not import %s — the query-API demos must use the public package", dir, cfg.PublicPath)
+			}
+			return nil
+		},
+	}
+}
+
+// DefaultImportBoundaryConfig is the repo's boundary, carried over from
+// api_boundary_test.go.
+func DefaultImportBoundaryConfig() ImportBoundaryConfig {
+	return ImportBoundaryConfig{
+		ProgramDirPrefixes: []string{"cmd/", "examples/"},
+		Forbidden: map[string]bool{
+			"repro/internal/core":  true,
+			"repro/internal/index": true,
+		},
+		PublicPath: "repro/sofa",
+		MustImportPublic: map[string]bool{
+			"cmd/sofa-query":      true,
+			"examples/quickstart": true,
+			"examples/vectors":    true,
+			"examples/seismic":    true,
+		},
+	}
+}

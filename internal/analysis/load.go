@@ -1,0 +1,182 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// LoadPackages enumerates the module packages matching patterns with
+// `go list -export -deps`, parses their non-test sources, and (when
+// withTypes is set) type-checks them with go/types using the build cache's
+// export data for every import — the standard library included, which since
+// Go 1.21 ships no pre-compiled archives and therefore defeats
+// importer.Default. Dependencies between target packages also resolve
+// through export data, so no topological source ordering is needed.
+func LoadPackages(moduleDir string, patterns []string, tags string, withTypes bool) ([]*Package, error) {
+	args := []string{"list", "-e", "-deps", "-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly,Error"}
+	if withTypes {
+		args = append(args, "-export")
+	}
+	if tags != "" {
+		args = append(args, "-tags", tags)
+	}
+	args = append(args, "--")
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = moduleDir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := map[string]string{}
+	var targets []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list decode: %w", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.DepOnly {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list %s: %s", p.ImportPath, p.Error.Err)
+		}
+		q := p
+		targets = append(targets, &q)
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	absModule, err := filepath.Abs(moduleDir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var imp types.Importer
+	if withTypes {
+		// One shared importer: its internal cache gives every target the
+		// same types.Package for a given import path.
+		imp = importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+			e, ok := exports[path]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", path)
+			}
+			return os.Open(e)
+		})
+	}
+
+	var pkgs []*Package
+	for _, t := range targets {
+		pkg := &Package{
+			Path: t.ImportPath,
+			Dir:  t.Dir,
+			Fset: fset,
+		}
+		if rel, err := filepath.Rel(absModule, t.Dir); err == nil && !strings.HasPrefix(rel, "..") {
+			if rel == "." {
+				rel = ""
+			}
+			pkg.RelDir = filepath.ToSlash(rel)
+		}
+		for _, name := range t.GoFiles {
+			file, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("parse %s: %w", filepath.Join(t.Dir, name), err)
+			}
+			pkg.Files = append(pkg.Files, file)
+			pkg.FileNames = append(pkg.FileNames, joinRel(pkg.RelDir, name))
+		}
+		if withTypes && len(pkg.Files) > 0 {
+			conf := types.Config{Importer: imp}
+			info := &types.Info{
+				Types:      map[ast.Expr]types.TypeAndValue{},
+				Defs:       map[*ast.Ident]types.Object{},
+				Uses:       map[*ast.Ident]types.Object{},
+				Selections: map[*ast.SelectorExpr]*types.Selection{},
+			}
+			tpkg, err := conf.Check(t.ImportPath, fset, pkg.Files, info)
+			if err != nil {
+				return nil, fmt.Errorf("type-check %s: %w", t.ImportPath, err)
+			}
+			pkg.Types, pkg.Info = tpkg, info
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+func joinRel(dir, name string) string {
+	if dir == "" {
+		return name
+	}
+	return dir + "/" + name
+}
+
+// StdlibExportImporter builds a types.Importer over the standard library's
+// export data, for type-checking fixture packages that live outside any
+// module (the analysistest harness). roots are the stdlib import paths the
+// fixtures may reach ("sync/atomic", "fmt", ...); their transitive
+// dependencies come along automatically. moduleDir is any directory inside
+// a module, used only as the working directory for the go tool.
+func StdlibExportImporter(moduleDir string, fset *token.FileSet, roots ...string) (types.Importer, error) {
+	args := append([]string{"list", "-e", "-deps", "-export", "-json=ImportPath,Export"}, roots...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = moduleDir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", roots, err, stderr.String())
+	}
+	exports := map[string]string{}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p struct{ ImportPath, Export string }
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		e, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(e)
+	}), nil
+}

@@ -1,0 +1,42 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestLoadPackagesTypes exercises the stdlib-only loader against the real
+// module: packages enumerate, parse, and type-check with export data for
+// every import (including targets importing other targets), and module-
+// relative paths come out slash-separated.
+func TestLoadPackagesTypes(t *testing.T) {
+	moduleDir, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := LoadPackages(moduleDir, []string{"./internal/index", "./sofa"}, "", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPath := map[string]*Package{}
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	ix := byPath["repro/internal/index"]
+	if ix == nil || ix.Types == nil {
+		t.Fatal("repro/internal/index not loaded with types")
+	}
+	if ix.RelDir != "internal/index" {
+		t.Fatalf("RelDir = %q, want internal/index", ix.RelDir)
+	}
+	if ix.Types.Scope().Lookup("Tree") == nil {
+		t.Fatal("index.Tree not in type-checked scope")
+	}
+	sofa := byPath["repro/sofa"]
+	if sofa == nil || sofa.Types == nil {
+		t.Fatal("repro/sofa (which imports other module packages) not type-checked")
+	}
+	if len(sofa.Info.Uses) == 0 {
+		t.Fatal("type info carries no uses")
+	}
+}

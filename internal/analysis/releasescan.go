@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"strings"
+
+	"repro/internal/faultinject"
+)
+
+// releaseSymbolPattern matches the faultinject runtime symbols that must be
+// dead-code-eliminated out of every release build — the same contract the
+// chaos CI job used to enforce with an nm|grep shell pipeline.
+var releaseSymbolPattern = regexp.MustCompile(`faultinject\.(Arm|Hook|triggers)`)
+
+// ReleaseScan proves a release binary carries no fault-injection residue:
+// no faultinject runtime symbols in its symbol table (`go tool nm`), and no
+// injection-site name strings in its bytes. Both leaks break the release
+// contract — the harness must compile to nothing without the faultinject
+// build tag — and the string check catches the subtler failure where the
+// code is eliminated but a site constant is still referenced from live data.
+// Returns one human-readable finding per violation; empty means clean.
+func ReleaseScan(binary string) ([]string, error) {
+	var findings []string
+
+	cmd := exec.Command("go", "tool", "nm", binary)
+	var out, errOut bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errOut
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go tool nm %s: %v\n%s", binary, err, errOut.String())
+	}
+	for _, line := range strings.Split(out.String(), "\n") {
+		if releaseSymbolPattern.MatchString(line) {
+			findings = append(findings, fmt.Sprintf("%s: faultinject runtime symbol survives in release binary: %s",
+				binary, strings.TrimSpace(line)))
+		}
+	}
+
+	data, err := os.ReadFile(binary)
+	if err != nil {
+		return nil, fmt.Errorf("read %s: %w", binary, err)
+	}
+	for _, site := range faultinject.Sites() {
+		if siteStringPresent(data, site) {
+			findings = append(findings, fmt.Sprintf("%s: faultinject site name %q survives in release binary bytes",
+				binary, site))
+		}
+	}
+	return findings, nil
+}
+
+// siteStringPresent reports whether site occurs in the binary as string
+// data, discounting incidental matches inside embedded source paths: every
+// release binary legitimately contains "index/kernel" as a substring of the
+// internal/index/kernel.go file path the runtime embeds for stack traces.
+// A match is incidental when the surrounding path-character token contains
+// ".go"; genuine site constants live in the packed string-literal data,
+// whose neighbors are other literals, not file paths. (The old CI shell
+// pipeline dodged this by grepping only the six sites that collide with no
+// path — this scan covers all of them.)
+func siteStringPresent(data []byte, site string) bool {
+	for idx := 0; ; {
+		i := bytes.Index(data[idx:], []byte(site))
+		if i < 0 {
+			return false
+		}
+		i += idx
+		idx = i + len(site)
+		lo, hi := i, i+len(site)
+		for lo > 0 && i-lo < 256 && isPathByte(data[lo-1]) {
+			lo--
+		}
+		for hi < len(data) && hi-i < 256 && isPathByte(data[hi]) {
+			hi++
+		}
+		if !bytes.Contains(data[lo:hi], []byte(".go")) {
+			return true
+		}
+	}
+}
+
+func isPathByte(b byte) bool {
+	return b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' || b >= '0' && b <= '9' ||
+		b == '_' || b == '/' || b == '.' || b == '-'
+}

@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestReleaseScan builds sofa-query in both personalities and pins the scan
+// both ways: the release build must come back clean, and the
+// faultinject-tagged build must trip on symbols and site strings — proving
+// the scanner actually detects what the CI release gate exists to forbid.
+func TestReleaseScan(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds two binaries")
+	}
+	moduleDir, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func(out string, tags ...string) string {
+		t.Helper()
+		args := []string{"build", "-o", out}
+		args = append(args, tags...)
+		args = append(args, "./cmd/sofa-query")
+		cmd := exec.Command("go", args...)
+		cmd.Dir = moduleDir
+		if b, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", out, err, b)
+		}
+		return out
+	}
+
+	tmp := t.TempDir()
+	release := build(filepath.Join(tmp, "sofa-query-release"))
+	findings, err := ReleaseScan(release)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("release build has faultinject residue:\n%s", strings.Join(findings, "\n"))
+	}
+
+	tagged := build(filepath.Join(tmp, "sofa-query-chaos"), "-tags", "faultinject")
+	findings, err = ReleaseScan(tagged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var symbol, site bool
+	for _, f := range findings {
+		if strings.Contains(f, "runtime symbol") {
+			symbol = true
+		}
+		if strings.Contains(f, "site name") {
+			site = true
+		}
+	}
+	if !symbol || !site {
+		t.Fatalf("tagged build should trip both symbol and site-name checks, got:\n%s", strings.Join(findings, "\n"))
+	}
+}

@@ -1,0 +1,195 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// SentErrConfig parameterizes the boundary-error discipline check.
+type SentErrConfig struct {
+	// BoundaryPackages are the import paths whose errors cross the public
+	// API: every error constructed there must stay errors.Is-testable.
+	BoundaryPackages map[string]bool
+	// Sentinels are the declared sentinel variable names (ErrBadK, ...) in
+	// those packages. Each must actually be wrapped or returned somewhere —
+	// a sentinel nothing produces is dead API surface — and every
+	// fmt.Errorf must wrap one of them (or another error) with %w.
+	Sentinels []string
+}
+
+// NewSentErr builds the senterr analyzer. In the boundary packages:
+//
+//  1. Every fmt.Errorf call must carry %w in its constant format string:
+//     an Errorf without %w mints a fresh error tree that errors.Is cannot
+//     match against the documented sentinels.
+//  2. An error-typed argument formatted with %v or %s (instead of %w)
+//     flattens the wrapped chain — callers lose errors.Is on the cause.
+//  3. errors.New inside a function body (not a package-level sentinel
+//     declaration) creates an undeclared, untestable error.
+//  4. Every declared sentinel must still be used (wrapped/returned) in its
+//     package; unused sentinels are stale API surface.
+func NewSentErr(cfg SentErrConfig) *Analyzer {
+	return &Analyzer{
+		Name:      "senterr",
+		NeedTypes: true,
+		Doc: "require errors crossing the public boundary to wrap a declared sentinel with %w so " +
+			"errors.Is works: no naked fmt.Errorf, no %v-flattened error causes, no function-local " +
+			"errors.New, no dead sentinels",
+		Run: func(pass *Pass) error {
+			for _, pkg := range pass.Packages {
+				if !cfg.BoundaryPackages[pkg.Path] || pkg.Info == nil {
+					continue
+				}
+				sentinelUsed := map[string]bool{}
+				for _, file := range pkg.Files {
+					var funcDepth int
+					var inspect func(n ast.Node) bool
+					inspect = func(n ast.Node) bool {
+						switch n := n.(type) {
+						case *ast.FuncDecl, *ast.FuncLit:
+							funcDepth++
+							// Walk the body manually so we can restore depth.
+							ast.Inspect(children(n), inspect)
+							funcDepth--
+							return false
+						case *ast.Ident:
+							for _, s := range cfg.Sentinels {
+								if n.Name == s {
+									if _, isUse := pkg.Info.Uses[n]; isUse {
+										sentinelUsed[s] = true
+									}
+								}
+							}
+						case *ast.CallExpr:
+							checkErrorCall(pass, pkg, n, funcDepth > 0)
+						}
+						return true
+					}
+					ast.Inspect(file, inspect)
+				}
+				var stale []string
+				for _, s := range cfg.Sentinels {
+					if !sentinelUsed[s] {
+						stale = append(stale, s)
+					}
+				}
+				sort.Strings(stale)
+				for _, s := range stale {
+					pass.ReportModulef("sentinel %s.%s is declared but never wrapped or returned — dead error surface; wire it up or remove it from the senterr sentinel list", pkg.Path, s)
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// children returns the traversable body of a func declaration or literal.
+func children(n ast.Node) ast.Node {
+	switch n := n.(type) {
+	case *ast.FuncDecl:
+		if n.Body != nil {
+			return n.Body
+		}
+	case *ast.FuncLit:
+		return n.Body
+	}
+	return &ast.BlockStmt{}
+}
+
+// checkErrorCall applies rules 1–3 to one call expression.
+func checkErrorCall(pass *Pass, pkg *Package, call *ast.CallExpr, inFunc bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj := pkg.Info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return
+	}
+	switch {
+	case obj.Pkg().Path() == "errors" && sel.Sel.Name == "New":
+		if inFunc {
+			pass.ReportNodef(pkg, call, "function-local errors.New mints an undeclared error: return a declared sentinel (wrapped with fmt.Errorf and %%w) so callers can errors.Is it")
+		}
+	case obj.Pkg().Path() == "fmt" && sel.Sel.Name == "Errorf":
+		if len(call.Args) == 0 {
+			return
+		}
+		format, isConst := constString(pkg.Info, call.Args[0])
+		if !isConst {
+			pass.ReportNodef(pkg, call, "fmt.Errorf with a non-constant format string: the %%w discipline cannot be audited; use a constant format wrapping a sentinel")
+			return
+		}
+		verbs := formatVerbs(format)
+		wCount := 0
+		for _, v := range verbs {
+			if v == 'w' {
+				wCount++
+			}
+		}
+		if wCount == 0 {
+			pass.ReportNodef(pkg, call, "fmt.Errorf without %%w: errors crossing the sofa boundary must wrap a declared sentinel so errors.Is works")
+			return
+		}
+		// Rule 2: error-typed arguments must use %w, not %v/%s.
+		for i, v := range verbs {
+			argIdx := 1 + i
+			if v == 'w' || argIdx >= len(call.Args) {
+				continue
+			}
+			if t := pkg.Info.Types[call.Args[argIdx]]; t.Type != nil && implementsError(t.Type) {
+				pass.ReportNodef(pkg, call, "error value formatted with %%%c flattens its chain — use %%w (Go 1.20+ allows multiple %%w verbs) so errors.Is still sees the cause", v)
+			}
+		}
+	}
+}
+
+// constString evaluates e as a constant string.
+func constString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// formatVerbs extracts the verb letters from a format string, in argument
+// order, skipping %% and flags/width (a pragmatic parser: the boundary
+// formats are simple).
+func formatVerbs(format string) []byte {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		for i < len(format) && strings.ContainsRune("+-# 0123456789.[]*", rune(format[i])) {
+			i++
+		}
+		if i < len(format) && format[i] != '%' {
+			verbs = append(verbs, format[i])
+		}
+	}
+	return verbs
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func implementsError(t types.Type) bool {
+	return types.Implements(t, errorIface) || types.Implements(types.NewPointer(t), errorIface)
+}
+
+// DefaultSentErrConfig covers the public sofa package and its documented
+// sentinels.
+func DefaultSentErrConfig() SentErrConfig {
+	return SentErrConfig{
+		BoundaryPackages: map[string]bool{"repro/sofa": true},
+		Sentinels: []string{
+			"ErrEmptyData", "ErrBadSeriesLength", "ErrBadK", "ErrBadEpsilon",
+			"ErrBadConfig", "ErrStreamClosed",
+		},
+	}
+}

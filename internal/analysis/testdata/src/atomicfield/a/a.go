@@ -1,0 +1,44 @@
+// Package a seeds atomicfield violations: a misaligned raw 64-bit atomic
+// field, a mixed atomic/plain access, a declared-atomic field demoted to a
+// plain integer, and clean counter-examples.
+package a
+
+import "sync/atomic"
+
+// S holds a raw 64-bit atomic counter at offset 4 under GOARCH=386 layout —
+// a runtime fault on 32-bit targets.
+type S struct {
+	pad int32
+	n   int64
+}
+
+// T keeps its raw atomic counter first, which is 64-bit aligned as long as
+// the struct itself is allocated (the sync/atomic bug-note discipline).
+type T struct {
+	n   int64
+	pad int32
+}
+
+// W is pinned by the fixture config as DeclaredAtomic ("a.W.ctr") but
+// declares a plain integer.
+type W struct {
+	ctr int64 // want "must be a sync/atomic wrapper type"
+}
+
+// V is pinned as DeclaredAtomic ("a.V.ctr") and complies.
+type V struct {
+	ctr atomic.Int64
+}
+
+func bump(s *S, t *T) {
+	atomic.AddInt64(&s.n, 1) // want "64-bit atomic field S.n is at offset 4 under GOARCH=386"
+	atomic.AddInt64(&t.n, 1)
+}
+
+func mixed(s *S) int64 {
+	return s.n // want "plain access to S.n, a field accessed via sync/atomic elsewhere"
+}
+
+func cleanReads(t *T, v *V) int64 {
+	return atomic.LoadInt64(&t.n) + v.ctr.Load()
+}

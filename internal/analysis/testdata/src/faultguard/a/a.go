@@ -1,0 +1,35 @@
+// Package a seeds faultguard violations around a stand-in faultinject
+// package: a clean guarded hook, a hook missing its Enabled guard (the case
+// the old AST test could not express as a golden file), a non-constant
+// site, and an unaudited site.
+package a
+
+import "faultguard/faultinject"
+
+func guardedOK() {
+	if faultinject.Enabled {
+		faultinject.Hook(faultinject.SiteAudited)
+	}
+}
+
+func guardedAnd(x bool) {
+	if faultinject.Enabled && x {
+		faultinject.Hook(faultinject.SiteAudited)
+	}
+}
+
+func missingGuard() {
+	faultinject.Hook(faultinject.SiteAudited) // want "not inside an `if faultinject.Enabled` guard"
+}
+
+func nonConstantSite(site string) {
+	if faultinject.Enabled {
+		faultinject.Hook(site) // want "must be a faultinject.Site\* constant"
+	}
+}
+
+func unauditedSite() {
+	if faultinject.Enabled {
+		faultinject.Hook(faultinject.SiteRogue) // want "unaudited fault-injection hook"
+	}
+}

@@ -1,0 +1,17 @@
+// Package faultinject is the fixture stand-in for the real harness: the
+// analyzer is syntactic (it keys on the faultinject identifier), so only the
+// names matter. Hook calls inside this package are exempt from the audit.
+package faultinject
+
+const Enabled = false
+
+const (
+	SiteAudited = "site/audited"
+	SiteRogue   = "site/rogue"
+)
+
+func Hook(site string) {}
+
+func internalUse() {
+	Hook(SiteAudited)
+}

@@ -1,0 +1,9 @@
+// Command other is a designated query-API demo that fails to import the
+// public package (module-level finding).
+package main
+
+import "fmt"
+
+func main() {
+	fmt.Println("no sofa here")
+}

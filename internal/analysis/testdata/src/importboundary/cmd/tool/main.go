@@ -1,0 +1,13 @@
+// Command tool seeds an importboundary violation: a program directory
+// reaching around the public API into the engine internals.
+package main
+
+import (
+	"repro/internal/core" // want "program directories must use the public repro/sofa API"
+	"repro/sofa"
+)
+
+func main() {
+	_ = core.Plan{}
+	_ = sofa.Query{}
+}

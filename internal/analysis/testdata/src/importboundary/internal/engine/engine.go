@@ -1,0 +1,7 @@
+// Package engine is outside the program directories: its imports are not
+// subject to the boundary.
+package engine
+
+import "fmt"
+
+func Use() { fmt.Println("engine") }

@@ -1,0 +1,19 @@
+// Package a seeds retainaudit violations: one audited call, one unaudited
+// call, and (via the test's config) one stale allowlist entry.
+package a
+
+type searcher struct{}
+
+func (searcher) Search(q []float64) []int    { return nil }
+func (searcher) SearchPlan(dst []int) []int  { return dst }
+func (searcher) NewStream(f func(res []int)) {}
+
+func audited() {
+	var s searcher
+	_ = s.Search(nil) // allowlisted by the fixture config
+}
+
+func unaudited() {
+	var s searcher
+	s.NewStream(func(res []int) {}) // want "unaudited caller of NewStream"
+}

@@ -1,0 +1,34 @@
+// Package a seeds senterr violations at a stand-in public boundary: a naked
+// fmt.Errorf, a %v-flattened error cause, a function-local errors.New, and
+// (via the fixture config) a dead sentinel.
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+var (
+	ErrA    = errors.New("a: bad input")
+	ErrDead = errors.New("a: never produced")
+)
+
+func wrapped(n int) error {
+	return fmt.Errorf("%w: got %d", ErrA, n)
+}
+
+func doubleWrapped(err error) error {
+	return fmt.Errorf("%w: %w", ErrA, err)
+}
+
+func naked(n int) error {
+	return fmt.Errorf("boom %d", n) // want "fmt.Errorf without %w"
+}
+
+func flattened(err error) error {
+	return fmt.Errorf("%w: %v", ErrA, err) // want "error value formatted with %v flattens its chain"
+}
+
+func local() error {
+	return errors.New("a: undeclared") // want "function-local errors.New mints an undeclared error"
+}

@@ -11,7 +11,9 @@
 //   - Without the tag (every release build), Enabled is the constant false
 //     and Hook is an empty inlinable stub, so the `if faultinject.Enabled`
 //     guards at every call site compile to nothing and no hook machinery is
-//     linked into release binaries (the chaos CI job verifies this with nm).
+//     linked into release binaries (the chaos CI job verifies this with
+//     `sofa-vet -release-scan`, which checks both nm symbols and surviving
+//     site-name strings).
 //
 // Hook sites are a closed set: every call site must use one of the Site*
 // constants below, and the retention/hooks audit fails when a call site uses
@@ -21,7 +23,7 @@
 package faultinject
 
 // The named hook sites. Keep in sync with siteList (every call site is
-// audited by TestFaultinjectHookAudit at the repo root).
+// audited by the faultguard analyzer in internal/analysis).
 const (
 	// SiteShardSeed fires at shard-search entry: the seeding stage of one
 	// shard's participation in a collection query.

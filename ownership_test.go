@@ -1,0 +1,73 @@
+package repro
+
+// TestSofaPublicOwnership pins the public boundary's ownership contract
+// behaviorally: sofa.Search must COPY (its results survive any number of
+// later queries on the same index, which cycle the pooled internal
+// searchers), and only SearchInto may reuse memory — the caller's own
+// buffer, overwritten by the next call exactly like append. The static side
+// of the same contract — that every internal caller of the pooled-slice
+// APIs has been audited by a human — is enforced by the retainaudit
+// analyzer (internal/analysis), which replaced the old AST-walk audit in
+// this file.
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/sofa"
+)
+
+func TestSofaPublicOwnership(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	data := sofa.NewMatrix(400, 32)
+	for i := 0; i < data.Len(); i++ {
+		row := data.Row(i)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+	}
+	data.ZNormalizeAll()
+	ix, err := sofa.Build(data, sofa.SampleRate(0.5), sofa.LeafSize(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	query := func() []float64 {
+		q := make([]float64, 32)
+		for j := range q {
+			q[j] = rng.NormFloat64()
+		}
+		return q
+	}
+
+	res, err := ix.Search(ctx, sofa.Query{Series: query(), K: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := append([]sofa.Result(nil), res...)
+	for i := 0; i < 30; i++ {
+		if _, err := ix.Search(ctx, sofa.Query{Series: query(), K: 8}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ix.SearchInto(ctx, sofa.Query{Series: query(), K: 8}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range snapshot {
+		if res[i] != snapshot[i] {
+			t.Fatalf("sofa.Search leaked a pooled slice: result %d mutated by later queries (%v != %v)", i, res[i], snapshot[i])
+		}
+	}
+
+	// SearchInto, by contrast, documents overwrite semantics on the
+	// caller's buffer — verify it aliases that buffer and nothing else.
+	buf := make([]sofa.Result, 0, 8)
+	r1, err := ix.SearchInto(ctx, sofa.Query{Series: query(), K: 8}, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &r1[0] != &buf[:1][0] {
+		t.Fatal("SearchInto did not append into the caller's buffer")
+	}
+}

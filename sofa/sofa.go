@@ -238,7 +238,8 @@ func Build(data *Matrix, opts ...Option) (*Index, error) {
 	}
 	ix, err := core.Build(data, c.cfg)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+		// Both %w: errors.Is finds the sentinel and the engine's cause.
+		return nil, fmt.Errorf("%w: %w", ErrBadConfig, err)
 	}
 	return newIndex(ix), nil
 }

@@ -41,7 +41,8 @@ func (x *Index) NewStream(workers int, handle func(qid uint64, res []Result, err
 	// SubmitPlan with its own validated plan.
 	st, err := x.ix.Collection().NewStream(1, workers, handle)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+		// Both %w: errors.Is finds the sentinel and the engine's cause.
+		return nil, fmt.Errorf("%w: %w", ErrBadConfig, err)
 	}
 	return &Stream{x: x, st: st}, nil
 }
