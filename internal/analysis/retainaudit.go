@@ -110,6 +110,9 @@ func DefaultRetainConfig() RetainConfig {
 			"internal/bench/bench.go": {
 				"Search": "timeTreeQueries/timeScanQueries discard results (latency only)",
 			},
+			"internal/bench/churn_experiment.go": {
+				"Search": "churnQPS discards results (throughput only)",
+			},
 			"internal/bench/chaos_experiment.go": {
 				"SearchPlan": "dst=nil (fresh slice per query); ids are counted into coverage before the searcher's next query",
 			},

@@ -189,7 +189,7 @@ func DefaultSentErrConfig() SentErrConfig {
 		BoundaryPackages: map[string]bool{"repro/sofa": true},
 		Sentinels: []string{
 			"ErrEmptyData", "ErrBadSeriesLength", "ErrBadK", "ErrBadEpsilon",
-			"ErrBadConfig", "ErrStreamClosed",
+			"ErrBadConfig", "ErrStreamClosed", "ErrNotFound", "ErrTombstoned",
 		},
 	}
 }

@@ -237,6 +237,7 @@ func Experiments() []Experiment {
 		{"load", "Extension: index load time by container version (v2 rebuild vs v3 decode)", RunLoad},
 		{"chaos", "Extension: degraded-mode throughput, top-k coverage and ε certificates with one shard quarantined", RunChaos},
 		{"wal", "Extension: durable insert throughput by WAL sync policy", RunWAL},
+		{"churn", "Extension: search throughput under tombstone load, compaction pauses, SFA re-learns", RunChurn},
 		{"report", "Extension: kernel + end-to-end perf snapshot (JSON via -json)", RunReport},
 	}
 }

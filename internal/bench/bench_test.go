@@ -66,8 +66,8 @@ func TestQuickConfig(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 21 {
-		t.Fatalf("%d experiments, want 21", len(exps))
+	if len(exps) != 22 {
+		t.Fatalf("%d experiments, want 22", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {
@@ -143,6 +143,21 @@ func TestRunChaos(t *testing.T) {
 	}
 }
 
+func TestRunChurn(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tiny()
+	cfg.Shards = 2
+	if err := RunChurn(cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"baseline", "churn 30%", "compacted", "compaction pauses", "re-learns"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("churn output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestRunReport(t *testing.T) {
 	// Shrink testing.Benchmark's target time so the ten kernel
 	// microbenchmarks don't dominate the test suite; restore whatever the
@@ -174,7 +189,7 @@ func TestRunReport(t *testing.T) {
 	if err := json.Unmarshal(blob, &rep); err != nil {
 		t.Fatalf("report JSON does not parse: %v", err)
 	}
-	if rep.PR != 8 || len(rep.Kernels) == 0 || len(rep.EndToEnd) == 0 {
+	if rep.PR != 10 || len(rep.Kernels) == 0 || len(rep.EndToEnd) == 0 {
 		t.Errorf("report incomplete: %+v", rep)
 	}
 	if len(rep.KernelAB) != 4 {
@@ -218,6 +233,21 @@ func TestRunReport(t *testing.T) {
 	}
 	if !raceEnabled && rep.SearchSteadyStateAllocs != 0 {
 		t.Errorf("steady-state Search allocates %v allocs/op, want 0", rep.SearchSteadyStateAllocs)
+	}
+	if rep.Churn == nil || len(rep.Churn.Rows) != 4 {
+		t.Fatalf("report churn section incomplete: %+v", rep.Churn)
+	}
+	for i, want := range []string{"baseline", "churn 10%", "churn 30%", "compacted"} {
+		r := rep.Churn.Rows[i]
+		if r.Phase != want || r.QPS <= 0 || r.Live <= 0 {
+			t.Errorf("degenerate churn row: %+v (want phase %q)", r, want)
+		}
+	}
+	if last := rep.Churn.Rows[3]; last.Tombstoned != 0 {
+		t.Errorf("compacted churn row still carries %d tombstones", last.Tombstoned)
+	}
+	if rep.Churn.Compactions < int64(rep.Churn.Shards) || rep.Churn.CompactMaxMs <= 0 {
+		t.Errorf("churn compaction accounting: %+v", rep.Churn)
 	}
 }
 

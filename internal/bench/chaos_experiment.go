@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/distance"
+	"repro/internal/index"
 )
 
 // ChaosReport quantifies degraded-mode operation: the same snapshot index
@@ -148,7 +149,7 @@ func chaosReport(c SuiteConfig, data *distance.Matrix) (*ChaosReport, error) {
 		if err != nil {
 			return nil, fmt.Errorf("degraded query %d: %w", i, err)
 		}
-		truth := map[int32]bool{}
+		truth := map[index.ID]bool{}
 		for _, r := range healthy[i] {
 			truth[r.ID] = true
 		}

@@ -1,0 +1,221 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/distance"
+	"repro/internal/index"
+)
+
+// ChurnRow is one phase of the mutation experiment: sustained exact-search
+// throughput at a given tombstone load. The tombstoned rows still sit in the
+// leaves (refinement skips them in the fused survivor pass), so comparing the
+// churned rows against the baseline prices the tombstone checks, and the
+// compacted row shows how much of the baseline a rebuild buys back.
+type ChurnRow struct {
+	Phase          string  `json:"phase"`
+	Live           int     `json:"live"`
+	Tombstoned     int     `json:"tombstoned"`
+	QPS            float64 `json:"qps"`
+	MicrosPerQuery float64 `json:"micros_per_query"`
+}
+
+// ChurnReport is the mutation/compaction experiment's machine-readable
+// result: QPS under deletion load, the per-shard compaction pause
+// distribution, and the SFA re-learn triggers the churn caused.
+type ChurnReport struct {
+	Series  int `json:"series"`
+	Length  int `json:"length"`
+	Shards  int `json:"shards"`
+	Queries int `json:"queries"`
+	K       int `json:"k"`
+
+	Rows []ChurnRow `json:"rows"`
+
+	// Per-shard compaction pause distribution (wall seconds per CompactShard
+	// call; queries never block on the rebuild — the pause bounds writer
+	// stalls, not reader stalls).
+	CompactPausesMs []float64 `json:"compact_pauses_ms"`
+	CompactMeanMs   float64   `json:"compact_mean_ms"`
+	CompactMaxMs    float64   `json:"compact_max_ms"`
+
+	// Lifetime compactions and churn-triggered SFA re-learns across the run
+	// (RelearnChurnFraction is set low enough that the deletion load trips
+	// it, so re-learn cost is included in the pause distribution).
+	Compactions int64 `json:"compactions"`
+	Relearns    int64 `json:"relearns"`
+}
+
+// RunChurn measures the mutable-index surface: exact-search throughput at
+// increasing tombstone fractions (deletes plus upserts against the snapshot
+// index), the per-shard compaction pause distribution, and the number of
+// churn-triggered SFA re-learns.
+func RunChurn(cfg SuiteConfig, w io.Writer) error {
+	c := cfg.withDefaults()
+	spec, data, err := snapshotData(c)
+	if err != nil {
+		return err
+	}
+	rep, err := churnReport(c, spec, data)
+	if err != nil {
+		return err
+	}
+	tw := newTable(w)
+	fmt.Fprintf(tw, "dataset\t%s\tseries\t%d\tlength\t%d\tshards\t%d\tk\t%d\n",
+		spec.Name, rep.Series, rep.Length, rep.Shards, rep.K)
+	fmt.Fprintln(tw, "phase\tlive\ttombstoned\tqueries/s\tµs/query")
+	for _, r := range rep.Rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.0f\t%.1f\n",
+			r.Phase, r.Live, r.Tombstoned, r.QPS, r.MicrosPerQuery)
+	}
+	fmt.Fprintf(tw, "compaction pauses (ms/shard)\tmean %.1f\tmax %.1f\t%v\n",
+		rep.CompactMeanMs, rep.CompactMaxMs, fmtPauses(rep.CompactPausesMs))
+	fmt.Fprintf(tw, "compactions\t%d\tre-learns\t%d\n", rep.Compactions, rep.Relearns)
+	return tw.Flush()
+}
+
+func fmtPauses(ms []float64) string {
+	out := "["
+	for i, v := range ms {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%.1f", v)
+	}
+	return out + "]"
+}
+
+// churnReport builds the snapshot index with a churn-sensitive compaction
+// policy, measures baseline QPS, applies two rounds of deletes/upserts
+// (~10% then ~30% tombstoned) measuring QPS at each, then compacts every
+// shard (timed individually) and measures the recovered throughput.
+func churnReport(c SuiteConfig, spec dataset.Spec, data *distance.Matrix) (*ChurnReport, error) {
+	const k = 10
+	ix, err := core.Build(data, core.Config{
+		Method:       core.SOFA,
+		LeafCapacity: c.LeafCapacity,
+		Shards:       c.Shards,
+		SampleRate:   0.01,
+		Seed:         c.Seed,
+		// Low re-learn threshold so the experiment's churn trips it and the
+		// pause distribution includes re-learn cost; MaxTombstoneFraction is
+		// irrelevant here because the shards are compacted explicitly.
+		Compaction: core.CompactionPolicy{RelearnChurnFraction: 0.1},
+	})
+	if err != nil {
+		return nil, err
+	}
+	queries, err := dataset.GenerateQueries(spec, c.Queries, c.Seed)
+	if err != nil {
+		return nil, err
+	}
+	rep := &ChurnReport{
+		Series:  data.Len(),
+		Length:  spec.Length,
+		Shards:  c.Shards,
+		Queries: queries.Len(),
+		K:       k,
+	}
+	s := ix.NewSearcher()
+	measure := func(phase string) error {
+		row, err := churnQPS(s, queries, k)
+		if err != nil {
+			return err
+		}
+		row.Phase = phase
+		row.Live = ix.Len()
+		row.Tombstoned = ix.Collection().Tombstoned()
+		rep.Rows = append(rep.Rows, row)
+		return nil
+	}
+	if err := measure("baseline"); err != nil {
+		return nil, err
+	}
+
+	// Churn rounds: delete to a target tombstone fraction, upserting one row
+	// for every four deletes so the id-remap path is exercised too. Ids are
+	// never reused, so each round draws from the still-live prefix.
+	rng := rand.New(rand.NewSource(c.Seed + 31))
+	live := make([]index.ID, data.Len())
+	for i := range live {
+		live[i] = index.ID(i)
+	}
+	churnTo := func(frac float64) error {
+		target := int(frac * float64(data.Len()))
+		for ix.Collection().Tombstoned() < target && len(live) > 0 {
+			j := rng.Intn(len(live))
+			id := live[j]
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+			if rng.Intn(5) == 0 {
+				if err := ix.Upsert(id, data.Row(rng.Intn(data.Len()))); err != nil {
+					return err
+				}
+				live = append(live, id) // still live under the same id
+			} else if err := ix.Delete(id); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, round := range []struct {
+		frac  float64
+		phase string
+	}{{0.10, "churn 10%"}, {0.30, "churn 30%"}} {
+		if err := churnTo(round.frac); err != nil {
+			return nil, err
+		}
+		if err := measure(round.phase); err != nil {
+			return nil, err
+		}
+	}
+
+	// Compact every shard, timing each swap as one pause sample.
+	for i := 0; i < c.Shards; i++ {
+		start := time.Now()
+		if err := ix.CompactShard(i); err != nil {
+			return nil, err
+		}
+		rep.CompactPausesMs = append(rep.CompactPausesMs, time.Since(start).Seconds()*1e3)
+	}
+	sort.Float64s(rep.CompactPausesMs)
+	for _, p := range rep.CompactPausesMs {
+		rep.CompactMeanMs += p
+	}
+	rep.CompactMeanMs /= float64(len(rep.CompactPausesMs))
+	rep.CompactMaxMs = rep.CompactPausesMs[len(rep.CompactPausesMs)-1]
+	col := ix.Collection()
+	rep.Compactions = col.Compactions()
+	rep.Relearns = col.Relearns()
+	if err := measure("compacted"); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// churnQPS runs the query set sequentially until at least minWall has
+// elapsed and returns the sustained rate.
+func churnQPS(s *core.Searcher, queries *distance.Matrix, k int) (ChurnRow, error) {
+	const minWall = 250 * time.Millisecond
+	n := 0
+	start := time.Now()
+	for time.Since(start) < minWall {
+		for i := 0; i < queries.Len(); i++ {
+			if _, err := s.Search(queries.Row(i), k); err != nil {
+				return ChurnRow{}, err
+			}
+			n++
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	return ChurnRow{
+		QPS:            float64(n) / elapsed,
+		MicrosPerQuery: elapsed / float64(n) * 1e6,
+	}, nil
+}

@@ -72,6 +72,11 @@ type PerfReport struct {
 	// the fsync ladder, plus the replay cost the log imposes on the next
 	// open.
 	WAL []WALRow `json:"wal"`
+
+	// Churn: search throughput under tombstone load, per-shard compaction
+	// pause distribution and churn-triggered SFA re-learns on the same
+	// snapshot (the churn experiment).
+	Churn *ChurnReport `json:"churn"`
 }
 
 // KernelRow is one kernel variant's microbenchmark result.
@@ -117,6 +122,14 @@ func RunReport(cfg SuiteConfig, w io.Writer) error {
 			ch.Shards, ch.QuarantinedShard, ch.HealthyQPS, ch.DegradedQPS,
 			ch.CoverageMean, ch.EpsilonZero, ch.EpsilonFinite, ch.EpsilonInf)
 	}
+	if cr := rep.Churn; cr != nil {
+		fmt.Fprintln(tw, "churn phase\tlive\ttombstoned\tqueries/s")
+		for _, r := range cr.Rows {
+			fmt.Fprintf(tw, "\t%s\t%d\t%d\t%.0f\n", r.Phase, r.Live, r.Tombstoned, r.QPS)
+		}
+		fmt.Fprintf(tw, "compaction pause ms (per shard)\tmean %.1f\tmax %.1f\tre-learns %d\n",
+			cr.CompactMeanMs, cr.CompactMaxMs, cr.Relearns)
+	}
 	if err := tw.Flush(); err != nil {
 		return err
 	}
@@ -136,7 +149,7 @@ func RunReport(cfg SuiteConfig, w io.Writer) error {
 // BuildReport runs every measurement of the report.
 func BuildReport(cfg SuiteConfig) (*PerfReport, error) {
 	rep := &PerfReport{
-		PR:        8,
+		PR:        10,
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
@@ -180,6 +193,10 @@ func BuildReport(cfg SuiteConfig) (*PerfReport, error) {
 		return nil, err
 	}
 	rep.WAL, err = walRows(c, data)
+	if err != nil {
+		return nil, err
+	}
+	rep.Churn, err = churnReport(c, spec, data)
 	if err != nil {
 		return nil, err
 	}

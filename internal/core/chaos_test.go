@@ -403,3 +403,87 @@ func TestChaosDisarmedIsClean(t *testing.T) {
 		}
 	}
 }
+
+// TestChaosMutationFaults covers the two mutation-path injection sites: a
+// fault at SiteTombstone fails Delete/Upsert cleanly with the row still
+// live and search results untouched, and a fault at SiteCompactSwap fails
+// CompactShard with the old state standing — tombstones unreclaimed,
+// results unchanged — until a clean retry reclaims them.
+func TestChaosMutationFaults(t *testing.T) {
+	const k = 5
+	ix, queries := chaosIndex(t, 2)
+	defer faultinject.Reset()
+	s := ix.NewSearcher()
+	res, err := s.Search(queries[0], k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := append([]Result(nil), res...)
+	victim := baseline[0].ID
+
+	check := func(stage string, want []Result, wantTomb int) {
+		t.Helper()
+		if got := ix.Collection().Tombstoned(); got != wantTomb {
+			t.Fatalf("%s: %d tombstoned rows, want %d", stage, got, wantTomb)
+		}
+		if err := ix.CheckInvariants(); err != nil {
+			t.Fatalf("%s: invariants: %v", stage, err)
+		}
+		res, err := s.Search(queries[0], k)
+		if err != nil {
+			t.Fatalf("%s: %v", stage, err)
+		}
+		for r := range res {
+			if res[r] != want[r] {
+				t.Fatalf("%s rank %d: %+v != %+v", stage, r, res[r], want[r])
+			}
+		}
+	}
+
+	// A faulted delete surfaces the injected error and changes nothing.
+	faultinject.Arm(faultinject.SiteTombstone, faultinject.Trigger{Mode: faultinject.ModeError, OnCall: 1})
+	var inj *faultinject.InjectedError
+	if err := ix.Delete(victim); !errors.As(err, &inj) {
+		t.Fatalf("faulted delete: %v, want injected error", err)
+	}
+	check("after faulted delete", baseline, 0)
+
+	// A faulted upsert fires the same site and keeps the old value.
+	faultinject.Arm(faultinject.SiteTombstone, faultinject.Trigger{Mode: faultinject.ModeError, OnCall: 1})
+	if err := ix.Upsert(victim, queries[1]); !errors.As(err, &inj) {
+		t.Fatalf("faulted upsert: %v, want injected error", err)
+	}
+	check("after faulted upsert", baseline, 0)
+
+	// Disarmed, the delete goes through; the victim leaves the results.
+	faultinject.Disarm(faultinject.SiteTombstone)
+	if err := ix.Delete(victim); err != nil {
+		t.Fatal(err)
+	}
+	res, err = s.Search(queries[0], k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deleted := append([]Result(nil), res...)
+	for _, r := range deleted {
+		if r.ID == victim {
+			t.Fatalf("deleted id %d still in results", victim)
+		}
+	}
+
+	// A faulted compaction swap leaves the tombstone unreclaimed and the
+	// answers unchanged (the rebuilt shard is discarded, never published).
+	shard := int(victim) % ix.Shards()
+	faultinject.Arm(faultinject.SiteCompactSwap, faultinject.Trigger{Mode: faultinject.ModeError, OnCall: 1})
+	if err := ix.CompactShard(shard); !errors.As(err, &inj) {
+		t.Fatalf("faulted compaction: %v, want injected error", err)
+	}
+	check("after faulted compaction", deleted, 1)
+
+	// A clean retry reclaims the row and answers identically.
+	faultinject.Disarm(faultinject.SiteCompactSwap)
+	if err := ix.CompactShard(shard); err != nil {
+		t.Fatal(err)
+	}
+	check("after clean compaction", deleted, 0)
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/distance"
+	"repro/internal/faultinject"
 	"repro/internal/index"
 	"repro/internal/sax"
 	"repro/internal/sfa"
@@ -24,35 +25,76 @@ import (
 // Insert, Save/Load, NewStream) routes through. Shards == 1 degenerates to
 // the single-tree index with no overhead on the query hot path.
 //
-// Series ids are global: the series at global id g lives in shard g % S at
-// shard-local row g / S, and shard searchers map local ids back to global
-// ids at offer time (global = local*S + shard). Exact k-NN runs all shards
-// against one shared KNNCollector whose atomic bound is the cross-shard
-// best-so-far, so shards prune each other and the collector holds the global
-// top-k with no post-merge.
+// Series ids are public and stable: Insert assigns them sequentially and
+// Delete/Upsert/compaction never renumber. While the collection is
+// append-only the id layout is the round-robin identity (id g lives in
+// shard g % S at shard-local row g / S) and shard searchers invert it
+// arithmetically at offer time; the first upsert or compaction materializes
+// explicit id tables (pub2loc and per-shard pubOf) that take over. Exact
+// k-NN runs all shards against one shared KNNCollector whose atomic bound
+// is the cross-shard best-so-far, so shards prune each other and the
+// collector holds the global top-k with no post-merge.
 //
-// A Collection is immutable and safe for concurrent searches after Build
-// (one Searcher per goroutine); Insert requires external synchronization,
-// as with the single tree.
+// Mutation contract: Delete and Upsert join Insert behind one internal
+// mutex, so writers may be concurrent with each other and with compaction;
+// searches remain lock-free and require external synchronization against
+// mutations (the original Insert contract). CompactShard is the exception
+// on both sides: it is safe to run concurrently with searches AND with
+// mutations — it rebuilds a shard off-line from a snapshot and publishes
+// the result RCU-style through the shard's atomic state pointer, so
+// in-flight queries keep the consistent shard they started on and never
+// block on the rebuild.
 type Collection struct {
 	method Method
-	cfg    Config // effective (defaulted) configuration; cfg.Shards == len(shards)
+	cfg    Config // effective (defaulted) configuration; cfg.Shards == len(states)
 	sum    index.Summarization
 	sfaQ   *sfa.Quantizer // nil for MESSI
 
-	shards []*index.Tree
-	sdata  []*distance.Matrix // per-shard matrices (shard s holds global ids ≡ s mod S)
-	total  int                // series across all shards
+	// states holds one atomic pointer per shard. Searchers snapshot a
+	// shard's state at query time and keep it for the whole query;
+	// compaction swaps in a rebuilt state without ever touching the old one
+	// (RCU). Everything a query needs from a shard — tree, data, public-id
+	// table — lives in the shardState so a snapshot is always internally
+	// consistent.
+	states []atomic.Pointer[shardState]
+	total  int // physical series across all shards (live + tombstoned)
 	stride int
 
+	// Mutation state. mu serializes Insert/Delete/Upsert and compaction's
+	// snapshot/swap sections against each other; searches never take it.
+	mu sync.Mutex
+	// pubCount is the number of public ids ever assigned (Insert returns
+	// pubCount++). pub2loc maps a public id to its physical slot packed as
+	// local*S + shard, with -1 marking a deleted id; nil means the identity
+	// layout still holds (pub == local*S + shard), which stays true until
+	// the first upsert or compaction diverges physical from public ids.
+	pubCount int64
+	pub2loc  []int64
+	// epochs[i] counts mutations touching shard i; compaction validates its
+	// snapshot against it before an optimistic (unlocked-build) swap.
+	// relearnChurn[i] counts mutations since shard i's quantization was
+	// learned — the signal that decides an SFA re-learn at compaction.
+	epochs       []atomic.Uint64
+	relearnChurn []atomic.Int64
+	// live/tomb/compactions/relearns are collection-wide counters searches
+	// read lock-free into QueryMeta.
+	live        atomic.Int64
+	tomb        atomic.Int64
+	compactions atomic.Int64
+	relearns    atomic.Int64
+	// mutSeq numbers every applied mutation; the WAL stamps records with it
+	// and recovery resumes from the checkpointed value.
+	mutSeq atomic.Uint64
+	// compactingBG guards the single background compaction goroutine the
+	// Auto policy may spawn after a mutation.
+	compactingBG atomic.Bool
+
 	// health tracks per-shard fault state (panic counts, quarantine); see
-	// fault.go. len(health) == len(shards) always. A shard may have a nil
+	// fault.go. len(health) == len(states) always. A shard may have a nil
 	// tree when it was quarantined at load time (corrupt payload under
 	// LoadOptions.QuarantineCorruptShards); such shards are permanently
 	// quarantined and untrusted.
 	health []shardHealth
-
-	insertEnc index.Encoder
 
 	// searchers pools serial collection searchers for SearchBatch and the
 	// streaming engine, so repeated batches and stream workers reuse
@@ -66,6 +108,31 @@ type Collection struct {
 	TransformSeconds float64
 	TreeSeconds      float64
 }
+
+// shardState is the immutable-by-swap unit of one shard: the tree, its data
+// matrix, and the local→public id table. Mutations edit the current state
+// in place under the collection mutex (tombstones, appends); compaction
+// never edits — it builds a replacement and swaps the pointer.
+type shardState struct {
+	tree *index.Tree
+	data *distance.Matrix // tree's matrix; kept even when tree == nil (load quarantine)
+	// pubOf maps tree-local ids to stable public ids; nil while the shard
+	// still has the round-robin identity layout (pub = local*S + shard).
+	pubOf []int32
+	// relearned marks a shard whose quantization was re-learned from its
+	// survivors at compaction; its tree carries its own summarization, so
+	// certificate representations must use the tree's encoder.
+	relearned bool
+	// enc is the lazily created encoder mutations use to word new series
+	// (guarded by the collection mutex).
+	enc index.Encoder
+}
+
+// state returns shard i's current state (never nil once built/loaded).
+func (c *Collection) state(i int) *shardState { return c.states[i].Load() }
+
+// tree returns shard i's current tree (nil for load-quarantined shards).
+func (c *Collection) tree(i int) *index.Tree { return c.state(i).tree }
 
 // BuildCollection constructs a sharded index over data (which must contain
 // z-normalized series, as for Build). cfg.Shards selects the shard count
@@ -103,14 +170,25 @@ func BuildCollection(data *distance.Matrix, cfg Config) (*Collection, error) {
 	}
 	c.cfg = cfg
 
-	c.sdata = data.PartitionRoundRobin(cfg.Shards)
+	sdata := data.PartitionRoundRobin(cfg.Shards)
 	opts := c.shardOptions()
-	if err := c.buildShardTrees(func(i int) (*index.Tree, error) {
-		return index.Build(c.sdata[i], c.sum, opts)
+	if err := c.buildShardTrees(sdata, func(i int) (*index.Tree, error) {
+		return index.Build(sdata[i], c.sum, opts)
 	}); err != nil {
 		return nil, err
 	}
+	c.initMutationState(int64(c.total), 0)
 	return c, nil
+}
+
+// initMutationState seeds the mutation counters of a freshly built or loaded
+// collection: pubCount public ids assigned so far, dead tombstoned rows
+// among the physical total. The identity id layout (pub == local*S + shard)
+// is assumed; loaders with explicit id tables overwrite pub2loc afterwards.
+func (c *Collection) initMutationState(pubCount int64, dead int) {
+	c.pubCount = pubCount
+	c.live.Store(int64(c.total - dead))
+	c.tomb.Store(int64(dead))
 }
 
 // newSummarization creates the configured summarization: a fixed iSAX
@@ -176,16 +254,19 @@ func (c *Collection) shardOptions() index.Options {
 // and folds the per-shard phase timings into the collection's (wall-clock
 // maxima, since shards build concurrently). Shared by Build (full build)
 // and Load (rebuild from saved words).
-func (c *Collection) buildShardTrees(build func(i int) (*index.Tree, error)) error {
-	c.shards = make([]*index.Tree, len(c.sdata))
-	c.health = make([]shardHealth, len(c.sdata))
-	errs := make([]error, len(c.sdata))
+func (c *Collection) buildShardTrees(sdata []*distance.Matrix, build func(i int) (*index.Tree, error)) error {
+	c.states = make([]atomic.Pointer[shardState], len(sdata))
+	c.health = make([]shardHealth, len(sdata))
+	c.epochs = make([]atomic.Uint64, len(sdata))
+	c.relearnChurn = make([]atomic.Int64, len(sdata))
+	trees := make([]*index.Tree, len(sdata))
+	errs := make([]error, len(sdata))
 	var wg sync.WaitGroup
-	for i := range c.sdata {
+	for i := range sdata {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			c.shards[i], errs[i] = build(i)
+			trees[i], errs[i] = build(i)
 		}(i)
 	}
 	wg.Wait()
@@ -194,7 +275,8 @@ func (c *Collection) buildShardTrees(build func(i int) (*index.Tree, error)) err
 			return err
 		}
 	}
-	for i, t := range c.shards {
+	for i, t := range trees {
+		c.states[i].Store(&shardState{tree: t, data: sdata[i]})
 		if t == nil {
 			// The build callback quarantined this shard (corrupt payload
 			// under LoadOptions.QuarantineCorruptShards): no tree, no
@@ -216,20 +298,52 @@ func (c *Collection) buildShardTrees(build func(i int) (*index.Tree, error)) err
 // Method reports whether this is a SOFA or MESSI collection.
 func (c *Collection) Method() Method { return c.method }
 
-// Len returns the number of indexed series across all shards.
-func (c *Collection) Len() int { return c.total }
+// Len returns the number of live (non-tombstoned) series. For a collection
+// that was never mutated this equals the physical row count.
+func (c *Collection) Len() int { return int(c.live.Load()) }
+
+// PhysLen returns the physical row count across all shards, live plus
+// tombstoned. Compaction shrinks it back toward Len.
+func (c *Collection) PhysLen() int { return c.total }
+
+// Tombstoned returns the number of tombstoned (deleted but not yet
+// compacted) rows.
+func (c *Collection) Tombstoned() int { return int(c.tomb.Load()) }
+
+// MutSeq returns the number of mutations (inserts, deletes, upserts)
+// applied to the collection over its lifetime; the WAL stamps records with
+// this sequence.
+func (c *Collection) MutSeq() uint64 { return c.mutSeq.Load() }
+
+// Compactions and Relearns return the lifetime counts of shard compactions
+// and of compactions that re-learned a shard's SFA quantization.
+func (c *Collection) Compactions() int64 { return c.compactions.Load() }
+func (c *Collection) Relearns() int64    { return c.relearns.Load() }
 
 // SeriesLen returns the length of the indexed series.
 func (c *Collection) SeriesLen() int { return c.stride }
 
 // Shards returns the shard count.
-func (c *Collection) Shards() int { return len(c.shards) }
+func (c *Collection) Shards() int { return len(c.states) }
 
-// Row returns the series stored under global id g (aliasing shard memory;
-// do not modify).
+// Row returns the series stored under public id g (aliasing shard memory;
+// do not modify), or nil when g is tombstoned. Like searches, Row must not
+// run concurrently with mutations.
 func (c *Collection) Row(g int) []float64 {
-	s := len(c.shards)
-	return c.sdata[g%s].Row(g / s)
+	s := len(c.states)
+	shard, local := g%s, g/s
+	if c.pub2loc != nil {
+		v := c.pub2loc[g]
+		if v < 0 {
+			return nil
+		}
+		shard, local = int(v%int64(s)), int(v/int64(s))
+	}
+	st := c.state(shard)
+	if st.tree != nil && st.tree.Tombstoned(int32(local)) {
+		return nil
+	}
+	return st.data.Row(local)
 }
 
 // BuildSeconds returns the total build time across all phases.
@@ -245,12 +359,15 @@ func (c *Collection) SFAQuantizer() *sfa.Quantizer { return c.sfaQ }
 func (c *Collection) Stats() index.Stats {
 	var agg index.Stats
 	var depthSum, sizeSum float64
-	for _, t := range c.shards {
+	for i := range c.states {
+		t := c.tree(i)
 		if t == nil {
 			continue
 		}
 		st := t.Stats()
 		agg.Series += st.Series
+		agg.Live += st.Live
+		agg.Tombstoned += st.Tombstoned
 		agg.Subtrees += st.Subtrees
 		agg.Leaves += st.Leaves
 		depthSum += st.AvgDepth * float64(st.Leaves)
@@ -271,7 +388,8 @@ func (c *Collection) Stats() index.Stats {
 // otherwise. Surfaced through LoadStats as the no-re-split proof.
 func (c *Collection) SplitCount() int64 {
 	var n int64
-	for _, t := range c.shards {
+	for i := range c.states {
+		t := c.tree(i)
 		if t == nil {
 			continue
 		}
@@ -280,11 +398,14 @@ func (c *Collection) SplitCount() int64 {
 	return n
 }
 
-// CheckInvariants verifies every shard tree's structural invariants.
+// CheckInvariants verifies every shard tree's structural invariants, then
+// the collection-level id-mapping invariants (pub2loc and the per-shard
+// pubOf tables are mutually consistent bijections over the live series).
 // Shards quarantined at load time have no tree and are skipped: the
 // collection is valid as the degraded collection it declared itself to be.
 func (c *Collection) CheckInvariants() error {
-	for i, t := range c.shards {
+	for i := range c.states {
+		t := c.tree(i)
 		if t == nil {
 			continue
 		}
@@ -292,32 +413,537 @@ func (c *Collection) CheckInvariants() error {
 			return fmt.Errorf("shard %d: %w", i, err)
 		}
 	}
+	return c.checkMappingInvariants()
+}
+
+// checkMappingInvariants verifies the public-id layer: counters add up, and
+// when the explicit tables exist they form a bijection between non-deleted
+// public ids and live physical rows.
+func (c *Collection) checkMappingInvariants() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	phys, dead := 0, 0
+	treeless := false // load-quarantined shards hold rows no tree accounts for
+	for i := range c.states {
+		st := c.state(i)
+		if st.tree == nil {
+			treeless = true
+			continue
+		}
+		phys += st.tree.Len()
+		dead += st.tree.TombstoneCount()
+		if st.pubOf != nil && len(st.pubOf) != st.tree.Len() {
+			return fmt.Errorf("core: shard %d pubOf has %d entries for %d rows", i, len(st.pubOf), st.tree.Len())
+		}
+	}
+	if treeless {
+		if phys > c.total {
+			return fmt.Errorf("core: physical rows %d > recorded total %d", phys, c.total)
+		}
+	} else if phys != c.total {
+		return fmt.Errorf("core: physical rows %d != recorded total %d", phys, c.total)
+	}
+	if got := int(c.live.Load() + c.tomb.Load()); got != c.total {
+		return fmt.Errorf("core: live %d + tombstoned %d != total %d", c.live.Load(), c.tomb.Load(), c.total)
+	}
+	if td := int(c.tomb.Load()); td != dead && (!treeless || td < dead) {
+		return fmt.Errorf("core: tombstone counter %d != bitmap total %d", td, dead)
+	}
+	if c.pub2loc == nil {
+		if c.pubCount != int64(c.total) {
+			return fmt.Errorf("core: identity id layout with %d public ids over %d rows", c.pubCount, c.total)
+		}
+		return nil
+	}
+	if int64(len(c.pub2loc)) != c.pubCount {
+		return fmt.Errorf("core: pub2loc has %d entries for %d public ids", len(c.pub2loc), c.pubCount)
+	}
+	liveMapped := 0
+	s := int64(len(c.states))
+	for pub, v := range c.pub2loc {
+		if v < 0 {
+			continue
+		}
+		liveMapped++
+		shard, local := int(v%s), int32(v/s)
+		st := c.state(shard)
+		if st.tree == nil {
+			continue
+		}
+		if int(local) >= st.tree.Len() {
+			return fmt.Errorf("core: id %d maps past shard %d (%d >= %d)", pub, shard, local, st.tree.Len())
+		}
+		if st.tree.Tombstoned(local) {
+			return fmt.Errorf("core: id %d maps to tombstoned row %d of shard %d", pub, local, shard)
+		}
+		if st.pubOf != nil && st.pubOf[local] != int32(pub) {
+			return fmt.Errorf("core: id %d maps to shard %d row %d, which claims id %d", pub, shard, local, st.pubOf[local])
+		}
+	}
+	if liveMapped != int(c.live.Load()) {
+		return fmt.Errorf("core: %d mapped live ids != live counter %d", liveMapped, c.live.Load())
+	}
 	return nil
 }
 
-// Insert adds one series (z-normalized internally) and returns its global
-// id. The series goes to shard total % S, which preserves the round-robin
-// id mapping the searchers invert. Not safe to run concurrently with
-// searches or other inserts.
-func (c *Collection) Insert(series []float64) (int32, error) {
-	s := len(c.shards)
-	shard := c.total % s
+// Insert adds one series (z-normalized internally) and returns its public
+// id. Ids are assigned sequentially and remain stable for the series'
+// lifetime, across upserts and compactions. The series lands in the shard
+// with the fewest physical rows (lowest index on ties), which reproduces
+// the historical round-robin placement for append-only workloads and steers
+// new series toward reclaimed space after compaction. Mutations (Insert,
+// Delete, Upsert) may run concurrently with each other and with compaction,
+// but not with searches.
+func (c *Collection) Insert(series []float64) (index.ID, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.insertLocked(series)
+}
+
+func (c *Collection) insertLocked(series []float64) (index.ID, error) {
+	shard := c.insertTargetLocked()
 	// Inserting into a quarantined shard would strand the series in a tree
-	// searches skip (silent data loss); refuse instead. The round-robin id
-	// mapping cannot redirect the series elsewhere.
+	// searches skip (silent data loss); refuse instead.
 	if err := c.shardGate(shard); err != nil {
 		return 0, err
 	}
-	if c.insertEnc == nil {
-		c.insertEnc = c.shards[shard].Encoder()
+	st := c.state(shard)
+	if st.enc == nil {
+		st.enc = st.tree.Encoder()
 	}
-	local, err := c.shards[shard].Insert(distance.ZNormalized(series), c.insertEnc)
+	local, err := st.tree.Insert(distance.ZNormalized(series), st.enc)
 	if err != nil {
 		return 0, err
 	}
-	global := int32(local)*int32(s) + int32(shard)
+	pub := index.ID(c.pubCount)
+	if c.pub2loc != nil {
+		c.pub2loc = append(c.pub2loc, int64(local)*int64(len(c.states))+int64(shard))
+		st.pubOf = append(st.pubOf, int32(pub))
+	}
+	c.pubCount++
 	c.total++
-	return global, nil
+	c.live.Add(1)
+	c.mutSeq.Add(1)
+	c.epochs[shard].Add(1)
+	return pub, nil
+}
+
+// insertGate reports whether the next Insert would be refused at the shard
+// gate — the durable store preflights with it so a doomed insert never
+// reaches the write-ahead log.
+func (c *Collection) insertGate() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.shardGate(c.insertTargetLocked())
+}
+
+// mutationGate reports whether a Delete or Upsert of pub would be refused —
+// unknown or tombstoned id, or quarantined home shard — without applying
+// anything. The durable store's WAL-before-apply discipline preflights with
+// it.
+func (c *Collection) mutationGate(pub index.ID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	shard, _, err := c.lookupLocked(pub)
+	if err != nil {
+		return err
+	}
+	return c.shardGate(shard)
+}
+
+// nextPubID returns the public id the next Insert will assign.
+func (c *Collection) nextPubID() index.ID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return index.ID(c.pubCount)
+}
+
+// insertTargetLocked picks the shard for the next insert: fewest physical
+// rows, lowest index on ties. For append-only histories this reproduces the
+// round-robin placement exactly, preserving the identity id layout. A
+// load-quarantined shard has no tree and counts zero rows, so it is always
+// the pick — and the shard gate then refuses the insert, exactly like the
+// historical placement refusing to skip the hole.
+func (c *Collection) insertTargetLocked() int {
+	best, bestLen := 0, math.MaxInt
+	for i := range c.states {
+		n := 0
+		if t := c.tree(i); t != nil {
+			n = t.Len()
+		}
+		if n < bestLen {
+			best, bestLen = i, n
+		}
+	}
+	return best
+}
+
+// Delete tombstones the series with public id pub: it stops appearing in
+// search results immediately (refinement skips it before the collector),
+// its physical row lingers until compaction reclaims it, and its id is
+// never reused. Deleting an unknown id returns ErrNotFound; deleting twice
+// returns ErrTombstoned.
+func (c *Collection) Delete(pub index.ID) error {
+	c.mu.Lock()
+	err := c.deleteLocked(pub)
+	c.mu.Unlock()
+	if err == nil {
+		c.maybeAutoCompact()
+	}
+	return err
+}
+
+func (c *Collection) deleteLocked(pub index.ID) error {
+	shard, local, err := c.lookupLocked(pub)
+	if err != nil {
+		return err
+	}
+	if err := c.shardGate(shard); err != nil {
+		return err
+	}
+	if faultinject.Enabled {
+		if err := faultinject.Hook(faultinject.SiteTombstone); err != nil {
+			return err
+		}
+	}
+	if err := c.tree(shard).Delete(local); err != nil {
+		return err
+	}
+	if c.pub2loc != nil {
+		c.pub2loc[pub] = -1
+	}
+	c.live.Add(-1)
+	c.tomb.Add(1)
+	c.mutSeq.Add(1)
+	c.epochs[shard].Add(1)
+	c.relearnChurn[shard].Add(1)
+	return nil
+}
+
+// Upsert replaces the series stored under pub (z-normalized internally),
+// keeping the public id stable: logically a delete of the old row plus an
+// insert of the new one under a single mutation. The replacement may land
+// in a different shard; searches observe the id with its new series and
+// never both. Upserting an unknown id returns ErrNotFound, a deleted one
+// ErrTombstoned (an upsert is a replacement, not a resurrection).
+func (c *Collection) Upsert(pub index.ID, series []float64) error {
+	c.mu.Lock()
+	err := c.upsertLocked(pub, series)
+	c.mu.Unlock()
+	if err == nil {
+		c.maybeAutoCompact()
+	}
+	return err
+}
+
+func (c *Collection) upsertLocked(pub index.ID, series []float64) error {
+	oldShard, oldLocal, err := c.lookupLocked(pub)
+	if err != nil {
+		return err
+	}
+	if err := c.shardGate(oldShard); err != nil {
+		return err
+	}
+	target := c.insertTargetLocked()
+	if err := c.shardGate(target); err != nil {
+		return err
+	}
+	if faultinject.Enabled {
+		if err := faultinject.Hook(faultinject.SiteTombstone); err != nil {
+			return err
+		}
+	}
+	// The replacement row's local id no longer equals pub's round-robin
+	// slot, so the explicit id tables take over from the identity layout.
+	c.materializeLocked()
+	st := c.state(target)
+	if st.enc == nil {
+		st.enc = st.tree.Encoder()
+	}
+	local, err := st.tree.Insert(distance.ZNormalized(series), st.enc)
+	if err != nil {
+		return err
+	}
+	// Tombstone the old row only after the insert succeeded, so a failed
+	// upsert leaves the previous value intact.
+	if err := c.tree(oldShard).Delete(oldLocal); err != nil {
+		return fmt.Errorf("core: upsert of id %d: %w", pub, err)
+	}
+	st.pubOf = append(st.pubOf, int32(pub))
+	c.pub2loc[pub] = int64(local)*int64(len(c.states)) + int64(target)
+	c.total++
+	c.tomb.Add(1) // old row tombstoned, new row live: the live count is unchanged
+	c.mutSeq.Add(1)
+	c.epochs[oldShard].Add(1)
+	c.relearnChurn[oldShard].Add(1)
+	if target != oldShard {
+		c.epochs[target].Add(1)
+		c.relearnChurn[target].Add(1)
+	}
+	return nil
+}
+
+// lookupLocked resolves a public id to its physical slot.
+func (c *Collection) lookupLocked(pub index.ID) (shard int, local int32, err error) {
+	if pub < 0 || int64(pub) >= c.pubCount {
+		return 0, 0, fmt.Errorf("core: id %d: %w", pub, ErrNotFound)
+	}
+	s := int64(len(c.states))
+	if c.pub2loc != nil {
+		v := c.pub2loc[pub]
+		if v < 0 {
+			return 0, 0, fmt.Errorf("core: id %d: %w", pub, ErrTombstoned)
+		}
+		return int(v % s), int32(v / s), nil
+	}
+	shard, local = int(int64(pub)%s), int32(int64(pub)/s)
+	if t := c.tree(shard); t != nil && t.Tombstoned(local) {
+		return 0, 0, fmt.Errorf("core: id %d: %w", pub, ErrTombstoned)
+	}
+	return shard, local, nil
+}
+
+// materializeLocked switches the collection from the implicit identity id
+// layout to explicit tables: pub2loc for public→physical and each shard's
+// pubOf for physical→public. Until the first upsert or compaction both
+// directions are pure arithmetic and the tables stay nil; afterwards the
+// tables are authoritative. Tombstoned rows keep their public id in pubOf
+// (refinement skips them before ids matter) while pub2loc marks the id
+// deleted.
+func (c *Collection) materializeLocked() {
+	if c.pub2loc != nil {
+		return
+	}
+	s := int64(len(c.states))
+	c.pub2loc = make([]int64, c.pubCount)
+	for p := range c.pub2loc {
+		c.pub2loc[p] = int64(p) // identity: pub p packs to (p/S)*S + p%S == p
+	}
+	for i := range c.states {
+		st := c.state(i)
+		if st.tree == nil {
+			continue
+		}
+		n := st.tree.Len()
+		pubOf := make([]int32, n)
+		for local := 0; local < n; local++ {
+			pubOf[local] = int32(local)*int32(s) + int32(i)
+			if st.tree.Tombstoned(int32(local)) {
+				c.pub2loc[int64(local)*s+int64(i)] = -1
+			}
+		}
+		st.pubOf = pubOf
+	}
+}
+
+// CompactionPolicy governs shard compaction: when MaybeCompact selects a
+// shard for rebuilding, and when a rebuild also re-learns the shard's SFA
+// quantization from its surviving series.
+type CompactionPolicy struct {
+	// MaxTombstoneFraction is the tombstoned fraction (dead rows / physical
+	// rows) at which MaybeCompact rebuilds a shard. <= 0 disables automatic
+	// selection; CompactShard always compacts regardless.
+	MaxTombstoneFraction float64
+	// RelearnChurnFraction is the accumulated churn (mutations since the
+	// shard's quantization was learned) as a fraction of its live series at
+	// which a compaction re-learns the SFA bins from the survivors instead
+	// of reusing a quantization the churned distribution may have drifted
+	// away from. <= 0 never re-learns. Ignored for MESSI, whose quantizer is
+	// data-independent. Re-learning changes only pruning power, never
+	// results: exactness comes from the lower-bounding frame, not the bins.
+	RelearnChurnFraction float64
+	// Auto compacts in the background: after a mutation, a single background
+	// goroutine runs MaybeCompact if none is already running. Queries never
+	// block on it (the swap is RCU), and mutations only contend on the
+	// mutation lock during snapshot and swap.
+	Auto bool
+}
+
+// compactRetries is how many optimistic (build outside the lock) compaction
+// attempts are made before the final attempt holds the mutation lock across
+// the rebuild to guarantee progress.
+const compactRetries = 2
+
+// CompactShard rebuilds shard i from its surviving (non-tombstoned) series
+// and atomically swaps the rebuilt shard in, reclaiming tombstone space.
+// In-flight queries keep the state they started with (RCU: the old tree is
+// never modified, only unpublished); mutations serialize against the
+// snapshot and swap sections only, not the rebuild, which runs outside the
+// lock and revalidates the shard's mutation epoch before swapping —
+// retrying if writers raced it, and holding the lock for the final attempt.
+//
+// On a SOFA collection whose shard churn has reached
+// CompactionPolicy.RelearnChurnFraction, the rebuild re-learns the shard's
+// SFA quantization from the survivors; the shard then carries its own
+// summarization and queries adapt transparently.
+func (c *Collection) CompactShard(i int) error {
+	if i < 0 || i >= len(c.states) {
+		return fmt.Errorf("core: shard %d out of range [0,%d)", i, len(c.states))
+	}
+	for attempt := 0; ; attempt++ {
+		done, err := c.compactOnce(i, attempt >= compactRetries)
+		if done {
+			return err
+		}
+	}
+}
+
+// compactOnce runs one compaction attempt on shard i: snapshot under the
+// lock, build (outside the lock unless final), revalidate the epoch, swap.
+// done == false requests an optimistic retry after losing a race with
+// writers.
+func (c *Collection) compactOnce(i int, final bool) (done bool, err error) {
+	c.mu.Lock()
+	st := c.state(i)
+	if st.tree == nil {
+		c.mu.Unlock()
+		return true, &ShardError{Shard: i, Err: ErrShardQuarantined}
+	}
+	tree := st.tree
+	n := tree.Len()
+	deadCount := tree.TombstoneCount()
+	if deadCount == 0 {
+		c.mu.Unlock()
+		return true, nil // nothing to reclaim
+	}
+	live := n - deadCount
+	if live == 0 {
+		// An index cannot be built over zero series; keep the fully
+		// tombstoned shard as is (refinement already skips every row) until
+		// inserts repopulate it.
+		c.mu.Unlock()
+		return true, nil
+	}
+	epoch := c.epochs[i].Load()
+	churn := c.relearnChurn[i].Load()
+	s := int32(len(c.states))
+	data := distance.NewMatrix(live, c.stride)
+	pubs := make([]int32, live)
+	j := 0
+	for local := int32(0); int(local) < n; local++ {
+		if tree.Tombstoned(local) {
+			continue
+		}
+		copy(data.Row(j), st.data.Row(int(local)))
+		if st.pubOf != nil {
+			pubs[j] = st.pubOf[local]
+		} else {
+			pubs[j] = local*s + int32(i)
+		}
+		j++
+	}
+	relearn := c.method == SOFA && c.cfg.Compaction.RelearnChurnFraction > 0 &&
+		float64(churn) >= c.cfg.Compaction.RelearnChurnFraction*float64(live)
+	if !final {
+		c.mu.Unlock()
+	}
+
+	// The rebuild: survivors only, dense local ids, fresh tree. A shard that
+	// was already re-learned keeps its own summarization unless this
+	// compaction re-learns again.
+	sum := tree.Sum()
+	if relearn {
+		q, lerr := sfa.Learn(data, sfa.Options{
+			WordLength: c.cfg.WordLength,
+			Bits:       c.cfg.Bits,
+			Binning:    c.cfg.Binning,
+			Selection:  c.cfg.Selection,
+			SampleRate: c.cfg.SampleRate,
+			MaxCoeffs:  c.cfg.MaxCoeffs,
+			Seed:       c.cfg.Seed,
+		})
+		if lerr != nil {
+			if final {
+				c.mu.Unlock()
+			}
+			return true, fmt.Errorf("core: compaction re-learn of shard %d: %w", i, lerr)
+		}
+		sum = sfaSummarization{q}
+	}
+	newTree, berr := index.Build(data, sum, c.shardOptions())
+	if berr != nil {
+		if final {
+			c.mu.Unlock()
+		}
+		return true, fmt.Errorf("core: compaction rebuild of shard %d: %w", i, berr)
+	}
+
+	if !final {
+		c.mu.Lock()
+		if c.epochs[i].Load() != epoch {
+			c.mu.Unlock()
+			return false, nil // writers raced the rebuild; retry with a fresh snapshot
+		}
+	}
+	if faultinject.Enabled {
+		if ferr := faultinject.Hook(faultinject.SiteCompactSwap); ferr != nil {
+			c.mu.Unlock()
+			return true, ferr // fault before the swap: the old state stands untouched
+		}
+	}
+	c.materializeLocked()
+	c.states[i].Store(&shardState{
+		tree:      newTree,
+		data:      data,
+		pubOf:     pubs,
+		relearned: relearn || st.relearned,
+	})
+	for jj, pub := range pubs {
+		c.pub2loc[pub] = int64(jj)*int64(s) + int64(i)
+	}
+	c.total -= deadCount
+	c.tomb.Add(int64(-deadCount))
+	c.compactions.Add(1)
+	c.epochs[i].Add(1) // invalidate any concurrent compaction's snapshot of this shard
+	if relearn {
+		c.relearns.Add(1)
+		// The epoch held from snapshot to swap, so no churn accrued since.
+		c.relearnChurn[i].Store(0)
+	}
+	c.mu.Unlock()
+	return true, nil
+}
+
+// MaybeCompact compacts every shard whose tombstoned fraction has reached
+// CompactionPolicy.MaxTombstoneFraction — the policy-driven entry point the
+// Auto mode runs in the background and callers can invoke directly after a
+// deletion burst. Returns the first compaction error.
+func (c *Collection) MaybeCompact() error {
+	p := c.cfg.Compaction
+	if p.MaxTombstoneFraction <= 0 {
+		return nil
+	}
+	for i := range c.states {
+		c.mu.Lock()
+		t := c.tree(i)
+		due := t != nil && t.Len() > 0 &&
+			float64(t.TombstoneCount()) >= p.MaxTombstoneFraction*float64(t.Len())
+		c.mu.Unlock()
+		if !due {
+			continue
+		}
+		if err := c.CompactShard(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// maybeAutoCompact spawns the single background MaybeCompact pass the Auto
+// policy allows, if none is already running.
+func (c *Collection) maybeAutoCompact() {
+	if !c.cfg.Compaction.Auto {
+		return
+	}
+	if !c.compactingBG.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer c.compactingBG.Store(false)
+		// Best-effort background pass: an error leaves the tombstones in
+		// place and the next mutation retriggers the policy.
+		_ = c.MaybeCompact()
+	}()
 }
 
 // Searcher answers similarity queries against the collection. Create one
@@ -327,6 +953,12 @@ func (c *Collection) Insert(series []float64) (int32, error) {
 type Searcher struct {
 	c  *Collection
 	ss []*index.Searcher
+
+	// states pins each shard's state for the duration of a query (RCU read
+	// side): refreshShards adopts the current pointers at query start, and
+	// recreates a shard's tree searcher only when compaction swapped the
+	// shard since the last query.
+	states []*shardState
 
 	// kn is the shared cross-shard collector (unused when the collection has
 	// a single shard, where searches delegate to the tree engine directly).
@@ -359,16 +991,12 @@ type Searcher struct {
 func (c *Collection) NewSearcher() *Searcher {
 	s := &Searcher{
 		c:      c,
-		ss:     make([]*index.Searcher, len(c.shards)),
-		errs:   make([]error, len(c.shards)),
-		seeded: make([]bool, len(c.shards)),
+		ss:     make([]*index.Searcher, len(c.states)),
+		states: make([]*shardState, len(c.states)),
+		errs:   make([]error, len(c.states)),
+		seeded: make([]bool, len(c.states)),
 	}
-	for i, t := range c.shards {
-		if t == nil {
-			continue // quarantined at load: no tree to search
-		}
-		s.ss[i] = t.NewSearcher()
-	}
+	s.refreshShards()
 	return s
 }
 
@@ -376,18 +1004,37 @@ func (c *Collection) NewSearcher() *Searcher {
 func (c *Collection) newSerialSearcher() *Searcher {
 	s := &Searcher{
 		c:      c,
-		ss:     make([]*index.Searcher, len(c.shards)),
-		errs:   make([]error, len(c.shards)),
-		seeded: make([]bool, len(c.shards)),
+		ss:     make([]*index.Searcher, len(c.states)),
+		states: make([]*shardState, len(c.states)),
+		errs:   make([]error, len(c.states)),
+		seeded: make([]bool, len(c.states)),
 		serial: true,
 	}
-	for i, t := range c.shards {
-		if t == nil {
+	s.refreshShards()
+	return s
+}
+
+// refreshShards adopts each shard's current state at query start, creating
+// a fresh tree searcher only for shards compaction swapped since this
+// searcher's previous query. The steady state without compaction is one
+// pointer compare per shard — no allocation on the query hot path.
+func (s *Searcher) refreshShards() {
+	for i := range s.ss {
+		cur := s.c.state(i)
+		if cur == s.states[i] {
 			continue
 		}
-		s.ss[i] = t.NewSerialSearcher()
+		s.states[i] = cur
+		if cur.tree == nil {
+			s.ss[i] = nil // quarantined at load: no tree to search
+			continue
+		}
+		if s.serial {
+			s.ss[i] = cur.tree.NewSerialSearcher()
+		} else {
+			s.ss[i] = cur.tree.NewSearcher()
+		}
 	}
-	return s
 }
 
 // respawnShard replaces shard i's searcher after a panic: the old one's
@@ -395,15 +1042,16 @@ func (c *Collection) newSerialSearcher() *Searcher {
 // so it is discarded rather than reused — the price of a fault, not of the
 // steady state.
 func (s *Searcher) respawnShard(i int) {
-	t := s.c.shards[i]
-	if t == nil {
+	cur := s.c.state(i)
+	s.states[i] = cur
+	if cur.tree == nil {
 		s.ss[i] = nil
 		return
 	}
 	if s.serial {
-		s.ss[i] = t.NewSerialSearcher()
+		s.ss[i] = cur.tree.NewSerialSearcher()
 	} else {
-		s.ss[i] = t.NewSearcher()
+		s.ss[i] = cur.tree.NewSearcher()
 	}
 }
 
@@ -415,13 +1063,28 @@ func (c *Collection) serialSearcher() *Searcher {
 	return c.newSerialSearcher()
 }
 
-// shardQuery builds shard i's ShardQuery for the current collector.
+// shardQuery builds shard i's ShardQuery for the current collector. The
+// public-id table of the pinned shard state (nil while the identity layout
+// holds) rides along, so offers map tree-local ids to stable public ids
+// against exactly the tree snapshot being searched.
 func (s *Searcher) shardQuery(i int, epsilon float64) index.ShardQuery {
 	return index.ShardQuery{
 		KN:      &s.kn,
-		IDMul:   int32(len(s.ss)),
-		IDAdd:   int32(i),
+		PubIDs:  s.states[i].pubOf,
+		IDMul:   index.ID(len(s.ss)),
+		IDAdd:   index.ID(i),
 		Epsilon: epsilon,
+	}
+}
+
+// baseMeta seeds a query's meta with the collection-wide mutation counters.
+func (s *Searcher) baseMeta() QueryMeta {
+	return QueryMeta{
+		Live:                 int(s.c.live.Load()),
+		Tombstoned:           int(s.c.tomb.Load()),
+		Compactions:          s.c.compactions.Load(),
+		Relearns:             s.c.relearns.Load(),
+		RelearnChurnFraction: s.c.cfg.Compaction.RelearnChurnFraction,
 	}
 }
 
@@ -527,7 +1190,8 @@ func (s *Searcher) searchShardsCtx(ctx context.Context, deadline time.Time, quer
 		return fmt.Errorf("core: query length %d, want %d", len(query), s.c.stride)
 	}
 	s.kn.Reset(k)
-	s.meta = QueryMeta{}
+	s.refreshShards()
+	s.meta = s.baseMeta()
 	if s.serial || len(s.ss) == 1 {
 		for i, sub := range s.ss {
 			s.seeded[i] = false
@@ -680,13 +1344,26 @@ func (s *Searcher) finishResults() []index.Result {
 // engine (zero allocations in steady state); with S shards the shards share
 // one collector and prune against each other's best-so-far.
 func (s *Searcher) Search(query []float64, k int) ([]index.Result, error) {
-	if len(s.ss) == 1 {
+	if s.singleFast() {
 		return s.searchSingleSafe(query, k, 0, false)
 	}
 	if err := s.searchShards(query, k, 0, false); err != nil {
 		return nil, err
 	}
 	return s.finishResults(), nil
+}
+
+// singleFast reports whether the single-shard direct-delegation fast path
+// applies: one shard whose pinned state still uses the identity id layout,
+// so the tree's local ids ARE the public ids. A mutated single-shard
+// collection with an id table routes through the shard path instead, which
+// applies PubIDs at offer time. Refreshes the shard pin as a side effect.
+func (s *Searcher) singleFast() bool {
+	if len(s.ss) != 1 {
+		return false
+	}
+	s.refreshShards()
+	return s.states[0].pubOf == nil
 }
 
 // searchSingleSafe is the single-shard legacy fast path — a direct
@@ -699,7 +1376,9 @@ func (s *Searcher) Search(query []float64, k int) ([]index.Result, error) {
 // preserving the zero-allocation steady state.
 func (s *Searcher) searchSingleSafe(query []float64, k int, epsilon float64, approx bool) (res []index.Result, err error) {
 	if err := s.c.shardGate(0); err != nil {
-		s.meta = QueryMeta{ShardsFailed: 1, EpsilonBound: math.Inf(1)}
+		s.meta = s.baseMeta()
+		s.meta.ShardsFailed = 1
+		s.meta.EpsilonBound = math.Inf(1)
 		return nil, err
 	}
 	defer func() {
@@ -707,10 +1386,13 @@ func (s *Searcher) searchSingleSafe(query []float64, k int, epsilon float64, app
 			res = nil
 			err = s.c.recordShardPanic(0, r)
 			s.respawnShard(0)
-			s.meta = QueryMeta{ShardsFailed: 1, EpsilonBound: math.Inf(1)}
+			s.meta = s.baseMeta()
+			s.meta.ShardsFailed = 1
+			s.meta.EpsilonBound = math.Inf(1)
 		}
 	}()
-	s.meta = QueryMeta{ShardsSearched: 1}
+	s.meta = s.baseMeta()
+	s.meta.ShardsSearched = 1
 	switch {
 	case approx:
 		return s.ss[0].SearchApproximate(query, k)
@@ -739,7 +1421,7 @@ func (s *Searcher) Search1(query []float64) (index.Result, error) {
 // approximate search, run per shard and merged. The returned distances
 // upper-bound the true k-NN distances.
 func (s *Searcher) SearchApproximate(query []float64, k int) ([]index.Result, error) {
-	if len(s.ss) == 1 {
+	if s.singleFast() {
 		return s.searchSingleSafe(query, k, 0, true)
 	}
 	if err := s.searchShards(query, k, 0, true); err != nil {
@@ -754,7 +1436,7 @@ func (s *Searcher) SearchEpsilon(query []float64, k int, epsilon float64) ([]ind
 	if epsilon < 0 {
 		return nil, fmt.Errorf("core: epsilon must be >= 0, got %v", epsilon)
 	}
-	if len(s.ss) == 1 {
+	if s.singleFast() {
 		return s.searchSingleSafe(query, k, epsilon, false)
 	}
 	if err := s.searchShards(query, k, epsilon, false); err != nil {

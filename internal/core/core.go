@@ -95,6 +95,11 @@ type Config struct {
 	// isolation contract (fault.go) and Plan.AllowPartial.
 	QuarantineAfter int
 
+	// Compaction governs tombstone reclamation and SFA re-learning for
+	// mutable workloads; the zero value disables automatic compaction
+	// (CompactShard remains available). See CompactionPolicy.
+	Compaction CompactionPolicy
+
 	// SFA-only knobs (ignored for MESSI).
 	Binning    sfa.Binning   // default EquiWidth
 	Selection  sfa.Selection // default HighestVariance
@@ -104,8 +109,9 @@ type Config struct {
 }
 
 // Index is a built SOFA or MESSI index: a thin handle over a Collection of
-// one or more shard trees. It is immutable and safe for concurrent searches
-// (one Searcher per goroutine).
+// one or more shard trees. It is safe for concurrent searches (one Searcher
+// per goroutine); mutations (Insert, Delete, Upsert) are safe with each
+// other and with compaction but must be synchronized against searches.
 type Index struct {
 	col *Collection
 
@@ -191,13 +197,31 @@ func (ix *Index) NewStream(k, workers int, handle func(qid uint64, res []index.R
 }
 
 // Insert adds one series to the index (z-normalized internally) and returns
-// its global id. Not safe to run concurrently with searches or other
-// inserts — synchronize externally for mixed workloads. Inserted series are
-// summarized with the index's existing learned quantization (SFA bins are
-// not re-learned, matching MESSI's incremental behaviour).
-func (ix *Index) Insert(series []float64) (int32, error) {
+// its stable public id. Mutations (Insert, Delete, Upsert, compaction) may
+// run concurrently with each other but not with searches — synchronize
+// externally for mixed workloads. Inserted series are summarized with the
+// index's existing learned quantization; re-learning happens only at a
+// compaction that crosses CompactionPolicy.RelearnChurnFraction.
+func (ix *Index) Insert(series []float64) (index.ID, error) {
 	return ix.col.Insert(series)
 }
+
+// Delete tombstones the series with the given id; see Collection.Delete.
+func (ix *Index) Delete(id index.ID) error { return ix.col.Delete(id) }
+
+// Upsert replaces the series stored under id while keeping the id stable;
+// see Collection.Upsert.
+func (ix *Index) Upsert(id index.ID, series []float64) error {
+	return ix.col.Upsert(id, series)
+}
+
+// CompactShard rebuilds one shard without its tombstoned rows and swaps it
+// in RCU-style; see Collection.CompactShard.
+func (ix *Index) CompactShard(i int) error { return ix.col.CompactShard(i) }
+
+// MaybeCompact applies the configured CompactionPolicy across all shards;
+// see Collection.MaybeCompact.
+func (ix *Index) MaybeCompact() error { return ix.col.MaybeCompact() }
 
 // CheckInvariants verifies every shard tree's structural invariants (mainly
 // useful after Insert-heavy workloads and in tests).

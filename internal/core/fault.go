@@ -54,6 +54,15 @@ var ErrShardQuarantined = fmt.Errorf("shard quarantined: %w", ErrDegraded)
 // hung shard would otherwise hang the submitter too.
 var ErrStreamStalled = errors.New("core: stream stalled: no worker accepted the query within the watchdog deadline")
 
+// ErrNotFound reports a mutation against a public id that was never
+// assigned by Insert.
+var ErrNotFound = errors.New("core: id not found")
+
+// ErrTombstoned reports a mutation against a public id that has been
+// deleted: the id is permanently retired — deletion is not reversible and
+// upsert does not resurrect.
+var ErrTombstoned = errors.New("core: id tombstoned")
+
 // PanicError is a recovered query panic converted to an error: the original
 // panic value plus the stack of the panicking goroutine. Shard is the shard
 // whose search panicked, or -1 when the panic was outside any shard (e.g. in
@@ -105,6 +114,19 @@ type QueryMeta struct {
 	// the failed shards' root lower bounds, so it is query-specific, not a
 	// static worst case.
 	EpsilonBound float64
+	// Live and Tombstoned snapshot the collection's mutation state as the
+	// query started: live series searched and deleted-but-unreclaimed rows
+	// the refinement stage skipped over.
+	Live       int
+	Tombstoned int
+	// Compactions and Relearns are the collection's lifetime counts of shard
+	// compactions and of compactions that re-learned a shard's SFA
+	// quantization; RelearnChurnFraction echoes the configured re-learn
+	// threshold (0 when re-learning is disabled), so a query's answer
+	// records the adaptation policy it ran under.
+	Compactions          int64
+	Relearns             int64
+	RelearnChurnFraction float64
 }
 
 // shardHealth is one shard's fault-tracking state. All fields are atomics:
@@ -134,7 +156,7 @@ func (c *Collection) quarantineAfter() int32 {
 
 // shardUsable reports whether shard i should participate in queries.
 func (c *Collection) shardUsable(i int) bool {
-	return c.shards[i] != nil && !c.health[i].quarantined.Load()
+	return c.tree(i) != nil && !c.health[i].quarantined.Load()
 }
 
 // shardGate returns the error a direct operation against shard i must fail
@@ -151,8 +173,8 @@ func (c *Collection) shardGate(i int) error {
 // behind the automatic policy, and what the chaos suite and the sofa
 // examples use to create deterministic degradation.
 func (c *Collection) Quarantine(i int) error {
-	if i < 0 || i >= len(c.shards) {
-		return fmt.Errorf("core: shard %d out of range [0,%d)", i, len(c.shards))
+	if i < 0 || i >= len(c.states) {
+		return fmt.Errorf("core: shard %d out of range [0,%d)", i, len(c.states))
 	}
 	c.health[i].quarantined.Store(true)
 	return nil
@@ -162,10 +184,10 @@ func (c *Collection) Quarantine(i int) error {
 // shard that has no tree (it was quarantined at load time) fails: there is
 // nothing to reinstate.
 func (c *Collection) Reinstate(i int) error {
-	if i < 0 || i >= len(c.shards) {
-		return fmt.Errorf("core: shard %d out of range [0,%d)", i, len(c.shards))
+	if i < 0 || i >= len(c.states) {
+		return fmt.Errorf("core: shard %d out of range [0,%d)", i, len(c.states))
 	}
-	if c.shards[i] == nil {
+	if c.tree(i) == nil {
 		return fmt.Errorf("core: shard %d has no tree (quarantined at load); rebuild the collection to restore it", i)
 	}
 	c.health[i].quarantined.Store(false)
@@ -200,7 +222,7 @@ func (c *Collection) recordShardPanic(i int, r any) error {
 	}
 	h := &c.health[i]
 	n := h.panics.Add(1)
-	if t := c.shards[i]; t != nil {
+	if t := c.tree(i); t != nil {
 		if err := t.CheckInvariants(); err != nil {
 			h.untrusted.Store(true)
 			h.quarantined.Store(true)
@@ -245,8 +267,20 @@ func (s *Searcher) certificate(query []float64) float64 {
 			continue
 		}
 		lb := 0.0
-		if t := s.c.shards[i]; t != nil && !s.c.health[i].untrusted.Load() {
-			lb = t.MinRootBound(s.certQR)
+		if st := s.states[i]; st != nil && st.tree != nil && !s.c.health[i].untrusted.Load() {
+			if st.relearned {
+				// The shard's quantization diverged from the collection's at
+				// a re-learning compaction, so its root bound needs a query
+				// representation in the shard's own space. Allocating here is
+				// fine: this is the degraded path, not the steady state.
+				sum := st.tree.Sum()
+				qr := make([]float64, sum.Segments())
+				if err := index.QueryRepr(sum.NewIndexEncoder(), query, s.certBuf, qr); err == nil {
+					lb = st.tree.MinRootBound(qr)
+				}
+			} else {
+				lb = st.tree.MinRootBound(s.certQR)
+			}
 		}
 		if lb < minLB {
 			minLB = lb

@@ -37,8 +37,15 @@ import (
 // words + shape stream carries its own CRC — so one corrupt shard payload is
 // attributable to that shard, and LoadOptions.QuarantineCorruptShards can
 // load the healthy rest as a degraded collection instead of losing the whole
-// container. Version-1 files load as a single-shard collection; version-2
-// files re-split from their words. All four versions remain loadable (the
+// container. Version 5 adds the mutable-index state: per-shard tombstone
+// bitmaps, the stable public-id tables (when upserts or compaction diverged
+// them from the identity layout), per-shard re-learned SFA quantizations,
+// and the mutation sequence the WAL resumes from. A version-5 container
+// stores its data shard-major (shard 0's rows, then shard 1's, in local id
+// order) because compaction makes per-shard row counts diverge from the
+// round-robin interleave, and Count becomes the physical row count (live +
+// tombstoned). Version-1 files load as a single-shard collection; version-2
+// files re-split from their words. All five versions remain loadable (the
 // compatibility promise the persist-compat CI job enforces).
 type savedIndex struct {
 	Version      int
@@ -74,6 +81,28 @@ type savedIndex struct {
 	// stream, enabling shard-granular corruption attribution (and optional
 	// quarantine) at load.
 	ShardChecksums []uint32
+
+	// Version 5 fields (mutable index). All are covered by the global
+	// checksum: they are small relative to the payloads, so shard-granular
+	// attribution is not worth splitting them.
+	// MutSeq is the collection's mutation sequence at save time; recovery
+	// replays only WAL records past it.
+	MutSeq uint64
+	// PubCount is the number of public ids ever assigned.
+	PubCount int64
+	// ShardCounts[i] is shard i's physical row count (the shard-major data
+	// layout and per-shard streams are sized by it).
+	ShardCounts []int32
+	// ShardDead[i] / ShardDeadCounts[i] is shard i's tombstone bitmap and
+	// its population (nil / 0 for a shard without tombstones).
+	ShardDead       [][]uint64
+	ShardDeadCounts []int32
+	// ShardPubs[i] maps shard i's local ids to public ids; nil when every
+	// shard still has the identity layout (pub = local*S + shard).
+	ShardPubs [][]int32
+	// ShardSFA[i] is shard i's own quantization, re-learned at a compaction;
+	// nil entries (and a nil slice) mean the shard uses the collection's.
+	ShardSFA []*sfa.State
 }
 
 // payloadChecksum hashes everything the container stores except the
@@ -101,24 +130,38 @@ func payloadChecksum(s *savedIndex) uint32 {
 		put(0)
 	}
 	if s.SFA != nil {
-		put(uint64(s.SFA.N))
-		put(uint64(s.SFA.L))
-		put(uint64(s.SFA.Bits))
-		put(uint64(s.SFA.NCoeffs))
-		for _, v := range s.SFA.Indices {
-			put(uint64(v))
+		hashSFAState(put, s.SFA)
+	}
+	if s.Version >= 5 {
+		put(s.MutSeq)
+		put(uint64(s.PubCount))
+		for _, v := range s.ShardCounts {
+			put(uint64(uint32(v)))
 		}
-		for _, v := range s.SFA.Variances {
-			put(math.Float64bits(v))
-		}
-		for _, v := range s.SFA.Weights {
-			put(math.Float64bits(v))
-		}
-		for _, bps := range s.SFA.Breakpoints {
-			put(uint64(len(bps)))
-			for _, v := range bps {
-				put(math.Float64bits(v))
+		for _, dead := range s.ShardDead {
+			put(uint64(len(dead)))
+			for _, w := range dead {
+				put(w)
 			}
+		}
+		for _, v := range s.ShardDeadCounts {
+			put(uint64(uint32(v)))
+		}
+		put(uint64(len(s.ShardPubs)))
+		for _, pubs := range s.ShardPubs {
+			put(uint64(len(pubs)))
+			for _, v := range pubs {
+				put(uint64(uint32(v)))
+			}
+		}
+		put(uint64(len(s.ShardSFA)))
+		for _, st := range s.ShardSFA {
+			if st == nil {
+				put(0)
+				continue
+			}
+			put(1)
+			hashSFAState(put, st)
 		}
 	}
 	h.Write(s.DataBytes)
@@ -134,6 +177,31 @@ func payloadChecksum(s *savedIndex) uint32 {
 		}
 	}
 	return h.Sum32()
+}
+
+// hashSFAState feeds one SFA quantizer state into the running header hash
+// in fixed order (shared by the collection quantizer and the per-shard
+// re-learned ones a version-5 container may carry).
+func hashSFAState(put func(uint64), st *sfa.State) {
+	put(uint64(st.N))
+	put(uint64(st.L))
+	put(uint64(st.Bits))
+	put(uint64(st.NCoeffs))
+	for _, v := range st.Indices {
+		put(uint64(v))
+	}
+	for _, v := range st.Variances {
+		put(math.Float64bits(v))
+	}
+	for _, v := range st.Weights {
+		put(math.Float64bits(v))
+	}
+	for _, bps := range st.Breakpoints {
+		put(uint64(len(bps)))
+		for _, v := range bps {
+			put(math.Float64bits(v))
+		}
+	}
 }
 
 // writeShapeHash feeds one packed shape's streams into a running hash in
@@ -236,29 +304,40 @@ func unpackShape(p packedShape) (index.TreeShape, error) {
 	return s, nil
 }
 
-const savedIndexVersion = 4
+const savedIndexVersion = 5
 
-// Save serializes the index to w in the current container version (4):
+// Save serializes the index to w in the current container version (5):
 // summarization tables, per-shard words and data, each shard's finalized
-// tree shape and leaf blocks so Load is a direct decode, and per-shard
-// payload checksums so load-time corruption is attributable to (and
-// optionally quarantined at) shard granularity.
+// tree shape and leaf blocks so Load is a direct decode, per-shard payload
+// checksums so load-time corruption is attributable to (and optionally
+// quarantined at) shard granularity, and the mutable-index state (tombstone
+// bitmaps, public-id tables, re-learned shard quantizations, mutation
+// sequence).
 func Save(ix *Index, w io.Writer) error {
 	return SaveVersion(ix, w, savedIndexVersion)
 }
 
-// SaveVersion serializes the index in an explicit container version — 4
-// (the default: tree shapes and per-shard checksums), 3 (tree shapes, one
-// global checksum) or 2 (words only, Load re-splits every shard tree).
-// Writing old versions exists for the compatibility fixtures and the load
-// benchmark; new snapshots should use Save.
+// SaveVersion serializes the index in an explicit container version — 5
+// (the default: adds the mutable-index state), 4 (tree shapes and per-shard
+// checksums), 3 (tree shapes, one global checksum) or 2 (words only, Load
+// re-splits every shard tree). Writing old versions exists for the
+// compatibility fixtures and the load benchmark; new snapshots should use
+// Save. A collection that carries mutation state older versions cannot
+// express — tombstones, remapped ids, re-learned shards — refuses to write
+// them: silently dropping that state would resurrect deleted series on
+// load.
 func SaveVersion(ix *Index, w io.Writer, version int) error {
-	if version != 2 && version != 3 && version != savedIndexVersion {
-		return fmt.Errorf("core: cannot write container version %d (supported: 2, 3, %d)", version, savedIndexVersion)
+	if version != 2 && version != 3 && version != 4 && version != savedIndexVersion {
+		return fmt.Errorf("core: cannot write container version %d (supported: 2, 3, 4, %d)", version, savedIndexVersion)
 	}
 	col := ix.col
-	for i, t := range col.shards {
-		if t == nil {
+	if version < savedIndexVersion {
+		if err := col.requireLegacySavable(version); err != nil {
+			return err
+		}
+	}
+	for i := range col.states {
+		if col.tree(i) == nil {
 			// A load-quarantined shard has no tree (and its saved words were
 			// corrupt): a container written without it would silently drop
 			// 1/S of the collection under healthy-looking checksums.
@@ -273,29 +352,43 @@ func SaveVersion(ix *Index, w io.Writer, version int) error {
 		Bits:         col.cfg.Bits,
 		LeafCapacity: col.cfg.LeafCapacity,
 		SeriesLen:    col.SeriesLen(),
-		Count:        col.Len(),
+		Count:        col.PhysLen(),
 		Shards:       col.Shards(),
 		NoLeafBlocks: col.cfg.NoLeafBlocks,
 		ShardWords:   make([][]byte, col.Shards()),
 	}
-	for i, t := range col.shards {
-		s.ShardWords[i] = t.Words()
+	for i := range col.states {
+		s.ShardWords[i] = col.tree(i).Words()
 	}
 	if version >= 3 {
 		s.ShardShapes = make([]packedShape, col.Shards())
-		for i, t := range col.shards {
-			s.ShardShapes[i] = packShape(t.Shape())
+		for i := range col.states {
+			s.ShardShapes[i] = packShape(col.tree(i).Shape())
 		}
-		s.DataBytes = make([]byte, col.Len()*col.SeriesLen()*4)
-		for g := 0; g < col.Len(); g++ {
-			base := g * col.SeriesLen() * 4
-			for j, v := range col.Row(g) {
-				binary.LittleEndian.PutUint32(s.DataBytes[base+4*j:], math.Float32bits(float32(v)))
+		s.DataBytes = make([]byte, s.Count*col.SeriesLen()*4)
+		if version >= 5 {
+			// Shard-major: shard 0's rows then shard 1's, local id order.
+			base := 0
+			for i := range col.states {
+				st := col.state(i)
+				for local := 0; local < st.tree.Len(); local++ {
+					for j, v := range st.data.Row(local) {
+						binary.LittleEndian.PutUint32(s.DataBytes[base+4*j:], math.Float32bits(float32(v)))
+					}
+					base += col.SeriesLen() * 4
+				}
+			}
+		} else {
+			for g := 0; g < s.Count; g++ {
+				base := g * col.SeriesLen() * 4
+				for j, v := range col.Row(g) {
+					binary.LittleEndian.PutUint32(s.DataBytes[base+4*j:], math.Float32bits(float32(v)))
+				}
 			}
 		}
 	} else {
-		s.Data = make([]float32, col.Len()*col.SeriesLen())
-		for g := 0; g < col.Len(); g++ {
+		s.Data = make([]float32, s.Count*col.SeriesLen())
+		for g := 0; g < s.Count; g++ {
 			row := col.Row(g)
 			for j, v := range row {
 				s.Data[g*col.SeriesLen()+j] = float32(v)
@@ -312,6 +405,9 @@ func SaveVersion(ix *Index, w io.Writer, version int) error {
 			s.ShardChecksums[i] = shardChecksum(s.ShardWords[i], s.ShardShapes[i])
 		}
 	}
+	if version >= 5 {
+		col.fillSavedMutationState(&s)
+	}
 	if version >= 3 {
 		s.Checksum = payloadChecksum(&s)
 	}
@@ -319,6 +415,144 @@ func SaveVersion(ix *Index, w io.Writer, version int) error {
 		return fmt.Errorf("core: encoding index: %w", err)
 	}
 	return bw.Flush()
+}
+
+// requireLegacySavable refuses a pre-v5 container for a collection whose
+// mutation state those versions cannot express.
+func (c *Collection) requireLegacySavable(version int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.tomb.Load() != 0 || c.pub2loc != nil {
+		return fmt.Errorf("core: cannot write container version %d: collection has tombstones or remapped ids (version %d required)",
+			version, savedIndexVersion)
+	}
+	for i := range c.states {
+		if c.state(i).relearned {
+			return fmt.Errorf("core: cannot write container version %d: shard %d carries a re-learned quantization (version %d required)",
+				version, i, savedIndexVersion)
+		}
+	}
+	return nil
+}
+
+// fillSavedMutationState copies the collection's mutable-index state into a
+// version-5 container under the mutation lock (bitmaps and id tables alias
+// live mutation state, so they are deep-copied).
+func (c *Collection) fillSavedMutationState(s *savedIndex) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s.MutSeq = c.mutSeq.Load()
+	s.PubCount = c.pubCount
+	s.ShardCounts = make([]int32, len(c.states))
+	s.ShardDead = make([][]uint64, len(c.states))
+	s.ShardDeadCounts = make([]int32, len(c.states))
+	hasPubs := false
+	hasSFA := false
+	for i := range c.states {
+		st := c.state(i)
+		s.ShardCounts[i] = int32(st.tree.Len())
+		if dead, n := st.tree.Tombstones(); n > 0 {
+			s.ShardDead[i] = append([]uint64(nil), dead...)
+			s.ShardDeadCounts[i] = int32(n)
+		}
+		hasPubs = hasPubs || st.pubOf != nil
+		hasSFA = hasSFA || st.relearned
+	}
+	if hasPubs {
+		s.ShardPubs = make([][]int32, len(c.states))
+		for i := range c.states {
+			s.ShardPubs[i] = append([]int32(nil), c.state(i).pubOf...)
+		}
+	}
+	if hasSFA {
+		s.ShardSFA = make([]*sfa.State, len(c.states))
+		for i := range c.states {
+			st := c.state(i)
+			if !st.relearned {
+				continue
+			}
+			if q, ok := st.tree.Sum().(sfaSummarization); ok {
+				sq := q.Quantizer.State()
+				s.ShardSFA[i] = &sq
+			}
+		}
+	}
+}
+
+// applySavedMutationState installs a version-5 container's mutation state
+// into a freshly built collection: per-shard tombstone bitmaps, the public
+// id tables, the mutation sequence number, and the re-learned markers. It
+// validates the id tables as a bijection over the live rows before trusting
+// them — a corrupted table must fail the load, not return wrong ids.
+func (c *Collection) applySavedMutationState(s *savedIndex) error {
+	shards := int64(len(c.states))
+	dead := 0
+	for i := range c.states {
+		st := c.state(i)
+		n := int(s.ShardDeadCounts[i])
+		if n < 0 {
+			return fmt.Errorf("core: shard %d tombstone count %d negative", i, n)
+		}
+		dead += n
+		if st.tree == nil {
+			// Load-quarantined shard: no tree to install the bitmap into; the
+			// counters still account for its saved tombstones.
+			continue
+		}
+		if n == 0 && s.ShardDead[i] == nil {
+			continue
+		}
+		if err := st.tree.SetTombstones(append([]uint64(nil), s.ShardDead[i]...), n); err != nil {
+			return fmt.Errorf("core: shard %d: %w", i, err)
+		}
+	}
+	c.initMutationState(s.PubCount, dead)
+	c.mutSeq.Store(s.MutSeq)
+
+	if s.ShardSFA != nil {
+		for i := range c.states {
+			if s.ShardSFA[i] != nil {
+				c.state(i).relearned = true
+			}
+		}
+	}
+
+	if s.ShardPubs == nil {
+		// Identity layout: pub = local*S + shard, which requires every public
+		// id to name a physical row and vice versa.
+		if s.PubCount != int64(s.Count) {
+			return fmt.Errorf("core: container has %d public ids for %d rows but no id table", s.PubCount, s.Count)
+		}
+		return nil
+	}
+	pub2loc := make([]int64, s.PubCount)
+	for p := range pub2loc {
+		pub2loc[p] = -1
+	}
+	for i := range c.states {
+		pubs := s.ShardPubs[i]
+		if len(pubs) != int(s.ShardCounts[i]) {
+			return fmt.Errorf("core: shard %d id table has %d entries for %d rows", i, len(pubs), s.ShardCounts[i])
+		}
+		st := c.state(i)
+		for local, pub := range pubs {
+			if int64(pub) < 0 || int64(pub) >= s.PubCount {
+				return fmt.Errorf("core: shard %d row %d claims public id %d outside [0,%d)", i, local, pub, s.PubCount)
+			}
+			if st.tree != nil && st.tree.Tombstoned(int32(local)) {
+				// Tombstoned rows keep their (retired or superseded) id in
+				// pubOf; only live rows claim pub2loc entries.
+				continue
+			}
+			if pub2loc[pub] != -1 {
+				return fmt.Errorf("core: public id %d claimed by two live rows", pub)
+			}
+			pub2loc[pub] = int64(local)*shards + int64(i)
+		}
+		st.pubOf = append([]int32(nil), pubs...)
+	}
+	c.pub2loc = pub2loc
+	return nil
 }
 
 // SaveFile writes the index to a file atomically: the container is written
@@ -552,7 +786,7 @@ func LoadWithOptions(r io.Reader, opts LoadOptions, st *LoadStats) (*Index, erro
 	case 1:
 		s.Shards = 1
 		s.ShardWords = [][]byte{s.Words}
-	case 2, 3, savedIndexVersion:
+	case 2, 3, 4, savedIndexVersion:
 		if s.Shards < 1 || len(s.ShardWords) != s.Shards {
 			return nil, fmt.Errorf("core: corrupt shard table (%d shards, %d word buffers)",
 				s.Shards, len(s.ShardWords))
@@ -622,6 +856,37 @@ func LoadWithOptions(r io.Reader, opts LoadOptions, st *LoadStats) (*Index, erro
 	if s.Shards > s.Count {
 		return nil, fmt.Errorf("core: %d shards for %d series", s.Shards, s.Count)
 	}
+	if s.Version >= 5 {
+		if len(s.ShardCounts) != s.Shards || len(s.ShardDead) != s.Shards || len(s.ShardDeadCounts) != s.Shards {
+			return nil, fmt.Errorf("core: corrupt version-5 shard tables (%d/%d/%d entries for %d shards)",
+				len(s.ShardCounts), len(s.ShardDead), len(s.ShardDeadCounts), s.Shards)
+		}
+		if s.ShardPubs != nil && len(s.ShardPubs) != s.Shards {
+			return nil, fmt.Errorf("core: corrupt id tables (%d for %d shards)", len(s.ShardPubs), s.Shards)
+		}
+		if s.ShardSFA != nil && len(s.ShardSFA) != s.Shards {
+			return nil, fmt.Errorf("core: corrupt per-shard SFA tables (%d for %d shards)", len(s.ShardSFA), s.Shards)
+		}
+		if s.Method != SOFA && s.ShardSFA != nil {
+			return nil, fmt.Errorf("core: non-SOFA container carries per-shard SFA state")
+		}
+		// Upserts add physical rows without assigning ids, so PubCount and
+		// Count are ordered either way; only the id-table bijection below
+		// ties them together.
+		if s.PubCount < 1 || s.PubCount > math.MaxInt32 {
+			return nil, fmt.Errorf("core: corrupt public id count %d", s.PubCount)
+		}
+		rows := 0
+		for i, n := range s.ShardCounts {
+			if n < 1 {
+				return nil, fmt.Errorf("core: corrupt shard %d row count %d", i, n)
+			}
+			rows += int(n)
+		}
+		if rows != s.Count {
+			return nil, fmt.Errorf("core: shard row counts sum to %d, header says %d", rows, s.Count)
+		}
+	}
 	if s.Version >= 3 {
 		if int64(len(s.DataBytes)) != int64(s.Count)*int64(s.SeriesLen)*4 {
 			return nil, fmt.Errorf("core: data length %d bytes, want %d", len(s.DataBytes), s.Count*s.SeriesLen*4)
@@ -629,14 +894,22 @@ func LoadWithOptions(r io.Reader, opts LoadOptions, st *LoadStats) (*Index, erro
 	} else if int64(len(s.Data)) != int64(s.Count)*int64(s.SeriesLen) {
 		return nil, fmt.Errorf("core: data length %d, want %d", len(s.Data), s.Count*s.SeriesLen)
 	}
+	// shardRows is shard sh's physical row count: explicit in a version-5
+	// container (compaction diverges the shards), the round-robin share
+	// before that.
+	shardRows := func(sh int) int {
+		if s.Version >= 5 {
+			return int(s.ShardCounts[sh])
+		}
+		return (s.Count - sh + s.Shards - 1) / s.Shards
+	}
 	for sh, words := range s.ShardWords {
 		if corrupt != nil && corrupt[sh] {
 			continue // quarantined payload: its bytes are not trusted enough to validate
 		}
-		shardCount := (s.Count - sh + s.Shards - 1) / s.Shards
-		if len(words) != shardCount*s.WordLength {
+		if len(words) != shardRows(sh)*s.WordLength {
 			return nil, fmt.Errorf("core: shard %d words length %d, want %d",
-				sh, len(words), shardCount*s.WordLength)
+				sh, len(words), shardRows(sh)*s.WordLength)
 		}
 		for _, w := range words {
 			if s.Bits < 8 && int(w) >= 1<<s.Bits {
@@ -651,29 +924,49 @@ func LoadWithOptions(r io.Reader, opts LoadOptions, st *LoadStats) (*Index, erro
 	// restore exactness after the f32 round-trip.
 	sdata := make([]*distance.Matrix, s.Shards)
 	for sh := range sdata {
-		sdata[sh] = distance.NewMatrix((s.Count-sh+s.Shards-1)/s.Shards, s.SeriesLen)
+		sdata[sh] = distance.NewMatrix(shardRows(sh), s.SeriesLen)
 	}
-	for g := 0; g < s.Count; g++ {
-		row := sdata[g%s.Shards].Row(g / s.Shards)
-		if s.Version >= 3 {
-			base := g * s.SeriesLen * 4
-			for j := 0; j < s.SeriesLen; j++ {
-				f := float64(math.Float32frombits(binary.LittleEndian.Uint32(s.DataBytes[base+4*j:])))
-				if math.IsNaN(f) || math.IsInf(f, 0) {
-					return nil, fmt.Errorf("core: non-finite data value at offset %d", g*s.SeriesLen+j)
-				}
-				row[j] = f
+	decodeRow := func(row []float64, g int) error {
+		base := g * s.SeriesLen * 4
+		for j := 0; j < s.SeriesLen; j++ {
+			f := float64(math.Float32frombits(binary.LittleEndian.Uint32(s.DataBytes[base+4*j:])))
+			if math.IsNaN(f) || math.IsInf(f, 0) {
+				return fmt.Errorf("core: non-finite data value at offset %d", g*s.SeriesLen+j)
 			}
-		} else {
-			src := s.Data[g*s.SeriesLen : (g+1)*s.SeriesLen]
-			for j, v := range src {
-				if f := float64(v); math.IsNaN(f) || math.IsInf(f, 0) {
-					return nil, fmt.Errorf("core: non-finite data value at offset %d", g*s.SeriesLen+j)
-				}
-				row[j] = float64(v)
-			}
+			row[j] = f
 		}
 		distance.ZNormalize(row)
+		return nil
+	}
+	if s.Version >= 5 {
+		// Shard-major layout: shard 0's rows, then shard 1's, local id order.
+		g := 0
+		for sh := 0; sh < s.Shards; sh++ {
+			for local := 0; local < shardRows(sh); local++ {
+				if err := decodeRow(sdata[sh].Row(local), g); err != nil {
+					return nil, err
+				}
+				g++
+			}
+		}
+	} else {
+		for g := 0; g < s.Count; g++ {
+			row := sdata[g%s.Shards].Row(g / s.Shards)
+			if s.Version >= 3 {
+				if err := decodeRow(row, g); err != nil {
+					return nil, err
+				}
+			} else {
+				src := s.Data[g*s.SeriesLen : (g+1)*s.SeriesLen]
+				for j, v := range src {
+					if f := float64(v); math.IsNaN(f) || math.IsInf(f, 0) {
+						return nil, fmt.Errorf("core: non-finite data value at offset %d", g*s.SeriesLen+j)
+					}
+					row[j] = float64(v)
+				}
+				distance.ZNormalize(row)
+			}
+		}
 	}
 
 	cfg := Config{
@@ -709,12 +1002,11 @@ func LoadWithOptions(r io.Reader, opts LoadOptions, st *LoadStats) (*Index, erro
 	// serialized shape directly (no splitting; the decoder re-verifies every
 	// structural invariant against the word buffer), older versions
 	// re-bucket and re-split from the saved words.
-	col.sdata = sdata
 	treeOpts := col.shardOptions()
 	treeStart := time.Now()
 	var err error
 	if s.Version >= 3 {
-		err = col.buildShardTrees(func(i int) (*index.Tree, error) {
+		err = col.buildShardTrees(sdata, func(i int) (*index.Tree, error) {
 			if corrupt != nil && corrupt[i] {
 				// Quarantined at load: no tree. buildShardTrees marks the
 				// shard quarantined and untrusted.
@@ -724,15 +1016,32 @@ func LoadWithOptions(r io.Reader, opts LoadOptions, st *LoadStats) (*Index, erro
 			if err != nil {
 				return nil, err
 			}
-			return index.FromShape(col.sdata[i], sum, treeOpts, s.ShardWords[i], shape)
+			shardSum := sum
+			if s.Version >= 5 && s.ShardSFA != nil && s.ShardSFA[i] != nil {
+				// The shard re-learned its SFA quantization at a compaction;
+				// its tree bounds only hold in the shard's own space.
+				q, err := sfa.FromState(*s.ShardSFA[i])
+				if err != nil {
+					return nil, fmt.Errorf("core: shard %d SFA state: %w", i, err)
+				}
+				shardSum = sfaSummarization{q}
+			}
+			return index.FromShape(sdata[i], shardSum, treeOpts, s.ShardWords[i], shape)
 		})
 	} else {
-		err = col.buildShardTrees(func(i int) (*index.Tree, error) {
-			return index.BuildFromWords(col.sdata[i], sum, treeOpts, s.ShardWords[i])
+		err = col.buildShardTrees(sdata, func(i int) (*index.Tree, error) {
+			return index.BuildFromWords(sdata[i], sum, treeOpts, s.ShardWords[i])
 		})
 	}
 	if err != nil {
 		return nil, err
+	}
+	if s.Version >= 5 {
+		if err := col.applySavedMutationState(&s); err != nil {
+			return nil, err
+		}
+	} else {
+		col.initMutationState(int64(col.total), 0)
 	}
 	if st != nil {
 		st.Version = s.Version

@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"repro/internal/distance"
+	"repro/internal/index"
 )
 
 // The persist-compat golden suite: small v1–v4 containers checked
@@ -69,20 +70,57 @@ func goldenQuerySet() *distance.Matrix {
 	return goldenMatrix(goldenQuerySeed, goldenQueries, goldenLength)
 }
 
-// goldenFixtureSpec describes one checked-in container.
+// goldenFixtureSpec describes one checked-in container. Mutate applies the
+// frozen mutation script before saving, so the fixture carries tombstones
+// and remapped ids (v5+ only — earlier containers cannot express them).
 type goldenFixtureSpec struct {
 	File    string
 	Version int
 	Build   Config
+	Mutate  bool
 }
 
 func goldenFixtureSpecs() []goldenFixtureSpec {
 	return []goldenFixtureSpec{
-		{"golden_v1.sofa", 1, Config{Method: MESSI, LeafCapacity: 16}},
-		{"golden_v2.sofa", 2, Config{Method: SOFA, LeafCapacity: 16, SampleRate: 0.25, Shards: 2}},
-		{"golden_v3.sofa", 3, Config{Method: SOFA, LeafCapacity: 16, SampleRate: 0.25, Shards: 2}},
-		{"golden_v3_noblocks.sofa", 3, Config{Method: SOFA, LeafCapacity: 16, SampleRate: 0.25, NoLeafBlocks: true}},
-		{"golden_v4.sofa", 4, Config{Method: SOFA, LeafCapacity: 16, SampleRate: 0.25, Shards: 2}},
+		{File: "golden_v1.sofa", Version: 1, Build: Config{Method: MESSI, LeafCapacity: 16}},
+		{File: "golden_v2.sofa", Version: 2, Build: Config{Method: SOFA, LeafCapacity: 16, SampleRate: 0.25, Shards: 2}},
+		{File: "golden_v3.sofa", Version: 3, Build: Config{Method: SOFA, LeafCapacity: 16, SampleRate: 0.25, Shards: 2}},
+		{File: "golden_v3_noblocks.sofa", Version: 3, Build: Config{Method: SOFA, LeafCapacity: 16, SampleRate: 0.25, NoLeafBlocks: true}},
+		{File: "golden_v4.sofa", Version: 4, Build: Config{Method: SOFA, LeafCapacity: 16, SampleRate: 0.25, Shards: 2}},
+		{File: "golden_v5.sofa", Version: 5, Build: Config{Method: SOFA, LeafCapacity: 16, SampleRate: 0.25, Shards: 2}},
+		{File: "golden_v5_churn.sofa", Version: 5, Build: Config{Method: SOFA, LeafCapacity: 16, SampleRate: 0.25, Shards: 2}, Mutate: true},
+	}
+}
+
+// goldenMutate is the frozen mutation script of the churned v5 fixture: a
+// fixed interleave of inserts, deletes, and upserts. Like goldenMatrix it
+// must never change — the checked-in answers were computed after exactly
+// this history.
+func goldenMutate(tb testing.TB, ix *Index) {
+	tb.Helper()
+	extra := goldenMatrix(1003, 12, goldenLength)
+	for i := 0; i < 4; i++ {
+		if _, err := ix.Insert(extra.Row(i)); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	for _, id := range []int64{3, 17, 100, 101, 200, 257} {
+		if err := ix.Delete(index.ID(id)); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	for i, id := range []int64{5, 50, 150, 258} {
+		if err := ix.Upsert(index.ID(id), extra.Row(4+i)); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	for i := 8; i < 12; i++ {
+		if _, err := ix.Insert(extra.Row(i)); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := ix.Delete(index.ID(261)); err != nil {
+		tb.Fatal(err)
 	}
 }
 
@@ -123,7 +161,7 @@ func saveV1(ix *Index, path string) error {
 		LeafCapacity: col.cfg.LeafCapacity,
 		SeriesLen:    col.SeriesLen(),
 		Count:        col.Len(),
-		Words:        col.shards[0].Words(),
+		Words:        col.tree(0).Words(),
 	}
 	s.Data = make([]float32, col.Len()*col.SeriesLen())
 	for g := 0; g < col.Len(); g++ {
@@ -163,7 +201,7 @@ func goldenAnswers(tb testing.TB, ix *Index) [][]goldenResult {
 			tb.Fatal(err)
 		}
 		for _, r := range res {
-			out[qi] = append(out[qi], goldenResult{ID: r.ID, Dist: r.Dist})
+			out[qi] = append(out[qi], goldenResult{ID: int32(r.ID), Dist: r.Dist})
 		}
 	}
 	return out
@@ -184,6 +222,9 @@ func TestRegenPersistGolden(t *testing.T) {
 		ix, err := Build(data, cfg)
 		if err != nil {
 			t.Fatal(err)
+		}
+		if spec.Mutate {
+			goldenMutate(t, ix)
 		}
 		path := filepath.Join("testdata", spec.File)
 		switch spec.Version {

@@ -263,7 +263,7 @@ func TestSaveVersionValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, v := range []int{0, 1, 5} {
+	for _, v := range []int{0, 1, 6} {
 		if err := SaveVersion(ix, &bytes.Buffer{}, v); err == nil {
 			t.Errorf("SaveVersion accepted version %d", v)
 		}

@@ -16,7 +16,7 @@ import (
 // v4 global checksum).
 func corruptShardPayload(tb testing.TB, blob []byte, ix *Index, shard int) []byte {
 	tb.Helper()
-	words := ix.Collection().shards[shard].Words()
+	words := ix.Collection().tree(shard).Words()
 	off := bytes.Index(blob, words)
 	if off < 0 {
 		tb.Fatalf("shard %d word bytes not found in container", shard)
@@ -41,7 +41,7 @@ func TestLoadV4QuarantineCorruptShard(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := Save(orig, &buf); err != nil {
+	if err := SaveVersion(orig, &buf, 4); err != nil {
 		t.Fatal(err)
 	}
 	// The clean container is v4 and loads normally.
@@ -163,7 +163,7 @@ func TestLoadV4AllCorruptFails(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := Save(ix, &buf); err != nil {
+	if err := SaveVersion(ix, &buf, 4); err != nil {
 		t.Fatal(err)
 	}
 	blob := corruptShardPayload(t, buf.Bytes(), ix, 0)
@@ -183,7 +183,7 @@ func TestLoadV4GlobalCorruptionStillFails(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := Save(ix, &buf); err != nil {
+	if err := SaveVersion(ix, &buf, 4); err != nil {
 		t.Fatal(err)
 	}
 	blob := buf.Bytes()

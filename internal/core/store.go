@@ -7,25 +7,28 @@ import (
 	"os"
 	"path/filepath"
 	"time"
+
+	"repro/internal/index"
 )
 
 // Store is the crash-safe durability layer over an Index: a directory
 // holding one atomic checkpoint (the container) plus a write-ahead log of
-// every Insert since that checkpoint. The invariant is that at every
-// instant — including mid-crash — the directory holds exactly one valid
-// (container, WAL-suffix) pair:
+// every mutation — Insert, Delete, Upsert — since that checkpoint. The
+// invariant is that at every instant — including mid-crash — the directory
+// holds exactly one valid (container, WAL-suffix) pair:
 //
 //   - the container is only ever replaced by atomic rename (SaveFile), so it
-//     is always a complete checkpoint of some prefix of the insert history;
-//   - each WAL record carries the global id it was assigned, so a log that
-//     overlaps the checkpoint (a crash landed between the checkpoint's
-//     rename and the WAL truncation) replays idempotently — records the
-//     checkpoint already covers are skipped by sequence number.
+//     is always a complete checkpoint of some prefix of the mutation
+//     history;
+//   - each WAL record carries the mutation sequence number it was applied
+//     under, so a log that overlaps the checkpoint (a crash landed between
+//     the checkpoint's rename and the WAL truncation) replays idempotently —
+//     records the checkpoint already covers are skipped by sequence number.
 //
 // Recovery (Recover) therefore needs no ordering metadata beyond what the
-// files themselves carry. Like Insert, a Store's write methods are
-// single-writer: not safe for concurrent use with each other (searches
-// against Index() follow the Collection's usual read contract).
+// files themselves carry. Like the mutation API itself, a Store's write
+// methods are single-writer: not safe for concurrent use with each other
+// (searches against Index() follow the Collection's usual read contract).
 type Store struct {
 	dir   string
 	ix    *Index
@@ -63,8 +66,13 @@ type RecoveryStats struct {
 	CheckpointVersion int
 	// CheckpointLen is the number of series the checkpoint held.
 	CheckpointLen int
-	// Replayed is the number of WAL records re-applied through Insert.
+	// Replayed is the number of WAL records re-applied through the mutation
+	// API (Insert, Delete, Upsert).
 	Replayed int
+	// MigratedWAL reports that the log was a version-1 (insert-only) file:
+	// after replay the store checkpointed and replaced it with a fresh
+	// version-2 log.
+	MigratedWAL bool
 	// Skipped is the number of valid WAL records already covered by the
 	// checkpoint (non-zero when a crash landed between a checkpoint's
 	// publication and its WAL truncation).
@@ -109,7 +117,7 @@ func CreateStore(dir string, ix *Index, cfg DurableConfig) (*Store, error) {
 	if err := SaveFile(ix, ContainerPath(dir)); err != nil {
 		return nil, err
 	}
-	w, err := createWAL(WALPath(dir), ix.SeriesLen(), uint64(ix.Len()), cfg.Sync, cfg.SyncInterval)
+	w, err := createWAL(WALPath(dir), ix.SeriesLen(), ix.col.MutSeq(), cfg.Sync, cfg.SyncInterval)
 	if err != nil {
 		return nil, err
 	}
@@ -151,7 +159,9 @@ func Recover(dir string, cfg DurableConfig) (*Store, error) {
 // filling st.stats. A missing WAL (a crash between the initial checkpoint
 // and the log's creation) and a log whose header is unusable are both
 // replaced by a fresh empty log — in the latter case only after classifying
-// and counting the discarded bytes.
+// and counting the discarded bytes. A version-1 (insert-only) log is
+// replayed under its own sequence semantics and then migrated: the recovered
+// index is checkpointed and the old log replaced by a fresh version-2 one.
 func (st *Store) recoverWAL() error {
 	path := WALPath(st.dir)
 	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
@@ -161,15 +171,43 @@ func (st *Store) recoverWAL() error {
 	if err != nil {
 		return fmt.Errorf("core: recover %s: %w", st.dir, err)
 	}
-	have := uint64(st.ix.Len())
+	col := st.ix.col
+	// v2 records are sequenced by the collection's mutation counter; v1
+	// records (insert-only) by the assigned global id, which for the
+	// append-only histories v1 containers hold equals the collection length.
+	have := col.MutSeq()
+	haveLen := uint64(st.ix.Len())
 	var prev uint64
 	seen := false
-	validEnd, tailErr, err := scanWAL(f, st.ix.SeriesLen(), func(e walEntry) error {
+	version, validEnd, tailErr, err := scanWAL(f, st.ix.SeriesLen(), func(e walEntry) error {
 		if seen && e.seq != prev+1 {
 			return fmt.Errorf("core: wal record seq %d after %d (want %d): %w",
 				e.seq, prev, prev+1, ErrWALCorrupt)
 		}
 		seen, prev = true, e.seq
+		if e.version == 1 {
+			switch {
+			case e.seq < haveLen:
+				st.stats.Skipped++
+				return nil
+			case e.seq > haveLen:
+				return fmt.Errorf("core: wal record seq %d skips ahead of index length %d: %w",
+					e.seq, haveLen, ErrWALCorrupt)
+			}
+			id, err := st.ix.Insert(e.series)
+			if err != nil {
+				return fmt.Errorf("core: wal replay of record seq %d: %w", e.seq, err)
+			}
+			if uint64(id) != e.seq {
+				// v1 ids are structural (collection length), so a mismatch
+				// means the log and container disagree about history.
+				return fmt.Errorf("core: wal replay: record seq %d inserted as id %d: %w",
+					e.seq, id, ErrWALCorrupt)
+			}
+			st.stats.Replayed++
+			haveLen++
+			return nil
+		}
 		switch {
 		case e.seq < have:
 			// Already covered by the checkpoint: a crash landed between the
@@ -177,18 +215,31 @@ func (st *Store) recoverWAL() error {
 			st.stats.Skipped++
 			return nil
 		case e.seq > have:
-			return fmt.Errorf("core: wal record seq %d skips ahead of index length %d: %w",
+			return fmt.Errorf("core: wal record seq %d skips ahead of mutation seq %d: %w",
 				e.seq, have, ErrWALCorrupt)
 		}
-		id, err := st.ix.Insert(e.series)
-		if err != nil {
-			return fmt.Errorf("core: wal replay of record seq %d: %w", e.seq, err)
-		}
-		if uint64(id) != e.seq {
-			// The id Insert assigns is structural (collection length), so a
-			// mismatch means the log and container disagree about history.
-			return fmt.Errorf("core: wal replay: record seq %d inserted as id %d: %w",
-				e.seq, id, ErrWALCorrupt)
+		switch e.op {
+		case walOpInsert:
+			id, err := st.ix.Insert(e.series)
+			if err != nil {
+				return fmt.Errorf("core: wal replay of insert seq %d: %w", e.seq, err)
+			}
+			if uint64(id) != e.id {
+				// Public ids are assigned sequentially, so a mismatch means
+				// the log and container disagree about history.
+				return fmt.Errorf("core: wal replay: insert seq %d assigned id %d, record says %d: %w",
+					e.seq, id, e.id, ErrWALCorrupt)
+			}
+		case walOpDelete:
+			if err := st.ix.Delete(index.ID(e.id)); err != nil {
+				return fmt.Errorf("core: wal replay of delete seq %d (id %d): %v: %w",
+					e.seq, e.id, err, ErrWALCorrupt)
+			}
+		case walOpUpsert:
+			if err := st.ix.Upsert(index.ID(e.id), e.series); err != nil {
+				return fmt.Errorf("core: wal replay of upsert seq %d (id %d): %v: %w",
+					e.seq, e.id, err, ErrWALCorrupt)
+			}
 		}
 		st.stats.Replayed++
 		have++
@@ -215,6 +266,20 @@ func (st *Store) recoverWAL() error {
 			f.Close()
 			return st.freshWAL()
 		}
+	}
+	if version == 1 {
+		// Migrate: the replayed state becomes the new checkpoint and the v1
+		// log is retired for a fresh v2 one. A crash mid-migration leaves
+		// either the old pair (before the rename) or the new checkpoint with
+		// a stale-but-skippable v1 log.
+		f.Close()
+		if err := SaveFile(st.ix, ContainerPath(st.dir)); err != nil {
+			return fmt.Errorf("core: recover %s: migrating v1 wal: %w", st.dir, err)
+		}
+		st.stats.MigratedWAL = true
+		return st.freshWAL()
+	}
+	if tailErr != nil {
 		if err := f.Truncate(validEnd); err != nil {
 			f.Close()
 			return fmt.Errorf("core: recover %s: %w", st.dir, err)
@@ -225,7 +290,7 @@ func (st *Store) recoverWAL() error {
 		return fmt.Errorf("core: recover %s: %w", st.dir, err)
 	}
 	st.wal = &WAL{
-		f: f, path: path, seriesLen: st.ix.SeriesLen(), next: uint64(st.ix.Len()),
+		f: f, path: path, seriesLen: st.ix.SeriesLen(), next: col.MutSeq(),
 		size: validEnd, policy: st.cfg.Sync, interval: st.cfg.SyncInterval,
 		lastSync: time.Now(), dirty: st.stats.TailError != nil,
 	}
@@ -234,7 +299,7 @@ func (st *Store) recoverWAL() error {
 
 // freshWAL replaces the store's log with a new empty one.
 func (st *Store) freshWAL() error {
-	w, err := createWAL(WALPath(st.dir), st.ix.SeriesLen(), uint64(st.ix.Len()), st.cfg.Sync, st.cfg.SyncInterval)
+	w, err := createWAL(WALPath(st.dir), st.ix.SeriesLen(), st.ix.col.MutSeq(), st.cfg.Sync, st.cfg.SyncInterval)
 	if err != nil {
 		return fmt.Errorf("core: recover %s: %w", st.dir, err)
 	}
@@ -256,34 +321,79 @@ func (st *Store) WALSize() int64 { return st.wal.Size() }
 
 // Insert durably adds one series: the raw series is appended to the WAL
 // (synced per the configured policy) before it is applied to the index, so
-// an acknowledged insert survives a crash. Returns the assigned global id.
+// an acknowledged insert survives a crash. Returns the assigned public id.
 // A failed append or sync wedges the log — the file's tail state is unknown,
 // so every later write refuses with the original failure; Close and Recover
 // to resume (recovery truncates whatever the failure left behind).
-func (st *Store) Insert(series []float64) (int32, error) {
+func (st *Store) Insert(series []float64) (index.ID, error) {
 	// Preflight the shard gate so a doomed insert (quarantined target shard)
 	// is refused before it reaches the log — otherwise the WAL would hold a
 	// record recovery replays into an index that rejected it.
 	c := st.ix.col
-	if err := c.shardGate(c.total % len(c.shards)); err != nil {
+	if err := c.insertGate(); err != nil {
 		return 0, err
 	}
 	prevSize, prevNext := st.wal.size, st.wal.next
-	if err := st.wal.Append(series); err != nil {
+	if err := st.wal.AppendInsert(uint64(c.nextPubID()), series); err != nil {
 		return 0, err
 	}
 	id, err := st.ix.Insert(series)
 	if err != nil {
-		// The record is logged but the in-memory insert failed: roll the log
-		// back so recovery cannot replay an insert the running index never
-		// acknowledged. A rollback failure leaves the WAL ahead of the
-		// index; surface both — the caller must treat the store as wedged.
-		if rerr := st.wal.truncateTo(prevSize, prevNext); rerr != nil {
-			return 0, errors.Join(err, rerr)
-		}
-		return 0, err
+		return 0, st.rollback(err, prevSize, prevNext)
 	}
 	return id, nil
+}
+
+// Delete durably tombstones the series with the given public id: the delete
+// record is appended to the WAL before the tombstone is applied, so an
+// acknowledged delete survives a crash. See Collection.Delete for the
+// mutation semantics (ErrNotFound, ErrTombstoned, id retirement).
+func (st *Store) Delete(id index.ID) error {
+	if err := st.ix.col.mutationGate(id); err != nil {
+		return err
+	}
+	prevSize, prevNext := st.wal.size, st.wal.next
+	if err := st.wal.AppendDelete(uint64(id)); err != nil {
+		return err
+	}
+	if err := st.ix.Delete(id); err != nil {
+		return st.rollback(err, prevSize, prevNext)
+	}
+	return nil
+}
+
+// Upsert durably replaces the series stored under id, keeping the id
+// stable: the upsert record is appended to the WAL before the replacement
+// is applied. See Collection.Upsert for the mutation semantics.
+func (st *Store) Upsert(id index.ID, series []float64) error {
+	c := st.ix.col
+	if err := c.mutationGate(id); err != nil {
+		return err
+	}
+	if err := c.insertGate(); err != nil {
+		return err
+	}
+	prevSize, prevNext := st.wal.size, st.wal.next
+	if err := st.wal.AppendUpsert(uint64(id), series); err != nil {
+		return err
+	}
+	if err := st.ix.Upsert(id, series); err != nil {
+		return st.rollback(err, prevSize, prevNext)
+	}
+	return nil
+}
+
+// rollback undoes a logged-but-unapplied record: the in-memory mutation
+// failed after its record reached the WAL, so the log is rolled back to the
+// prior acknowledged size — otherwise recovery would replay a mutation the
+// running index never acknowledged. A rollback failure leaves the WAL ahead
+// of the index; both errors surface and the caller must treat the store as
+// wedged.
+func (st *Store) rollback(err error, prevSize int64, prevNext uint64) error {
+	if rerr := st.wal.truncateTo(prevSize, prevNext); rerr != nil {
+		return errors.Join(err, rerr)
+	}
+	return err
 }
 
 // Sync forces the WAL to stable storage regardless of the sync policy — the
@@ -299,7 +409,7 @@ func (st *Store) Checkpoint() error {
 	if err := SaveFile(st.ix, ContainerPath(st.dir)); err != nil {
 		return err
 	}
-	if err := st.wal.truncateTo(walHeaderSize, uint64(st.ix.Len())); err != nil {
+	if err := st.wal.truncateTo(walHeaderSize, st.ix.col.MutSeq()); err != nil {
 		return err
 	}
 	return st.wal.Sync()

@@ -15,25 +15,34 @@ import (
 )
 
 // This file is the write-ahead log half of the durability subsystem (see
-// store.go for checkpoints and recovery). The WAL makes Insert crash-safe:
-// each insert is appended to the log as one checksummed record before it is
-// applied to the in-memory collection, so a process that dies between
-// checkpoints can replay the suffix of acknowledged inserts on restart.
+// store.go for checkpoints and recovery). The WAL makes the mutation API
+// crash-safe: each Insert, Delete, and Upsert is appended to the log as one
+// checksummed typed record before it is applied to the in-memory collection,
+// so a process that dies between checkpoints can replay the suffix of
+// acknowledged mutations on restart.
 //
-// On-disk format — all integers little-endian, checksums CRC-32C (the
-// container's checksum discipline):
+// On-disk format, version 2 — all integers little-endian, checksums CRC-32C
+// (the container's checksum discipline):
 //
-//	header:  magic "SOFAWAL\x01" (8) | u32 seriesLen | u32 crc(magic+seriesLen)
+//	header:  magic "SOFAWAL\x02" (8) | u32 seriesLen | u32 crc(magic+seriesLen)
 //	record:  u32 payloadLen | u32 crc(payload) | payload
-//	payload: u64 seq | f64 × seriesLen   (the raw, pre-normalization series)
+//	payload: u8 op | u64 seq | u64 id | [f64 × seriesLen]
 //
-// seq is the global id the insert was assigned — the collection length at
-// append time — which is what makes recovery idempotent: a record whose seq
-// is already covered by the loaded checkpoint is skipped, not re-applied, so
-// the crash window between a checkpoint's rename and its WAL truncation
-// cannot duplicate inserts. payloadLen is fixed per log (8 + 8·seriesLen);
-// any other value is a forged length and classifies the tail as corrupt
-// without being trusted for an allocation.
+// op is 1 (insert), 2 (delete), or 3 (upsert); the series block is present
+// for insert and upsert and absent for delete, so payloadLen takes exactly
+// two legal values per log — anything else is a forged length and classifies
+// the tail as corrupt without being trusted for an allocation. id is the
+// public id the mutation targets (for insert, the id it was assigned). seq
+// is the collection's mutation sequence number at apply time, which is what
+// makes recovery idempotent: a record whose seq is already covered by the
+// loaded checkpoint (savedIndex.MutSeq) is skipped, not re-applied, so the
+// crash window between a checkpoint's rename and its WAL truncation cannot
+// duplicate mutations.
+//
+// Version 1 ("SOFAWAL\x01") logs are still read: they carry insert-only
+// records (payload u64 seq | f64 × seriesLen, seq = the assigned global id).
+// Recovery replays them and migrates the store to a fresh v2 log behind a
+// new checkpoint — see Store.recoverWAL.
 
 // SyncPolicy selects when the WAL fsyncs appended records. See the README's
 // durability table for what each policy guarantees after kill -9.
@@ -82,18 +91,23 @@ var ErrWALCorrupt = errors.New("core: write-ahead log corrupt")
 var ErrRecoveryTruncated = errors.New("core: write-ahead log truncated mid-record")
 
 const (
-	walMagic            = "SOFAWAL\x01"
+	walMagic            = "SOFAWAL\x02"
+	walMagicV1          = "SOFAWAL\x01"
 	walHeaderSize       = 16
 	walRecordHeaderSize = 8
+	// The record type codes of the v2 format.
+	walOpInsert byte = 1
+	walOpDelete byte = 2
+	walOpUpsert byte = 3
 	// maxWriteRetries bounds the transient-write retry budget, mirroring the
 	// read path's maxReadRetries: storage hiccups clear within a few
 	// attempts; anything that survives the budget surfaces.
 	maxWriteRetries = 3
 )
 
-// WAL is an append-only insert log. It is not safe for concurrent use — like
-// Insert itself, which is the only writer — and is managed by Store; tests
-// exercise it directly.
+// WAL is an append-only mutation log. It is not safe for concurrent use —
+// like the Store write methods, which are the only writers — and is managed
+// by Store; tests exercise it directly.
 type WAL struct {
 	f         *os.File
 	path      string
@@ -114,29 +128,40 @@ type WAL struct {
 	failed error
 }
 
-// walRecordSize is the full on-disk size of one record for the given series
-// length.
+// walRecordSize is the full on-disk size of one v2 series-carrying record
+// (insert or upsert) for the given series length — the larger of the two
+// legal record sizes, and what crash tests size their tears against.
 func walRecordSize(seriesLen int) int {
+	return walRecordHeaderSize + 17 + 8*seriesLen
+}
+
+// walDeleteRecordSize is the full on-disk size of one v2 delete record
+// (series-free).
+const walDeleteRecordSize = walRecordHeaderSize + 17
+
+// walRecordSizeV1 is the full on-disk size of one version-1 record.
+func walRecordSizeV1(seriesLen int) int {
 	return walRecordHeaderSize + 8 + 8*seriesLen
 }
 
-// encodeWALHeader fills a 16-byte WAL file header.
-func encodeWALHeader(dst []byte, seriesLen int) {
-	copy(dst[:8], walMagic)
+// encodeWALHeader fills a 16-byte WAL file header with the given magic.
+func encodeWALHeader(dst []byte, magic string, seriesLen int) {
+	copy(dst[:8], magic)
 	binary.LittleEndian.PutUint32(dst[8:], uint32(seriesLen))
 	binary.LittleEndian.PutUint32(dst[12:], crc32.Checksum(dst[:12], castagnoli))
 }
 
-// createWAL writes a fresh log at path (truncating any previous file) whose
-// first record will carry sequence number next. The header is synced before
-// returning, so a crash right after createWAL leaves a valid empty log.
+// createWAL writes a fresh v2 log at path (truncating any previous file)
+// whose first record will carry sequence number next. The header is synced
+// before returning, so a crash right after createWAL leaves a valid empty
+// log.
 func createWAL(path string, seriesLen int, next uint64, policy SyncPolicy, interval time.Duration) (*WAL, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, err
 	}
 	var hdr [walHeaderSize]byte
-	encodeWALHeader(hdr[:], seriesLen)
+	encodeWALHeader(hdr[:], walMagic, seriesLen)
 	if _, err := f.Write(hdr[:]); err != nil {
 		f.Close()
 		return nil, err
@@ -158,29 +183,53 @@ func (w *WAL) NextSeq() uint64 { return w.next }
 // Size returns the log's acknowledged byte size (header included).
 func (w *WAL) Size() int64 { return w.size }
 
-// Append logs one insert: the raw (pre-normalization) series under the next
-// sequence number. The record is fully buffered before any byte reaches the
-// file, then written in one call and fsynced per the sync policy. Transient
-// write and sync errors (the net-style Temporary contract, or injected
-// transient faults in chaos builds) are retried under a bounded jittered
-// backoff before surfacing.
-func (w *WAL) Append(series []float64) error {
-	if w.failed != nil {
-		return fmt.Errorf("core: wal wedged by earlier failure: %w", w.failed)
-	}
+// AppendInsert logs one insert: the raw (pre-normalization) series and the
+// public id it was assigned.
+func (w *WAL) AppendInsert(id uint64, series []float64) error {
 	if len(series) != w.seriesLen {
 		return fmt.Errorf("core: wal append: series length %d, want %d", len(series), w.seriesLen)
 	}
-	need := walRecordSize(w.seriesLen)
+	return w.append(walOpInsert, id, series)
+}
+
+// AppendDelete logs one delete of the given public id.
+func (w *WAL) AppendDelete(id uint64) error {
+	return w.append(walOpDelete, id, nil)
+}
+
+// AppendUpsert logs one upsert: the raw replacement series for the given
+// public id.
+func (w *WAL) AppendUpsert(id uint64, series []float64) error {
+	if len(series) != w.seriesLen {
+		return fmt.Errorf("core: wal append: series length %d, want %d", len(series), w.seriesLen)
+	}
+	return w.append(walOpUpsert, id, series)
+}
+
+// append logs one mutation record under the next sequence number. The record
+// is fully buffered before any byte reaches the file, then written in one
+// call and fsynced per the sync policy. Transient write and sync errors (the
+// net-style Temporary contract, or injected transient faults in chaos
+// builds) are retried under a bounded jittered backoff before surfacing.
+func (w *WAL) append(op byte, id uint64, series []float64) error {
+	if w.failed != nil {
+		return fmt.Errorf("core: wal wedged by earlier failure: %w", w.failed)
+	}
+	need := walDeleteRecordSize
+	if series != nil {
+		need = walRecordSize(w.seriesLen)
+	}
 	if cap(w.buf) < need {
 		w.buf = make([]byte, need)
 	}
 	rec := w.buf[:need]
 	payload := rec[walRecordHeaderSize:]
 	binary.LittleEndian.PutUint32(rec[0:], uint32(len(payload)))
-	binary.LittleEndian.PutUint64(payload[0:], w.next)
+	payload[0] = op
+	binary.LittleEndian.PutUint64(payload[1:], w.next)
+	binary.LittleEndian.PutUint64(payload[9:], id)
 	for i, v := range series {
-		binary.LittleEndian.PutUint64(payload[8+8*i:], math.Float64bits(v))
+		binary.LittleEndian.PutUint64(payload[17+8*i:], math.Float64bits(v))
 	}
 	binary.LittleEndian.PutUint32(rec[4:], crc32.Checksum(payload, castagnoli))
 	if err := w.write(rec); err != nil {
@@ -277,7 +326,7 @@ func (w *WAL) maybeSync() error {
 }
 
 // truncateTo rolls the log back to a prior acknowledged size — the repair
-// path when an append succeeded but the in-memory insert behind it failed,
+// path when an append succeeded but the in-memory mutation behind it failed,
 // which would otherwise leave a record recovery replays but the running
 // index never held.
 func (w *WAL) truncateTo(size int64, next uint64) error {
@@ -312,79 +361,186 @@ func sleepJittered(delay *time.Duration) {
 	*delay = d * 2
 }
 
-// walEntry is one decoded record during recovery.
+// walEntry is one decoded record during recovery. version is the log format
+// it was read from; for version 1 records op is walOpInsert and id echoes
+// seq (v1 sequence numbers are the assigned global ids).
 type walEntry struct {
-	seq    uint64
-	series []float64
+	version int
+	op      byte
+	seq     uint64
+	id      uint64
+	series  []float64 // nil for delete records
 }
 
 // scanWAL validates and decodes the log at f front to back, invoking apply
-// for every intact record. It returns the byte offset just past the last
-// valid record (validEnd), and classifies how the scan ended: tailErr is nil
-// for a log that ends exactly on a record boundary, wraps
-// ErrRecoveryTruncated for a torn tail, and wraps ErrWALCorrupt for a
-// checksum mismatch, forged length, bad header, or an apply rejection —
-// everything from the offending record on is untrusted. Errors returned by
-// apply that do not wrap ErrWALCorrupt abort the scan as real failures (err
-// non-nil); I/O errors from f do the same.
-func scanWAL(f *os.File, seriesLen int, apply func(walEntry) error) (validEnd int64, tailErr, err error) {
+// for every intact record. It returns the log's format version, the byte
+// offset just past the last valid record (validEnd), and classifies how the
+// scan ended: tailErr is nil for a log that ends exactly on a record
+// boundary, wraps ErrRecoveryTruncated for a torn tail, and wraps
+// ErrWALCorrupt for a checksum mismatch, forged length, unknown record type,
+// bad header, or an apply rejection — everything from the offending record
+// on is untrusted. Errors returned by apply that do not wrap ErrWALCorrupt
+// abort the scan as real failures (err non-nil); I/O errors from f do the
+// same.
+func scanWAL(f *os.File, seriesLen int, apply func(walEntry) error) (version int, validEnd int64, tailErr, err error) {
 	info, err := f.Stat()
 	if err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
 	fileSize := info.Size()
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
 	var hdr [walHeaderSize]byte
 	if _, err := io.ReadFull(f, hdr[:]); err != nil {
 		if err == io.EOF || err == io.ErrUnexpectedEOF {
 			// Shorter than a header: nothing in this file is usable, not
 			// even the header — the whole file is the discarded tail.
-			return 0, fmt.Errorf("core: wal header short (%d bytes): %w", fileSize, ErrRecoveryTruncated), nil
+			return 0, 0, fmt.Errorf("core: wal header short (%d bytes): %w", fileSize, ErrRecoveryTruncated), nil
 		}
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
 	var want [walHeaderSize]byte
-	encodeWALHeader(want[:], seriesLen)
+	encodeWALHeader(want[:], walMagic, seriesLen)
+	version = 2
 	if hdr != want {
-		return 0, fmt.Errorf("core: wal header mismatch: %w", ErrWALCorrupt), nil
+		encodeWALHeader(want[:], walMagicV1, seriesLen)
+		if hdr != want {
+			return 0, 0, fmt.Errorf("core: wal header mismatch: %w", ErrWALCorrupt), nil
+		}
+		version = 1
 	}
 	validEnd = walHeaderSize
-	recSize := walRecordSize(seriesLen)
+	if version == 1 {
+		tailErr, err = scanRecordsV1(f, seriesLen, &validEnd, apply)
+		return version, validEnd, tailErr, err
+	}
+	tailErr, err = scanRecordsV2(f, seriesLen, &validEnd, apply)
+	return version, validEnd, tailErr, err
+}
+
+// scanRecordsV2 decodes version-2 typed records: a fixed 8-byte record
+// header declaring one of the two legal payload lengths, then the payload.
+func scanRecordsV2(f *os.File, seriesLen int, validEnd *int64, apply func(walEntry) error) (tailErr, err error) {
+	fullPayload := 17 + 8*seriesLen
+	payload := make([]byte, fullPayload)
+	series := make([]float64, seriesLen)
+	var rh [walRecordHeaderSize]byte
+	for {
+		n, rerr := io.ReadFull(f, rh[:])
+		if rerr == io.EOF {
+			return nil, nil
+		}
+		if rerr == io.ErrUnexpectedEOF {
+			return fmt.Errorf("core: wal record header at offset %d short (%d of %d bytes): %w",
+				*validEnd, n, walRecordHeaderSize, ErrRecoveryTruncated), nil
+		}
+		if rerr != nil {
+			return nil, rerr
+		}
+		plen := binary.LittleEndian.Uint32(rh[0:])
+		if plen != 17 && plen != uint32(fullPayload) {
+			return fmt.Errorf("core: wal record at offset %d: forged length %d (want 17 or %d): %w",
+				*validEnd, plen, fullPayload, ErrWALCorrupt), nil
+		}
+		p := payload[:plen]
+		if n, rerr := io.ReadFull(f, p); rerr != nil {
+			if rerr == io.EOF || rerr == io.ErrUnexpectedEOF {
+				return fmt.Errorf("core: wal record at offset %d short (%d of %d payload bytes): %w",
+					*validEnd, n, plen, ErrRecoveryTruncated), nil
+			}
+			return nil, rerr
+		}
+		if got, want := binary.LittleEndian.Uint32(rh[4:]), crc32.Checksum(p, castagnoli); got != want {
+			return fmt.Errorf("core: wal record at offset %d: checksum %08x, want %08x: %w",
+				*validEnd, got, want, ErrWALCorrupt), nil
+		}
+		e := walEntry{
+			version: 2,
+			op:      p[0],
+			seq:     binary.LittleEndian.Uint64(p[1:]),
+			id:      binary.LittleEndian.Uint64(p[9:]),
+		}
+		switch e.op {
+		case walOpInsert, walOpUpsert:
+			if int(plen) != fullPayload {
+				return fmt.Errorf("core: wal record at offset %d: series-free %s record: %w",
+					*validEnd, walOpName(e.op), ErrWALCorrupt), nil
+			}
+			for i := range series {
+				series[i] = math.Float64frombits(binary.LittleEndian.Uint64(p[17+8*i:]))
+			}
+			e.series = series
+		case walOpDelete:
+			if plen != 17 {
+				return fmt.Errorf("core: wal record at offset %d: delete record carries a series: %w",
+					*validEnd, ErrWALCorrupt), nil
+			}
+		default:
+			return fmt.Errorf("core: wal record at offset %d: unknown record type %d: %w",
+				*validEnd, e.op, ErrWALCorrupt), nil
+		}
+		if aerr := apply(e); aerr != nil {
+			if errors.Is(aerr, ErrWALCorrupt) {
+				return aerr, nil
+			}
+			return nil, aerr
+		}
+		*validEnd += int64(walRecordHeaderSize) + int64(plen)
+	}
+}
+
+// scanRecordsV1 decodes version-1 records: fixed-size, insert-only, seq is
+// the assigned global id.
+func scanRecordsV1(f *os.File, seriesLen int, validEnd *int64, apply func(walEntry) error) (tailErr, err error) {
+	recSize := walRecordSizeV1(seriesLen)
 	rec := make([]byte, recSize)
 	series := make([]float64, seriesLen)
 	for {
 		n, rerr := io.ReadFull(f, rec)
 		if rerr == io.EOF {
-			return validEnd, nil, nil
+			return nil, nil
 		}
 		if rerr == io.ErrUnexpectedEOF {
-			return validEnd, fmt.Errorf("core: wal record at offset %d short (%d of %d bytes): %w",
-				validEnd, n, recSize, ErrRecoveryTruncated), nil
+			return fmt.Errorf("core: wal record at offset %d short (%d of %d bytes): %w",
+				*validEnd, n, recSize, ErrRecoveryTruncated), nil
 		}
 		if rerr != nil {
-			return validEnd, nil, rerr
+			return nil, rerr
 		}
 		payload := rec[walRecordHeaderSize:]
 		if got := binary.LittleEndian.Uint32(rec[0:]); got != uint32(len(payload)) {
-			return validEnd, fmt.Errorf("core: wal record at offset %d: forged length %d (want %d): %w",
-				validEnd, got, len(payload), ErrWALCorrupt), nil
+			return fmt.Errorf("core: wal record at offset %d: forged length %d (want %d): %w",
+				*validEnd, got, len(payload), ErrWALCorrupt), nil
 		}
 		if got, want := binary.LittleEndian.Uint32(rec[4:]), crc32.Checksum(payload, castagnoli); got != want {
-			return validEnd, fmt.Errorf("core: wal record at offset %d: checksum %08x, want %08x: %w",
-				validEnd, got, want, ErrWALCorrupt), nil
+			return fmt.Errorf("core: wal record at offset %d: checksum %08x, want %08x: %w",
+				*validEnd, got, want, ErrWALCorrupt), nil
 		}
-		e := walEntry{seq: binary.LittleEndian.Uint64(payload[0:]), series: series}
+		seq := binary.LittleEndian.Uint64(payload[0:])
 		for i := range series {
 			series[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8+8*i:]))
 		}
-		if aerr := apply(e); aerr != nil {
+		if aerr := apply(walEntry{version: 1, op: walOpInsert, seq: seq, id: seq, series: series}); aerr != nil {
 			if errors.Is(aerr, ErrWALCorrupt) {
-				return validEnd, aerr, nil
+				return aerr, nil
 			}
-			return validEnd, nil, aerr
+			return nil, aerr
 		}
-		validEnd += int64(recSize)
+		*validEnd += int64(recSize)
+	}
+}
+
+// walOpName names a record type for error messages.
+func walOpName(op byte) string {
+	switch op {
+	case walOpInsert:
+		return "insert"
+	case walOpDelete:
+		return "delete"
+	case walOpUpsert:
+		return "upsert"
+	default:
+		return fmt.Sprintf("op(%d)", op)
 	}
 }

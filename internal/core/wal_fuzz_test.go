@@ -13,12 +13,14 @@ import (
 )
 
 // FuzzWALReplay throws arbitrary bytes at the recovery path as the on-disk
-// WAL: truncations, bit flips, forged lengths, duplicated and out-of-order
-// records, and pure garbage. Recovery must either fail with an error or
-// recover exactly the valid prefix — never panic, never report stats that
-// disagree with the bytes, never insert a row that differs from what a valid
-// record encodes. The oracle is refWALParse, an independent bytes-only
-// re-implementation of the scan and replay rules.
+// WAL: truncations, bit flips, forged lengths and record types, duplicated
+// and out-of-order records, replays targeting dead ids, and pure garbage.
+// Recovery must either fail with an error or recover exactly the valid
+// prefix — never panic, never report stats that disagree with the bytes,
+// never apply a mutation that differs from what a valid record encodes. The
+// oracle is refWALParse, an independent bytes-only re-implementation of the
+// scan and replay rules for both the v2 typed format and v1 insert-only
+// logs (which recovery additionally migrates to v2).
 func FuzzWALReplay(f *testing.F) {
 	const seriesLen = 32
 	rng := rand.New(rand.NewSource(93))
@@ -32,16 +34,17 @@ func FuzzWALReplay(f *testing.F) {
 	if err := Save(ix, &container); err != nil {
 		f.Fatal(err)
 	}
+	extra := extraSeries(7, 5, seriesLen)
 
-	// A well-formed three-record log to seed the corpus, written through the
-	// real append path.
+	// A well-formed three-insert log to seed the corpus, written through the
+	// real append path. A fresh build checkpoints at mutation seq 0.
 	walPath := WALPath(f.TempDir())
-	w, err := createWAL(walPath, seriesLen, uint64(baseLen), SyncNone, 0)
+	w, err := createWAL(walPath, seriesLen, 0, SyncNone, 0)
 	if err != nil {
 		f.Fatal(err)
 	}
-	for _, s := range extraSeries(7, 3, seriesLen) {
-		if err := w.Append(s); err != nil {
+	for i, s := range extra[:3] {
+		if err := w.AppendInsert(uint64(baseLen+i), s); err != nil {
 			f.Fatal(err)
 		}
 	}
@@ -69,13 +72,61 @@ func FuzzWALReplay(f *testing.F) {
 	f.Add(valid[:len(valid)-11])                                                                 // torn last record
 	f.Add(mutate(3, 0x40))                                                                       // header bit flip
 	f.Add(mutate(walHeaderSize+recSize+40, 0x01))                                                // payload bit flip, record 1
-	f.Add(mutate(walHeaderSize+walRecordHeaderSize, 0x80))                                       // seq bit flip, record 0
+	f.Add(mutate(walHeaderSize+walRecordHeaderSize, 0x02))                                       // op bit flip, record 0
+	f.Add(mutate(walHeaderSize+walRecordHeaderSize+1, 0x80))                                     // seq bit flip, record 0
+	f.Add(mutate(walHeaderSize+walRecordHeaderSize+9, 0x04))                                     // id bit flip, record 0
 	f.Add(mutate(walHeaderSize, 0xFF))                                                           // forged length, record 0
 	f.Add(append(bytes.Clone(valid), rec(0)...))                                                 // duplicate record
 	f.Add(append(bytes.Clone(valid[:walHeaderSize]), append(bytes.Clone(rec(1)), rec(0)...)...)) // out of order
 	f.Add(append(bytes.Clone(valid[:walHeaderSize]), rec(2)...))                                 // seq skips ahead
 	f.Add([]byte{})
 	f.Add([]byte("not a wal at all, just some bytes that happen to be here"))
+
+	// A mixed-op log: insert, delete of the fresh insert, upsert and delete
+	// of checkpoint ids — the typed-record shapes the fuzzer mutates from.
+	mixedPath := WALPath(f.TempDir())
+	w2, err := createWAL(mixedPath, seriesLen, 0, SyncNone, 0)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := w2.AppendInsert(uint64(baseLen), extra[3]); err != nil {
+		f.Fatal(err)
+	}
+	if err := w2.AppendDelete(uint64(baseLen)); err != nil {
+		f.Fatal(err)
+	}
+	if err := w2.AppendUpsert(5, extra[4]); err != nil {
+		f.Fatal(err)
+	}
+	if err := w2.AppendDelete(17); err != nil {
+		f.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		f.Fatal(err)
+	}
+	mixed, err := os.ReadFile(mixedPath)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(bytes.Clone(mixed))
+	f.Add(mixed[:len(mixed)-9]) // torn tail inside the trailing delete record
+
+	// A version-1 insert-only log, hand-encoded — the migration path.
+	v1RecSize := walRecordSizeV1(seriesLen)
+	v1buf := make([]byte, walHeaderSize+2*v1RecSize)
+	encodeWALHeader(v1buf[:walHeaderSize], walMagicV1, seriesLen)
+	for i, s := range extra[:2] {
+		r := v1buf[walHeaderSize+i*v1RecSize : walHeaderSize+(i+1)*v1RecSize]
+		payload := r[walRecordHeaderSize:]
+		binary.LittleEndian.PutUint32(r[0:], uint32(len(payload)))
+		binary.LittleEndian.PutUint64(payload[0:], uint64(baseLen+i))
+		for j, v := range s {
+			binary.LittleEndian.PutUint64(payload[8+8*j:], math.Float64bits(v))
+		}
+		binary.LittleEndian.PutUint32(r[4:], crc32.Checksum(payload, castagnoli))
+	}
+	f.Add(bytes.Clone(v1buf))
+	f.Add(bytes.Clone(v1buf[:len(v1buf)-5]))
 
 	f.Fuzz(func(t *testing.T, wal []byte) {
 		dir := t.TempDir()
@@ -92,17 +143,38 @@ func FuzzWALReplay(f *testing.F) {
 			// (a panic) on its own.
 			return
 		}
-		replay, skipped, validEnd, clean := refWALParse(wal, seriesLen, baseLen)
+		version, muts, skipped, validEnd, clean := refWALParse(wal, seriesLen, baseLen)
 		stats := st.RecoveryStats()
 		if stats.CheckpointLen != baseLen {
 			t.Fatalf("checkpoint len %d, want %d", stats.CheckpointLen, baseLen)
 		}
-		if stats.Replayed != len(replay) || stats.Skipped != skipped {
+		if stats.Replayed != len(muts) || stats.Skipped != skipped {
 			t.Fatalf("replayed %d skipped %d, oracle says %d/%d",
-				stats.Replayed, stats.Skipped, len(replay), skipped)
+				stats.Replayed, stats.Skipped, len(muts), skipped)
 		}
-		if got := st.Index().Len(); got != baseLen+len(replay) {
-			t.Fatalf("recovered length %d, want %d", got, baseLen+len(replay))
+		if stats.MigratedWAL != (version == 1) {
+			t.Fatalf("MigratedWAL = %v for a version-%d log", stats.MigratedWAL, version)
+		}
+		// Replay the oracle's mutation list against a trivial model: which
+		// ids are live and, for ids the log touched, the series they hold.
+		known := map[uint64][]float64{}
+		deleted := map[uint64]bool{}
+		liveCount := baseLen
+		for _, m := range muts {
+			switch m.op {
+			case walOpInsert:
+				known[m.id] = m.series
+				liveCount++
+			case walOpDelete:
+				delete(known, m.id)
+				deleted[m.id] = true
+				liveCount--
+			case walOpUpsert:
+				known[m.id] = m.series
+			}
+		}
+		if got := st.Index().Len(); got != liveCount {
+			t.Fatalf("recovered live count %d, want %d", got, liveCount)
 		}
 		if clean {
 			if stats.TailError != nil || stats.DiscardedBytes != 0 {
@@ -117,12 +189,20 @@ func FuzzWALReplay(f *testing.F) {
 				t.Fatalf("discarded %d bytes, oracle says %d", stats.DiscardedBytes, want)
 			}
 		}
-		for i, s := range replay {
-			got, want := st.Index().Row(baseLen+i), distance.ZNormalized(s)
+		for id, s := range known {
+			got, want := st.Index().Row(int(id)), distance.ZNormalized(s)
+			if got == nil {
+				t.Fatalf("replayed id %d resolves to no row", id)
+			}
 			for j := range want {
 				if math.Float64bits(got[j]) != math.Float64bits(want[j]) {
-					t.Fatalf("replayed row %d[%d] = %v, record encodes %v", baseLen+i, j, got[j], want[j])
+					t.Fatalf("replayed id %d[%d] = %v, record encodes %v", id, j, got[j], want[j])
 				}
+			}
+		}
+		for id := range deleted {
+			if st.Index().Row(int(id)) != nil {
+				t.Fatalf("replayed delete of id %d left it resolvable", id)
 			}
 		}
 		if err := st.Index().CheckInvariants(); err != nil {
@@ -142,64 +222,173 @@ func FuzzWALReplay(f *testing.F) {
 		if s2.TailError != nil || s2.DiscardedBytes != 0 {
 			t.Fatalf("repaired log still dirty: tail %v, %d discarded", s2.TailError, s2.DiscardedBytes)
 		}
-		if got := st2.Index().Len(); got != baseLen+len(replay) {
-			t.Fatalf("re-recovered length %d, want %d", got, baseLen+len(replay))
+		if got := st2.Index().Len(); got != liveCount {
+			t.Fatalf("re-recovered live count %d, want %d", got, liveCount)
 		}
 		st2.Close()
 	})
 }
 
+// refMutation is one mutation the oracle says recovery must apply.
+type refMutation struct {
+	op     byte
+	id     uint64
+	series []float64 // raw record series; nil for delete
+}
+
 // refWALParse is an independent re-implementation of the WAL scan and replay
 // rules, operating on raw bytes only — the differential oracle for
-// FuzzWALReplay. It returns the raw series of every record recovery must
-// replay, the count it must skip as checkpoint-covered, the byte offset just
-// past the last valid record, and whether the log ends cleanly on a record
-// boundary.
-func refWALParse(b []byte, seriesLen, checkpointLen int) (replay [][]float64, skipped int, validEnd int64, clean bool) {
+// FuzzWALReplay. It models the collection's mutation state (live ids, the id
+// the next insert is assigned, the mutation sequence number) exactly as the
+// replay does, and returns the log format version it recognized (0 for an
+// unusable header), the mutations recovery must apply in order, the count it
+// must skip as checkpoint-covered, the byte offset just past the last valid
+// record, and whether the log ends cleanly on a record boundary. The
+// checkpoint is a fresh build: checkpointLen live ids 0..checkpointLen-1,
+// mutation seq 0.
+func refWALParse(b []byte, seriesLen, checkpointLen int) (version int, muts []refMutation, skipped int, validEnd int64, clean bool) {
 	var want [walHeaderSize]byte
-	encodeWALHeader(want[:], seriesLen)
-	if len(b) < walHeaderSize || !bytes.Equal(b[:walHeaderSize], want[:]) {
-		return nil, 0, 0, false
+	encodeWALHeader(want[:], walMagic, seriesLen)
+	if len(b) < walHeaderSize {
+		return 0, nil, 0, 0, false
+	}
+	version = 2
+	if !bytes.Equal(b[:walHeaderSize], want[:]) {
+		encodeWALHeader(want[:], walMagicV1, seriesLen)
+		if !bytes.Equal(b[:walHeaderSize], want[:]) {
+			return 0, nil, 0, 0, false
+		}
+		version = 1
 	}
 	validEnd = walHeaderSize
-	recSize := walRecordSize(seriesLen)
-	have := uint64(checkpointLen)
+	off := walHeaderSize
+	decodeSeries := func(p []byte) []float64 {
+		s := make([]float64, seriesLen)
+		for i := range s {
+			s[i] = math.Float64frombits(binary.LittleEndian.Uint64(p[8*i:]))
+		}
+		return s
+	}
+	nextPub := uint64(checkpointLen)
+	dead := map[uint64]bool{}
 	var prev uint64
 	seen := false
-	for off := walHeaderSize; ; off += recSize {
+
+	if version == 1 {
+		// v1 records are fixed-size, insert-only, sequenced by the assigned
+		// global id.
+		recSize := walRecordSizeV1(seriesLen)
+		haveLen := uint64(checkpointLen)
+		for {
+			rem := len(b) - off
+			if rem == 0 {
+				return version, muts, skipped, validEnd, true
+			}
+			if rem < recSize {
+				return version, muts, skipped, validEnd, false
+			}
+			r := b[off : off+recSize]
+			payload := r[walRecordHeaderSize:]
+			if binary.LittleEndian.Uint32(r[0:]) != uint32(len(payload)) {
+				return version, muts, skipped, validEnd, false
+			}
+			if binary.LittleEndian.Uint32(r[4:]) != crc32.Checksum(payload, castagnoli) {
+				return version, muts, skipped, validEnd, false
+			}
+			seq := binary.LittleEndian.Uint64(payload[0:])
+			if seen && seq != prev+1 {
+				return version, muts, skipped, validEnd, false
+			}
+			seen, prev = true, seq
+			switch {
+			case seq < haveLen:
+				skipped++
+			case seq > haveLen:
+				return version, muts, skipped, validEnd, false
+			default:
+				if seq != nextPub { // assigned-id mismatch
+					return version, muts, skipped, validEnd, false
+				}
+				muts = append(muts, refMutation{op: walOpInsert, id: seq, series: decodeSeries(payload[8:])})
+				nextPub++
+				haveLen++
+			}
+			off += recSize
+			validEnd = int64(off)
+		}
+	}
+
+	// v2: typed variable-size records sequenced by the mutation counter.
+	fullPayload := 17 + 8*seriesLen
+	var have uint64
+	for {
 		rem := len(b) - off
 		if rem == 0 {
-			return replay, skipped, validEnd, true
+			return version, muts, skipped, validEnd, true
 		}
-		if rem < recSize {
-			return replay, skipped, validEnd, false
+		if rem < walRecordHeaderSize {
+			return version, muts, skipped, validEnd, false
 		}
-		r := b[off : off+recSize]
-		payload := r[walRecordHeaderSize:]
-		if binary.LittleEndian.Uint32(r[0:]) != uint32(len(payload)) {
-			return replay, skipped, validEnd, false
+		rh := b[off : off+walRecordHeaderSize]
+		plen := binary.LittleEndian.Uint32(rh[0:])
+		if plen != 17 && plen != uint32(fullPayload) {
+			return version, muts, skipped, validEnd, false
 		}
-		if binary.LittleEndian.Uint32(r[4:]) != crc32.Checksum(payload, castagnoli) {
-			return replay, skipped, validEnd, false
+		if rem < walRecordHeaderSize+int(plen) {
+			return version, muts, skipped, validEnd, false
 		}
-		seq := binary.LittleEndian.Uint64(payload[0:])
+		p := b[off+walRecordHeaderSize : off+walRecordHeaderSize+int(plen)]
+		if binary.LittleEndian.Uint32(rh[4:]) != crc32.Checksum(p, castagnoli) {
+			return version, muts, skipped, validEnd, false
+		}
+		op := p[0]
+		seq := binary.LittleEndian.Uint64(p[1:])
+		id := binary.LittleEndian.Uint64(p[9:])
+		switch op {
+		case walOpInsert, walOpUpsert:
+			if int(plen) != fullPayload {
+				return version, muts, skipped, validEnd, false
+			}
+		case walOpDelete:
+			if plen != 17 {
+				return version, muts, skipped, validEnd, false
+			}
+		default:
+			return version, muts, skipped, validEnd, false
+		}
 		if seen && seq != prev+1 {
-			return replay, skipped, validEnd, false
+			return version, muts, skipped, validEnd, false
 		}
 		seen, prev = true, seq
 		switch {
 		case seq < have:
 			skipped++
 		case seq > have:
-			return replay, skipped, validEnd, false
+			return version, muts, skipped, validEnd, false
 		default:
-			s := make([]float64, seriesLen)
-			for i := range s {
-				s[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8+8*i:]))
+			liveID := id < nextPub && !dead[id]
+			switch op {
+			case walOpInsert:
+				if id != nextPub { // replay assigns ids sequentially
+					return version, muts, skipped, validEnd, false
+				}
+				muts = append(muts, refMutation{op: op, id: id, series: decodeSeries(p[17:])})
+				nextPub++
+			case walOpDelete:
+				if !liveID { // ErrNotFound/ErrTombstoned classify as corrupt
+					return version, muts, skipped, validEnd, false
+				}
+				dead[id] = true
+				muts = append(muts, refMutation{op: op, id: id})
+			case walOpUpsert:
+				if !liveID {
+					return version, muts, skipped, validEnd, false
+				}
+				muts = append(muts, refMutation{op: op, id: id, series: decodeSeries(p[17:])})
 			}
-			replay = append(replay, s)
 			have++
 		}
-		validEnd += int64(recSize)
+		off += walRecordHeaderSize + int(plen)
+		validEnd = int64(off)
 	}
 }

@@ -53,10 +53,18 @@ func TestWALScanRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	series := extraSeries(1, 4, 8)
-	for _, s := range series {
-		if err := w.Append(s); err != nil {
-			t.Fatal(err)
-		}
+	// Mixed mutation types: inserts, a delete, an upsert.
+	if err := w.AppendInsert(100, series[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendDelete(42); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendUpsert(7, series[2]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendInsert(101, series[3]); err != nil {
+		t.Fatal(err)
 	}
 	if w.NextSeq() != 9 {
 		t.Fatalf("next seq %d, want 9", w.NextSeq())
@@ -71,22 +79,38 @@ func TestWALScanRoundTrip(t *testing.T) {
 	}
 	defer f.Close()
 	var got []walEntry
-	validEnd, tailErr, err := scanWAL(f, 8, func(e walEntry) error {
-		got = append(got, walEntry{seq: e.seq, series: append([]float64(nil), e.series...)})
+	version, validEnd, tailErr, err := scanWAL(f, 8, func(e walEntry) error {
+		cp := e
+		cp.series = append([]float64(nil), e.series...)
+		got = append(got, cp)
 		return nil
 	})
 	if err != nil || tailErr != nil {
 		t.Fatalf("scan: err=%v tail=%v", err, tailErr)
 	}
-	if want := int64(walHeaderSize + 4*walRecordSize(8)); validEnd != want {
+	if version != 2 {
+		t.Fatalf("version %d, want 2", version)
+	}
+	if want := int64(walHeaderSize + 3*walRecordSize(8) + walDeleteRecordSize); validEnd != want {
 		t.Fatalf("validEnd %d, want %d", validEnd, want)
 	}
 	if len(got) != 4 {
 		t.Fatalf("%d records, want 4", len(got))
 	}
+	wantOps := []byte{walOpInsert, walOpDelete, walOpUpsert, walOpInsert}
+	wantIDs := []uint64{100, 42, 7, 101}
 	for i, e := range got {
 		if e.seq != uint64(5+i) {
 			t.Fatalf("record %d seq %d, want %d", i, e.seq, 5+i)
+		}
+		if e.op != wantOps[i] || e.id != wantIDs[i] {
+			t.Fatalf("record %d op=%d id=%d, want op=%d id=%d", i, e.op, e.id, wantOps[i], wantIDs[i])
+		}
+		if e.op == walOpDelete {
+			if e.series != nil {
+				t.Fatalf("delete record %d carries a series", i)
+			}
+			continue
 		}
 		for j := range e.series {
 			if e.series[j] != series[i][j] {
@@ -102,8 +126,11 @@ func TestWALAppendLengthMismatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer w.Close()
-	if err := w.Append(make([]float64, 7)); err == nil {
-		t.Fatal("append of wrong-length series succeeded")
+	if err := w.AppendInsert(0, make([]float64, 7)); err == nil {
+		t.Fatal("append of wrong-length insert succeeded")
+	}
+	if err := w.AppendUpsert(0, make([]float64, 9)); err == nil {
+		t.Fatal("append of wrong-length upsert succeeded")
 	}
 }
 

@@ -60,13 +60,21 @@ const (
 	// against the temp file. A fatal firing tears the chunk (half its bytes
 	// are written), modelling a crash mid-save.
 	SitePersistWrite = "persist/write"
+	// SiteTombstone fires in Delete and Upsert after the id resolved but
+	// before the tombstone bit is set — the point where a mutation can fail
+	// without leaving any partial state.
+	SiteTombstone = "mutate/tombstone"
+	// SiteCompactSwap fires in shard compaction immediately before the
+	// rebuilt shard is swapped in — a failure here discards the rebuild and
+	// leaves the old shard state fully intact.
+	SiteCompactSwap = "compact/swap"
 )
 
 // siteList enumerates every valid hook site; Sites returns a copy for the
 // audit and the fuzz harness. A function (rather than an exported var)
 // keeps release binaries free of faultinject data symbols.
-func siteList() [11]string {
-	return [11]string{
+func siteList() [13]string {
+	return [13]string{
 		SiteShardSeed,
 		SiteShardFinish,
 		SiteKernel,
@@ -78,6 +86,8 @@ func siteList() [11]string {
 		SiteWALSync,
 		SiteCheckpointRename,
 		SitePersistWrite,
+		SiteTombstone,
+		SiteCompactSwap,
 	}
 }
 

@@ -85,7 +85,7 @@ func (ix *Index) scanInto(q []float64, kn *index.KNNCollector, idMul, idAdd int3
 		if d < 0 {
 			d = 0 // guard rounding for near-identical vectors
 		}
-		kn.Offer(int32(i)*idMul+idAdd, d)
+		kn.Offer(index.ID(int32(i)*idMul+idAdd), d)
 	}
 }
 

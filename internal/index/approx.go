@@ -57,7 +57,7 @@ func (s *Searcher) finishResults() []Result {
 // returned slice is owned by the Searcher and reused by its next call.
 func (s *Searcher) SearchApproximate(query []float64, k int) ([]Result, error) {
 	s.kn.Reset(k)
-	if err := s.beginShard(query, k, &s.kn, 1, 0, 1); err != nil {
+	if err := s.beginShard(query, k, &s.kn, nil, 1, 0, 1); err != nil {
 		return nil, err
 	}
 	s.seeded = false // approximate mode: the seeding stage is the whole query
@@ -91,7 +91,7 @@ func (s *Searcher) SearchEpsilon(query []float64, k int, epsilon float64) ([]Res
 // finishShard traverses the tree and refines the surviving leaves.
 func (s *Searcher) search(query []float64, k int, pruneScale float64) ([]Result, error) {
 	s.kn.Reset(k)
-	if err := s.beginShard(query, k, &s.kn, 1, 0, pruneScale); err != nil {
+	if err := s.beginShard(query, k, &s.kn, nil, 1, 0, pruneScale); err != nil {
 		return nil, err
 	}
 	if faultinject.Enabled {
@@ -108,7 +108,7 @@ func (s *Searcher) search(query []float64, k int, pruneScale float64) ([]Result,
 // records the shard-query state (collector, id mapping, prune scale) and
 // seeds kn with real distances from the query's best-matching leaf.
 // kn must have been Reset with this query's k by the caller.
-func (s *Searcher) beginShard(query []float64, k int, kn *KNNCollector, idMul, idAdd int32, pruneScale float64) error {
+func (s *Searcher) beginShard(query []float64, k int, kn *KNNCollector, pub []int32, idMul, idAdd ID, pruneScale float64) error {
 	q, err := s.prepareQuery(query, k)
 	if err != nil {
 		return err
@@ -119,6 +119,7 @@ func (s *Searcher) beginShard(query []float64, k int, kn *KNNCollector, idMul, i
 	s.seriesED.Store(0)
 
 	s.extKN = kn
+	s.pub = pub
 	s.idMul = idMul
 	s.idAdd = idAdd
 	s.pruneScale = pruneScale
@@ -273,6 +274,7 @@ func (s *Searcher) refineLeafBlock(leaf *node, q []float64, kn *KNNCollector, sc
 		return
 	}
 	t := s.t
+	dead := t.dead
 	words := s.leafWords(leaf, ds)
 	lbd := ds.lbdFor(n)
 	bound := kn.Bound()
@@ -282,7 +284,7 @@ func (s *Searcher) refineLeafBlock(leaf *node, q []float64, kn *KNNCollector, sc
 		if i%boundRefreshInterval == 0 {
 			bound = kn.Bound()
 		}
-		if lbd[i] >= bound*scale {
+		if lbd[i] >= bound*scale || deadBit(dead, id) {
 			continue
 		}
 		nED++
@@ -300,6 +302,7 @@ func (s *Searcher) refineLeafBlock(leaf *node, q []float64, kn *KNNCollector, sc
 // Options.PerSeriesLBD for the same-binary kernel A/B.
 func (s *Searcher) refineLeafPerSeries(leaf *node, q []float64, kn *KNNCollector, scale float64) {
 	t := s.t
+	dead := t.dead
 	l := t.l
 	words := leaf.words
 	var nLBD, nED int64
@@ -307,6 +310,9 @@ func (s *Searcher) refineLeafPerSeries(leaf *node, q []float64, kn *KNNCollector
 	for i, id := range leaf.ids {
 		if i%boundRefreshInterval == 0 {
 			bound = kn.Bound()
+		}
+		if deadBit(dead, id) {
+			continue
 		}
 		pruneAt := bound * scale
 		nLBD++

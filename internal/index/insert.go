@@ -2,6 +2,7 @@ package index
 
 import (
 	"fmt"
+	"math/bits"
 )
 
 // Insert adds a single (already z-normalized) series to the index and
@@ -166,6 +167,21 @@ func (t *Tree) CheckInvariants() error {
 		if !ok {
 			return fmt.Errorf("series %d missing from every leaf", id)
 		}
+	}
+	if len(t.dead) > (t.data.Len()+63)/64 {
+		return fmt.Errorf("tombstone bitmap has %d words for %d series", len(t.dead), t.data.Len())
+	}
+	pop := 0
+	for w, word := range t.dead {
+		pop += bits.OnesCount64(word)
+		if word != 0 {
+			if hi := w*64 + 63 - bits.LeadingZeros64(word); hi >= t.data.Len() {
+				return fmt.Errorf("tombstone bit %d out of range [0,%d)", hi, t.data.Len())
+			}
+		}
+	}
+	if pop != t.deadCount {
+		return fmt.Errorf("tombstone count %d != bitmap population %d", t.deadCount, pop)
 	}
 	return nil
 }

@@ -10,11 +10,19 @@ import (
 	"repro/internal/queue"
 )
 
+// ID identifies one indexed series in the id space of the caller's query.
+// For a stand-alone tree search it is the tree-local id; for a
+// collection-level search it is the collection's stable public id, which
+// survives deletes, upserts and shard compaction (see ShardQuery). IDs are
+// typed so mutation APIs (Delete, Upsert) and query results cannot be mixed
+// up with raw offsets.
+type ID int64
+
 // Result is one answer of a similarity query. Dist is the squared
 // z-normalized Euclidean distance (the library works in squared space
 // throughout; take the square root at presentation time).
 type Result struct {
-	ID   int32
+	ID   ID
 	Dist float64
 }
 
@@ -86,7 +94,7 @@ func (s *KNNCollector) Bound() float64 {
 
 // Offer inserts a candidate if it improves the k-NN set and reports whether
 // it did — callers caching the bound locally re-read it only on improvement.
-func (s *KNNCollector) Offer(id int32, d float64) bool {
+func (s *KNNCollector) Offer(id ID, d float64) bool {
 	if d >= s.Bound() {
 		return false
 	}
@@ -183,11 +191,14 @@ type Searcher struct {
 	// A stand-alone Search points extKN at the searcher's own collector with
 	// the identity id mapping; a collection-level shard search points it at
 	// the shared cross-shard collector and maps the tree's local ids to
-	// global ids (global = local*idMul + idAdd) at offer time, so all shards
-	// of a sharded index prune against one global best-so-far.
+	// public ids at offer time — through the pub table when the collection
+	// has been mutated, or affinely (global = local*idMul + idAdd, the
+	// inverse of round-robin partitioning) while ids are still dense — so all
+	// shards of a sharded index prune against one global best-so-far.
 	extKN      *KNNCollector
-	idMul      int32
-	idAdd      int32
+	pub        []int32
+	idMul      ID
+	idAdd      ID
 	pruneScale float64
 	approxNode *node
 	seeded     bool
@@ -238,9 +249,15 @@ func (t *Tree) NewSearcher() *Searcher {
 }
 
 // mapID translates a tree-local series id to the id space of the current
-// query (the identity for stand-alone searches; global = local*idMul + idAdd
-// for shard searches).
-func (s *Searcher) mapID(id int32) int32 { return id*s.idMul + s.idAdd }
+// query: the pub table when set (compacted or upserted collections), the
+// affine mapping global = local*idMul + idAdd otherwise (the identity for
+// stand-alone searches).
+func (s *Searcher) mapID(id int32) ID {
+	if s.pub != nil {
+		return ID(s.pub[id])
+	}
+	return ID(id)*s.idMul + s.idAdd
+}
 
 // Search returns the exact k nearest neighbors of query under squared
 // z-normalized Euclidean distance, ascending. The query is z-normalized
@@ -313,14 +330,18 @@ func (s *Searcher) approximateLeaf() *node {
 	return n
 }
 
-// processLeafReal computes real (early-abandoning) distances for every
+// processLeafReal computes real (early-abandoning) distances for every live
 // series in the leaf — used by the approximate stage to establish the BSF.
 func (s *Searcher) processLeafReal(leaf *node, q []float64, kn *KNNCollector) {
 	t := s.t
+	dead := t.dead
 	bound := kn.Bound()
 	for i, id := range leaf.ids {
 		if i%boundRefreshInterval == 0 {
 			bound = kn.Bound()
+		}
+		if deadBit(dead, id) {
+			continue
 		}
 		d := distance.SquaredEDEarlyAbandon(t.data.Row(int(id)), q, bound)
 		if d < bound && kn.Offer(s.mapID(id), d) {
@@ -382,6 +403,7 @@ func (s *Searcher) processLeafApprox(leaf *node, q []float64, kn *KNNCollector) 
 		return
 	}
 	t := s.t
+	dead := t.dead
 	ds := &s.scratch
 	words := s.leafWords(leaf, ds)
 	lbd := ds.lbdFor(n)
@@ -391,7 +413,7 @@ func (s *Searcher) processLeafApprox(leaf *node, q []float64, kn *KNNCollector) 
 		if i%boundRefreshInterval == 0 {
 			bound = kn.Bound()
 		}
-		if lbd[i] >= bound {
+		if lbd[i] >= bound || deadBit(dead, id) {
 			continue
 		}
 		d := distance.SquaredEDEarlyAbandon(t.data.Row(int(id)), q, bound)

@@ -36,10 +36,16 @@ type ShardQuery struct {
 	// KN is the shared collector. The caller must Reset it with the query's
 	// k before seeding the first shard.
 	KN *KNNCollector
-	// IDMul and IDAdd map tree-local ids to global ids at offer time:
-	// global = local*IDMul + IDAdd. IDMul == 0 is treated as the identity
+	// PubIDs, when non-nil, maps tree-local ids to the caller's stable
+	// public ids at offer time (PubIDs[local]); it overrides the affine
+	// mapping below. A mutable collection sets it once a shard's local ids
+	// no longer follow the round-robin layout (after upserts or compaction).
+	PubIDs []int32
+	// IDMul and IDAdd map tree-local ids to global ids at offer time when
+	// PubIDs is nil: global = local*IDMul + IDAdd (the inverse of
+	// round-robin partitioning). IDMul == 0 is treated as the identity
 	// mapping (IDMul 1, IDAdd 0).
-	IDMul, IDAdd int32
+	IDMul, IDAdd ID
 	// Epsilon relaxes pruning for (1+Epsilon)-approximate answers, as in
 	// SearchEpsilon. 0 is exact.
 	Epsilon float64
@@ -64,7 +70,7 @@ func (s *Searcher) SeedShard(query []float64, k int, sq ShardQuery) error {
 		return fmt.Errorf("index: epsilon must be >= 0, got %v", sq.Epsilon)
 	}
 	mul := sq.IDMul
-	var add int32
+	var add ID
 	if mul == 0 {
 		mul = 1
 	} else {
@@ -74,7 +80,7 @@ func (s *Searcher) SeedShard(query []float64, k int, sq ShardQuery) error {
 	if sq.Epsilon > 0 {
 		scale = 1 / ((1 + sq.Epsilon) * (1 + sq.Epsilon))
 	}
-	return s.beginShard(query, k, sq.KN, mul, add, scale)
+	return s.beginShard(query, k, sq.KN, sq.PubIDs, mul, add, scale)
 }
 
 // FinishShard runs the second phase — exact traversal and leaf refinement —

@@ -2,6 +2,7 @@ package index
 
 import (
 	"fmt"
+	"math/bits"
 	"runtime"
 	"sort"
 	"sync"
@@ -93,6 +94,18 @@ type Tree struct {
 	// searchers pools serial Searchers for BatchSearch so repeated batches
 	// reuse per-worker scratch.
 	searchers sync.Pool
+
+	// dead is the tombstone bitmap (bit id set = series id is deleted) and
+	// deadCount its population count. A tombstoned series stays in the data
+	// matrix, the word buffer and its leaf — removing it would renumber every
+	// id — but the refinement loops skip it before any offer, so it can never
+	// reach a result set. The bitmap grows lazily to the highest deleted id;
+	// nil means nothing is deleted and costs the hot path one length test.
+	// Delete follows the Insert concurrency contract (not safe concurrently
+	// with searches); reclaiming the dead rows is the collection layer's
+	// compaction, which rebuilds the shard from its survivors.
+	dead      []uint64
+	deadCount int
 
 	// splits counts successful leaf splits over the tree's lifetime (build,
 	// load, inserts). A tree decoded via FromShape performs none — the
@@ -398,6 +411,76 @@ func (t *Tree) split(leaf *node) bool {
 	return true
 }
 
+// deadBit reports whether id is tombstoned in dead. The length test doubles
+// as the bounds check (a nil or short bitmap means live), keeping the
+// refinement loops' skip to one branch in the no-deletes steady state.
+func deadBit(dead []uint64, id int32) bool {
+	w := int(id) >> 6
+	return w < len(dead) && dead[w]&(1<<(uint(id)&63)) != 0
+}
+
+// Delete tombstones the series with tree-local id: it is skipped by every
+// subsequent refinement pass and excluded from Live. The series' row, word
+// and leaf slot are retained (ids are stable); compaction at the collection
+// layer reclaims them. Same concurrency contract as Insert: not safe to run
+// concurrently with searches or other mutations.
+func (t *Tree) Delete(id int32) error {
+	if id < 0 || int(id) >= t.data.Len() {
+		return fmt.Errorf("index: id %d out of range [0,%d)", id, t.data.Len())
+	}
+	w, bit := int(id)>>6, uint64(1)<<(uint(id)&63)
+	if w >= len(t.dead) {
+		grown := make([]uint64, (t.data.Len()+63)/64)
+		copy(grown, t.dead)
+		t.dead = grown
+	}
+	if t.dead[w]&bit != 0 {
+		return fmt.Errorf("index: id %d already tombstoned", id)
+	}
+	t.dead[w] |= bit
+	t.deadCount++
+	return nil
+}
+
+// Tombstoned reports whether the series with tree-local id carries a
+// tombstone.
+func (t *Tree) Tombstoned(id int32) bool { return deadBit(t.dead, id) }
+
+// Live returns the number of live (non-tombstoned) series.
+func (t *Tree) Live() int { return t.data.Len() - t.deadCount }
+
+// TombstoneCount returns the number of tombstoned series.
+func (t *Tree) TombstoneCount() int { return t.deadCount }
+
+// Tombstones returns the tombstone bitmap (aliased; do not modify) and its
+// population count. Used by index persistence and compaction.
+func (t *Tree) Tombstones() ([]uint64, int) { return t.dead, t.deadCount }
+
+// SetTombstones installs a loaded tombstone bitmap, validating that every
+// set bit names an existing series and that count matches the population.
+// Used by the persistence loader.
+func (t *Tree) SetTombstones(dead []uint64, count int) error {
+	n := t.data.Len()
+	if len(dead) > (n+63)/64 {
+		return fmt.Errorf("index: tombstone bitmap has %d words, want at most %d", len(dead), (n+63)/64)
+	}
+	pop := 0
+	for w, word := range dead {
+		pop += bits.OnesCount64(word)
+		if word != 0 {
+			if hi := w*64 + 63 - bits.LeadingZeros64(word); hi >= n {
+				return fmt.Errorf("index: tombstone bit %d out of range [0,%d)", hi, n)
+			}
+		}
+	}
+	if pop != count {
+		return fmt.Errorf("index: tombstone count %d != bitmap population %d", count, pop)
+	}
+	t.dead = dead
+	t.deadCount = count
+	return nil
+}
+
 // SplitCount reports how many leaf splits the tree has performed since it
 // was created — the test hook behind the persistence contract that a
 // shape-decoded load (FromShape) re-splits nothing.
@@ -411,7 +494,9 @@ func (t *Tree) SeriesLen() int { return t.data.Stride }
 
 // Stats summarizes the index structure (paper Fig. 8).
 type Stats struct {
-	Series      int
+	Series      int     // physical rows, live and tombstoned
+	Live        int     // series a search can return
+	Tombstoned  int     // deleted series awaiting compaction
 	Subtrees    int     // number of root children
 	Leaves      int     // non-empty leaves
 	AvgDepth    float64 // mean depth of non-empty leaves (root = depth 0)
@@ -421,7 +506,12 @@ type Stats struct {
 
 // Stats walks the tree and reports its structure.
 func (t *Tree) Stats() Stats {
-	st := Stats{Series: t.data.Len(), Subtrees: len(t.rootKeys)}
+	st := Stats{
+		Series:     t.data.Len(),
+		Live:       t.data.Len() - t.deadCount,
+		Tombstoned: t.deadCount,
+		Subtrees:   len(t.rootKeys),
+	}
 	var depthSum, sizeSum int
 	var walk func(n *node)
 	walk = func(n *node) {
@@ -489,3 +579,12 @@ func (t *Tree) Words() []byte { return t.words }
 // Encoder returns a fresh per-goroutine encoder for the tree's
 // summarization (used by Insert callers).
 func (t *Tree) Encoder() Encoder { return t.sum.NewIndexEncoder() }
+
+// Sum returns the tree's summarization. A compacted shard that re-learned
+// its quantization carries its own; the collection's certificate path uses
+// this to compute shard-correct query representations.
+func (t *Tree) Sum() Summarization { return t.sum }
+
+// Data returns the tree's underlying series matrix (aliased; do not
+// modify). Compaction snapshots survivor rows from it.
+func (t *Tree) Data() *distance.Matrix { return t.data }

@@ -69,7 +69,7 @@ func (s *Scanner) Search(query []float64, k int) ([]index.Result, error) {
 				bound := kn.Bound()
 				d := distance.SquaredEDEarlyAbandon(s.data.Row(i), q, bound)
 				if d < bound {
-					kn.Offer(int32(i), d)
+					kn.Offer(index.ID(i), d)
 				}
 			}
 		}(lo, hi)

@@ -41,6 +41,14 @@ func FromRows(rows [][]float64) (*Matrix, error) {
 	return m, nil
 }
 
+// ID is the stable public identifier of one indexed series. Series built
+// into the index are numbered 0..Len()-1 in build order; Insert assigns ids
+// sequentially from there. An id stays with its series for the series'
+// lifetime — across Upsert (which replaces the value under the same id) and
+// compaction (which reclaims deleted rows without renumbering) — and is
+// never reused after Delete.
+type ID = index.ID
+
 // Result is one answer of a similarity query. Dist is the squared
 // z-normalized Euclidean distance (take the square root at presentation
 // time).

@@ -75,13 +75,14 @@ func WithRecoveryStats(dst *RecoveryStats) OpenOption {
 	return func(c *openConfig) { c.stats = dst }
 }
 
-// DurableIndex is an Index whose inserts survive process death: every Insert
-// is appended to a write-ahead log before it is applied, Checkpoint
-// atomically publishes the in-memory state as a new container, and Open
-// recovers the exact acknowledged state after a crash. All read paths
-// (Search, SearchInto, SearchBatch, NewStream, ...) are the embedded Index's
-// and follow its concurrency contract; Insert/Checkpoint/Sync/Close are
-// single-writer, like Index.Insert itself.
+// DurableIndex is an Index whose mutations survive process death: every
+// Insert, Delete, and Upsert is appended to a write-ahead log before it is
+// applied, Checkpoint atomically publishes the in-memory state as a new
+// container, and Open recovers the exact acknowledged state after a crash.
+// All read paths (Search, SearchInto, SearchBatch, NewStream, ...) are the
+// embedded Index's and follow its concurrency contract;
+// Insert/Delete/Upsert/Checkpoint/Sync/Close are single-writer, like the
+// in-memory mutation API itself.
 type DurableIndex struct {
 	*Index
 	st *core.Store
@@ -135,11 +136,28 @@ func finishOpen(st *core.Store, stats *RecoveryStats) *DurableIndex {
 // (synced per the configured policy) before it is applied to the index, so
 // an acknowledged insert survives a crash and is replayed by the next Open.
 // Returns the assigned id. Same synchronization contract as Index.Insert.
-func (x *DurableIndex) Insert(series []float64) (int32, error) {
+func (x *DurableIndex) Insert(series []float64) (ID, error) {
 	if len(series) != x.SeriesLen() {
 		return 0, fmt.Errorf("%w: series length %d, want %d", ErrBadSeriesLength, len(series), x.SeriesLen())
 	}
 	return x.st.Insert(series)
+}
+
+// Delete durably removes the series with the given id: the delete record is
+// appended to the write-ahead log before the tombstone is applied, so an
+// acknowledged delete survives a crash and is replayed by the next Open.
+// Same semantics as Index.Delete (ErrNotFound, ErrTombstoned, permanent id
+// retirement).
+func (x *DurableIndex) Delete(id ID) error { return x.st.Delete(id) }
+
+// Upsert durably replaces the series stored under id, keeping the id
+// stable: the upsert record is appended to the write-ahead log before the
+// replacement is applied. Same semantics as Index.Upsert.
+func (x *DurableIndex) Upsert(id ID, series []float64) error {
+	if len(series) != x.SeriesLen() {
+		return fmt.Errorf("%w: series length %d, want %d", ErrBadSeriesLength, len(series), x.SeriesLen())
+	}
+	return x.st.Upsert(id, series)
 }
 
 // Checkpoint atomically publishes the current state as the new container

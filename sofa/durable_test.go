@@ -41,7 +41,7 @@ func TestOpenCreateAndReopen(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if want := int32(base + i); id != want {
+		if want := ID(base + i); id != want {
 			t.Fatalf("insert %d assigned id %d, want %d", i, id, want)
 		}
 		inserted = append(inserted, s)
@@ -74,7 +74,7 @@ func TestOpenCreateAndReopen(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if res[0].ID != int32(base+i) || res[0].Dist > 1e-9 {
+		if res[0].ID != ID(base+i) || res[0].Dist > 1e-9 {
 			t.Fatalf("insert %d: got id %d dist %g, want id %d dist ~0", i, res[0].ID, res[0].Dist, base+i)
 		}
 	}
@@ -83,7 +83,7 @@ func TestOpenCreateAndReopen(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if id != int32(base+3) {
+	if id != ID(base+3) {
 		t.Fatalf("post-recovery insert id %d, want %d", id, base+3)
 	}
 }

@@ -184,3 +184,59 @@ func ExampleOpen() {
 		id, stats.Replayed, stats.CheckpointLen)
 	// Output: insert 256 recovered: 1 replayed onto a 256-series checkpoint
 }
+
+// The mutation lifecycle: Insert assigns a stable id, Upsert replaces the
+// series under it, Delete retires it permanently, and Compact reclaims the
+// tombstoned rows per the configured policy (RCU swap — in-flight queries
+// never block on the rebuild).
+func ExampleIndex_Insert() {
+	data := exampleData(256, 64)
+	ix, err := sofa.Build(data, sofa.SampleRate(1),
+		sofa.CompactionPolicy(sofa.Compaction{MaxTombstoneFraction: 0.001}))
+	if err != nil {
+		panic(err)
+	}
+
+	fresh := make([]float64, 64)
+	for j := range fresh {
+		fresh[j] = math.Cos(2 * math.Pi * 11 * float64(j) / 64)
+	}
+	id, err := ix.Insert(fresh)
+	if err != nil {
+		panic(err)
+	}
+
+	// Upsert keeps the id while swapping the series: searches for the new
+	// shape find it under the old id.
+	replacement := make([]float64, 64)
+	for j := range replacement {
+		replacement[j] = math.Cos(2*math.Pi*13*float64(j)/64 + 0.3)
+	}
+	if err := ix.Upsert(id, replacement); err != nil {
+		panic(err)
+	}
+	res, err := ix.Search(context.Background(), sofa.Query{Series: replacement, K: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("upserted id %d found itself: %v\n", id, res[0].ID == id)
+
+	// Delete retires the id for good; mutating it again reports the tombstone.
+	if err := ix.Delete(id); err != nil {
+		panic(err)
+	}
+	fmt.Println("deleted twice:", errors.Is(ix.Delete(id), sofa.ErrTombstoned))
+
+	// The upsert and the delete each left a dead row behind. Compact rebuilds
+	// every shard past the policy threshold and reclaims them.
+	fmt.Println("tombstoned before compaction:", ix.Tombstoned())
+	if err := ix.Compact(); err != nil {
+		panic(err)
+	}
+	fmt.Printf("after: %d tombstoned, %d live\n", ix.Tombstoned(), ix.Len())
+	// Output:
+	// upserted id 256 found itself: true
+	// deleted twice: true
+	// tombstoned before compaction: 2
+	// after: 0 tombstoned, 256 live
+}

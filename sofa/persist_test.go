@@ -7,7 +7,7 @@ import (
 )
 
 // WithLoadStats surfaces the load phase breakdown, and a current-format
-// (v4) load decodes the shard trees without performing any leaf splits.
+// (v5) load decodes the shard trees without performing any leaf splits.
 func TestLoadStatsIntrospection(t *testing.T) {
 	ix, _, rng := buildFixture(t, 400, 32, Shards(2))
 	var buf bytes.Buffer
@@ -19,14 +19,14 @@ func TestLoadStatsIntrospection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st.Version != 4 {
-		t.Errorf("saved container version %d, want 4", st.Version)
+	if st.Version != 5 {
+		t.Errorf("saved container version %d, want 5", st.Version)
 	}
 	if st.Bytes != int64(buf.Len()) {
 		t.Errorf("stats saw %d bytes of a %d-byte container", st.Bytes, buf.Len())
 	}
 	if st.Splits != 0 {
-		t.Errorf("v4 load re-split %d leaves, want 0", st.Splits)
+		t.Errorf("v5 load re-split %d leaves, want 0", st.Splits)
 	}
 	if st.TotalSeconds <= 0 || st.DecodeSeconds <= 0 {
 		t.Errorf("empty phase timings: %+v", st)

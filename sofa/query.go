@@ -116,6 +116,19 @@ type QueryStats struct {
 	// 0 when the answer is provably identical to the complete one; +Inf when
 	// the failed shards cannot be bounded.
 	EpsilonBound float64
+	// Live and Tombstoned snapshot the index's mutation state as the query
+	// started: live series searched, and deleted-but-unreclaimed rows the
+	// refinement stage skipped over.
+	Live       int
+	Tombstoned int
+	// Compactions and Relearns are the index's lifetime counts of shard
+	// compactions and of compactions that re-learned a shard's SFA
+	// quantization; RelearnChurnFraction echoes the configured re-learn
+	// threshold (0 when disabled), so a query's answer records the
+	// adaptation policy it ran under.
+	Compactions          int64
+	Relearns             int64
+	RelearnChurnFraction float64
 }
 
 // WithQueryStats records the query's work counters and fault-isolation
@@ -198,10 +211,15 @@ func (x *Index) searchInto(ctx context.Context, q Query, dst []Result) ([]Result
 	if q.opts.qstats != nil {
 		m := s.LastMeta()
 		*q.opts.qstats = QueryStats{
-			SearchStats:    s.LastStats(),
-			ShardsSearched: m.ShardsSearched,
-			ShardsFailed:   m.ShardsFailed,
-			EpsilonBound:   m.EpsilonBound,
+			SearchStats:          s.LastStats(),
+			ShardsSearched:       m.ShardsSearched,
+			ShardsFailed:         m.ShardsFailed,
+			EpsilonBound:         m.EpsilonBound,
+			Live:                 m.Live,
+			Tombstoned:           m.Tombstoned,
+			Compactions:          m.Compactions,
+			Relearns:             m.Relearns,
+			RelearnChurnFraction: m.RelearnChurnFraction,
 		}
 	}
 	x.searchers.Put(s)

@@ -79,6 +79,17 @@ var (
 	ErrStreamStalled = core.ErrStreamStalled
 )
 
+// Mutation sentinels, returned by Delete and Upsert. Match them with
+// errors.Is.
+var (
+	// ErrNotFound reports a mutation against an id that was never assigned.
+	ErrNotFound = core.ErrNotFound
+	// ErrTombstoned reports a mutation against a deleted id: ids are retired
+	// permanently — deletion is not reversible, and Upsert replaces live
+	// series only (it does not resurrect).
+	ErrTombstoned = core.ErrTombstoned
+)
+
 // Durability sentinels, produced by Open's write-ahead-log recovery. By
 // default both are absorbed into a lenient recovery (the valid WAL prefix is
 // replayed, the damaged tail discarded and reported via RecoveryStats);
@@ -179,6 +190,22 @@ func Seed(s int64) Option { return func(c *config) { c.cfg.Seed = s } }
 // QuarantinedShards.
 func QuarantineAfter(n int) Option { return func(c *config) { c.cfg.QuarantineAfter = n } }
 
+// Compaction is the tombstone-reclamation policy of a mutable index: when a
+// shard is rebuilt without its deleted rows, and when such a rebuild also
+// re-learns the shard's SFA quantization from the surviving series. The zero
+// value disables automatic compaction (explicit Compact/CompactShard calls
+// still work).
+type Compaction = core.CompactionPolicy
+
+// CompactionPolicy sets the index's compaction policy. With
+// p.MaxTombstoneFraction > 0, MaybeCompact (and, with p.Auto, a background
+// pass after each mutation) rebuilds any shard whose tombstoned fraction
+// reaches it; with p.RelearnChurnFraction > 0 a compaction whose accumulated
+// churn crosses that fraction of the shard's live series re-learns the SFA
+// bins from the survivors. Re-learning changes only pruning power, never
+// results.
+func CompactionPolicy(p Compaction) Option { return func(c *config) { c.cfg.Compaction = p } }
+
 // validate rejects option values Build must not silently default.
 func (c *config) validate() error {
 	cfg := c.cfg
@@ -199,14 +226,17 @@ func (c *config) validate() error {
 		return fmt.Errorf("%w: max coefficients %d", ErrBadConfig, cfg.MaxCoeffs)
 	case cfg.QuarantineAfter < 0:
 		return fmt.Errorf("%w: quarantine threshold %d", ErrBadConfig, cfg.QuarantineAfter)
+	case cfg.Compaction.MaxTombstoneFraction > 1:
+		return fmt.Errorf("%w: max tombstone fraction %v (want 0..1)", ErrBadConfig, cfg.Compaction.MaxTombstoneFraction)
 	}
 	return nil
 }
 
-// Index is a built similarity index over a fixed collection of series. It
-// is immutable (apart from Insert, which requires external synchronization)
-// and safe for concurrent Search/SearchInto/SearchBatch/stream use from any
-// number of goroutines.
+// Index is a built similarity index over a collection of series. It is safe
+// for concurrent Search/SearchInto/SearchBatch/stream use from any number of
+// goroutines. Mutations — Insert, Delete, Upsert, compaction — are safe with
+// each other but must be synchronized against searches (see each method's
+// contract).
 type Index struct {
 	ix *core.Index
 
@@ -251,7 +281,8 @@ func newIndex(ix *core.Index) *Index {
 	return x
 }
 
-// Len returns the number of indexed series.
+// Len returns the number of live (searchable) series: deleted series stop
+// counting immediately, before compaction reclaims their storage.
 func (x *Index) Len() int { return x.ix.Len() }
 
 // SeriesLen returns the length every indexed (and queried) series must have.
@@ -283,17 +314,58 @@ func (x *Index) MeanSelectedCoefficient() (mean float64, ok bool) {
 }
 
 // Insert adds one series to the index (z-normalized internally) and returns
-// its id. Not safe to run concurrently with searches or other inserts —
-// synchronize externally for mixed workloads. The series is summarized with
-// the index's existing learned quantization (bins are not re-learned).
+// its stable ID. Mutations (Insert, Delete, Upsert) may run concurrently
+// with each other and with compaction, but not with searches — synchronize
+// externally for mixed workloads. The series is summarized with the index's
+// existing learned quantization; bins are re-learned only at a compaction
+// that crosses the configured CompactionPolicy's RelearnChurnFraction.
 // Inserting into a quarantined shard fails with ErrShardQuarantined (the
 // series would otherwise be stranded in a tree searches skip).
-func (x *Index) Insert(series []float64) (int32, error) {
+func (x *Index) Insert(series []float64) (ID, error) {
 	if len(series) != x.SeriesLen() {
 		return 0, fmt.Errorf("%w: series length %d, want %d", ErrBadSeriesLength, len(series), x.SeriesLen())
 	}
 	return x.ix.Insert(series)
 }
+
+// Delete removes the series with the given id from the index: it stops
+// appearing in search results immediately, its storage is reclaimed at the
+// next compaction, and the id is permanently retired (never reused).
+// Deleting an unknown id returns ErrNotFound; deleting twice returns
+// ErrTombstoned. Same synchronization contract as Insert.
+func (x *Index) Delete(id ID) error { return x.ix.Delete(id) }
+
+// Upsert replaces the series stored under id (z-normalized internally),
+// keeping the id stable: searches observe the id with its old series or its
+// new one, never both. Upserting an unknown id returns ErrNotFound, a
+// deleted one ErrTombstoned — an upsert is a replacement, not a
+// resurrection. Same synchronization contract as Insert.
+func (x *Index) Upsert(id ID, series []float64) error {
+	if len(series) != x.SeriesLen() {
+		return fmt.Errorf("%w: series length %d, want %d", ErrBadSeriesLength, len(series), x.SeriesLen())
+	}
+	return x.ix.Upsert(id, series)
+}
+
+// CompactShard rebuilds one shard without its deleted rows and atomically
+// swaps the rebuilt shard in (RCU: in-flight queries keep the state they
+// started with and never block). On a SOFA index whose accumulated churn has
+// crossed the configured RelearnChurnFraction, the rebuild also re-learns
+// the shard's SFA quantization from the survivors. Live ids, search results
+// and result ordering are unchanged by compaction.
+func (x *Index) CompactShard(i int) error { return x.ix.CompactShard(i) }
+
+// Compact applies the configured compaction policy across all shards,
+// rebuilding every shard whose tombstoned fraction has reached
+// MaxTombstoneFraction — the explicit entry point for callers that schedule
+// compaction themselves (with Compaction.Auto it also runs in the background
+// after mutations).
+func (x *Index) Compact() error { return x.ix.MaybeCompact() }
+
+// Tombstoned returns the number of deleted-but-unreclaimed rows currently
+// carried by the index — the space a compaction would reclaim. Len counts
+// live series only, so Len()+Tombstoned() is the physical row count.
+func (x *Index) Tombstoned() int { return x.ix.Collection().Tombstoned() }
 
 // QuarantineShard manually quarantines one shard: subsequent searches skip
 // it (failing fail-fast queries with ErrShardQuarantined, degrading
